@@ -1,0 +1,57 @@
+// Extension: autotuning vs. the paper's static performance models.
+//
+// Sweeps brick size, strategy and subgraph depth empirically on the
+// simulated machine (the Ansor/TVM-style search the paper contrasts with)
+// and reports how close the §3.3 static models land to the search optimum.
+#include "bench_common.hpp"
+
+#include "core/autotuner.hpp"
+
+namespace brickdl::bench {
+namespace {
+
+int run() {
+  std::printf("== Extension: autotuning vs. the static performance models "
+              "==\n\n");
+
+  ModelConfig config;
+  config.batch = 16;
+  config.spatial = 224;
+  config.width_div = 4;
+  const Graph graph = fuse_conv_pointwise(build_darknet53(config));
+
+  // Static-model baseline: default engine (cost-aware planner, no search).
+  EngineOptions static_options;
+  static_options.partition.max_layers = 6;
+  const RunResult static_choice = run_brickdl(graph, static_options);
+
+  TuneSpace space;
+  space.max_layers = {3, 6};
+  space.brick_sides = {0, 4, 8};
+  const TuneResult tuned = autotune(graph, space);
+
+  TextTable table({"rank", "configuration", "modeled (ms)", "DRAM txns"});
+  const size_t show = std::min<size_t>(tuned.candidates.size(), 8);
+  for (size_t i = 0; i < show; ++i) {
+    const TuneCandidate& c = tuned.candidates[i];
+    table.add_row({std::to_string(i + 1), c.label,
+                   ms(c.modeled_seconds), std::to_string(c.dram_txns)});
+  }
+  std::printf("DarkNet-53 (batch 16, 224x224, width/4), %zu candidates "
+              "evaluated:\n%s\n",
+              tuned.candidates.size(), table.render().c_str());
+  std::printf("static performance models: %s\n",
+              (ms(static_choice.serial_total()) + " ms").c_str());
+  std::printf("search optimum:            %s  (%s)\n",
+              (ms(tuned.best().modeled_seconds) + " ms").c_str(),
+              tuned.best().label.c_str());
+  std::printf("static models within %.1f%% of the tuned optimum\n",
+              (static_choice.serial_total() - tuned.best().modeled_seconds) /
+                  tuned.best().modeled_seconds * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace brickdl::bench
+
+int main() { return brickdl::bench::run(); }

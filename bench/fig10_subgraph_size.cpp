@@ -1,0 +1,108 @@
+// Figure 10: execution-time breakdown of the six-layer 3D-convolution proxy
+// benchmark under different graph partitionings (§4.5.1).
+//
+// The paper's workload is a chain of six 3³-filter 3D convolutions starting
+// from a 112³×64-channel activation, blocked with 8³ bricks along the
+// spatial dimensions. We run the same chain scaled to fit the simulator
+// (56³×32 by default; --full runs 112³×64 if you have the time), merged as
+// 2+2+2, 3+3, 4+2 and 6, with both padded and memoized bricks, against the
+// per-layer tiled cuDNN baseline.
+#include <cstring>
+
+#include "bench_common.hpp"
+
+namespace brickdl::bench {
+namespace {
+
+std::vector<std::vector<int>> split_chain(const std::vector<int>& nodes,
+                                          const std::vector<int>& sizes) {
+  std::vector<std::vector<int>> groups;
+  size_t k = 0;
+  for (int size : sizes) {
+    std::vector<int> group;
+    for (int i = 0; i < size; ++i) group.push_back(nodes[k++]);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+int run(bool full) {
+  const i64 spatial = full ? 112 : 56;
+  const i64 channels = full ? 64 : 32;
+  std::printf(
+      "== Figure 10: Six-Layer 3D CNN Proxy — Varying Subgraph Size "
+      "(%lldx%lldx%lld, %lld channels, 8x8x8 bricks) ==\n\n",
+      static_cast<long long>(spatial), static_cast<long long>(spatial),
+      static_cast<long long>(spatial), static_cast<long long>(channels));
+
+  const Graph graph = build_conv_chain_3d(6, 1, spatial, channels);
+  const std::vector<int> nodes = chain_nodes(graph);
+  EngineOptions options;
+
+  const RunResult cudnn = run_baseline(graph, FusionRules::kNone, 16);
+  std::printf("cuDNN baseline: done\n");
+  std::fflush(stdout);
+
+  const struct {
+    const char* name;
+    std::vector<int> sizes;
+  } partitions[] = {{"2+2+2", {2, 2, 2}},
+                    {"3+3", {3, 3}},
+                    {"4+2", {4, 2}},
+                    {"6", {6}}};
+
+  TextTable table({"configuration", "strategy", "total (ms)", "DRAM (ms)",
+                   "compute (ms)", "atomics c/x (ms)", "other (ms)",
+                   "rel cuDNN"});
+  std::vector<Bar> bars;
+  add_breakdown_bars(&bars, "cuDNN", cudnn.breakdown, 1e3);
+  table.add_row({"per-layer", "cuDNN", ms(cudnn.overlapped_total()),
+                 ms(cudnn.breakdown.dram), ms(cudnn.breakdown.compute), "-",
+                 "-", "1.000"});
+
+  double best_total = cudnn.overlapped_total();
+  std::string best_name = "cuDNN";
+  for (const auto& partition : partitions) {
+    const auto groups = split_chain(nodes, partition.sizes);
+    for (Strategy strategy : {Strategy::kPadded, Strategy::kMemoized}) {
+      const RunResult r =
+          run_forced_chain(graph, groups, strategy, 8, options);
+      const std::string label =
+          std::string(partition.name) + " " + strategy_name(strategy);
+      table.add_row(
+          {partition.name, strategy_name(strategy), ms(r.overlapped_total()),
+           ms(r.breakdown.dram), ms(r.breakdown.compute),
+           ms(r.breakdown.atomics_compulsory) + "/" +
+               ms(r.breakdown.atomics_conflict),
+           ms(r.breakdown.other),
+           rel(r.overlapped_total(), cudnn.overlapped_total())});
+      add_breakdown_bars(&bars, label, r.breakdown, 1e3);
+      if (r.overlapped_total() < best_total) {
+        best_total = r.overlapped_total();
+        best_name = label;
+      }
+      std::printf("%s: done\n", label.c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\nExecution-time breakdown (overlapped model):\n%s\n",
+              table.render().c_str());
+  std::printf("%s\n", render_bars(bars, 60, "ms").c_str());
+  std::printf("Best configuration: %s (%.1f%% faster than cuDNN)\n",
+              best_name.c_str(),
+              (cudnn.overlapped_total() - best_total) /
+                  cudnn.overlapped_total() * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace brickdl::bench
+
+int main(int argc, char** argv) {
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  return brickdl::bench::run(full);
+}

@@ -1,0 +1,86 @@
+// Figure 11: execution-time breakdown of the three-layer 3D-convolution
+// proxy benchmark as a function of brick size (§4.5.2).
+//
+// The paper's workload is a chain of three 3³-filter 3D convolutions from a
+// 224³×64-channel activation, always fully merged, with brick sizes 4³, 8³,
+// 16³ and 32³ for both padded and memoized bricks. We run the same chain
+// scaled to 72³×32 by default (--full runs 224³×64).
+#include <cstring>
+
+#include "bench_common.hpp"
+
+namespace brickdl::bench {
+namespace {
+
+int run(bool full) {
+  const i64 spatial = full ? 224 : 72;
+  const i64 channels = full ? 64 : 32;
+  std::printf(
+      "== Figure 11: Three-Layer 3D CNN Proxy — Varying Brick Size "
+      "(%lldx%lldx%lld, %lld channels, all layers merged) ==\n\n",
+      static_cast<long long>(spatial), static_cast<long long>(spatial),
+      static_cast<long long>(spatial), static_cast<long long>(channels));
+
+  const Graph graph = build_conv_chain_3d(3, 1, spatial, channels);
+  const std::vector<std::vector<int>> groups = {chain_nodes(graph)};
+  EngineOptions options;
+
+  const RunResult cudnn = run_baseline(graph, FusionRules::kNone, 16);
+  std::printf("cuDNN baseline: done\n");
+  std::fflush(stdout);
+
+  TextTable table({"brick", "strategy", "total (ms)", "DRAM (ms)",
+                   "compute (ms)", "atomics c/x (ms)", "other (ms)",
+                   "rel cuDNN"});
+  std::vector<Bar> bars;
+  add_breakdown_bars(&bars, "cuDNN", cudnn.breakdown, 1e3);
+  table.add_row({"-", "cuDNN", ms(cudnn.overlapped_total()),
+                 ms(cudnn.breakdown.dram), ms(cudnn.breakdown.compute), "-",
+                 "-", "1.000"});
+
+  double best_total = cudnn.overlapped_total();
+  std::string best_name = "cuDNN";
+  for (i64 side : {4, 8, 16, 32}) {
+    for (Strategy strategy : {Strategy::kPadded, Strategy::kMemoized}) {
+      const RunResult r =
+          run_forced_chain(graph, groups, strategy, side, options);
+      const std::string label = "B" + std::to_string(side) + " " +
+                                strategy_name(strategy);
+      table.add_row(
+          {std::to_string(side) + "^3", strategy_name(strategy),
+           ms(r.overlapped_total()), ms(r.breakdown.dram),
+           ms(r.breakdown.compute),
+           ms(r.breakdown.atomics_compulsory) + "/" +
+               ms(r.breakdown.atomics_conflict),
+           ms(r.breakdown.other),
+           rel(r.overlapped_total(), cudnn.overlapped_total())});
+      add_breakdown_bars(&bars, label, r.breakdown, 1e3);
+      if (r.overlapped_total() < best_total) {
+        best_total = r.overlapped_total();
+        best_name = label;
+      }
+      std::printf("%s: done\n", label.c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\nExecution-time breakdown (overlapped model):\n%s\n",
+              table.render().c_str());
+  std::printf("%s\n", render_bars(bars, 60, "ms").c_str());
+  std::printf("Best configuration: %s (%.1f%% faster than cuDNN)\n",
+              best_name.c_str(),
+              (cudnn.overlapped_total() - best_total) /
+                  cudnn.overlapped_total() * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace brickdl::bench
+
+int main(int argc, char** argv) {
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  return brickdl::bench::run(full);
+}

@@ -1,0 +1,75 @@
+// Explore how BrickDL's static analysis partitions the seven evaluated
+// models: subgraph boundaries, chosen brick sizes, padding growth Δ, and the
+// padded/memoized/vendor strategy decisions. Also dumps one model as
+// Graphviz for inspection.
+//
+//   $ ./graph_partition_explorer [model]   (default: all)
+#include <cstdio>
+#include <cstring>
+
+#include "core/partitioner.hpp"
+#include "models/models.hpp"
+#include "util/table.hpp"
+
+using namespace brickdl;
+
+int main(int argc, char** argv) {
+  ModelConfig config;
+  config.batch = 8;
+  config.spatial = 224;
+  config.width_div = 1;
+
+  const char* filter = argc > 1 ? argv[1] : nullptr;
+
+  for (const auto& [name, builder] : model_zoo()) {
+    if (filter && std::strstr(name.c_str(), filter) == nullptr) continue;
+    ModelConfig c = config;
+    if (name == "3D ResNet-34") {
+      c.batch = 1;
+      c.spatial = 64;
+    }
+    const Graph graph = builder(c);
+    const Partition partition = partition_graph(graph, {});
+
+    std::printf("=== %s (%d nodes, %.1f GFLOP) ===\n", name.c_str(),
+                graph.num_nodes(),
+                static_cast<double>(graph.total_flops()) / 1e9);
+
+    TextTable table({"#", "strategy", "layers", "terminal", "B", "rho",
+                     "delta", "footprint MB"});
+    int index = 0;
+    i64 merged_layers = 0;
+    for (const PlannedSubgraph& planned : partition.subgraphs) {
+      const Node& terminal = graph.node(planned.sg.terminal());
+      table.add_row(
+          {std::to_string(++index), strategy_name(planned.strategy),
+           std::to_string(planned.sg.nodes.size()), terminal.name,
+           planned.strategy == Strategy::kVendor
+               ? "-"
+               : std::to_string(planned.brick_side),
+           TextTable::num(planned.rho, 0),
+           TextTable::num(planned.delta * 100.0, 1) + "%",
+           TextTable::num(static_cast<double>(planned.footprint_bytes) / 1e6,
+                          2)});
+      if (planned.strategy != Strategy::kVendor) {
+        merged_layers += static_cast<i64>(planned.sg.nodes.size());
+      }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("merged subgraphs: %lld, merged layers: %lld of %d\n\n",
+                static_cast<long long>(partition.merged_subgraphs()),
+                static_cast<long long>(merged_layers), graph.num_nodes() - 1);
+  }
+
+  // Graphviz dump of a small model for visual inspection.
+  ModelConfig tiny;
+  tiny.batch = 1;
+  tiny.spatial = 64;
+  tiny.width_div = 8;
+  const Graph deepcam = build_deepcam(tiny);
+  std::printf(
+      "Graphviz of DeepCAM written to stdout below (pipe into `dot -Tpng`):\n"
+      "%s\n",
+      deepcam.to_dot().c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Baseline executors (§4.2).
+//
+// The paper compares BrickDL against (i) a cuDNN baseline — per-layer tiled
+// vendor-library calls — and (ii) framework JIT baselines (PyTorch
+// TorchScript, TensorFlow XLA) whose defining graph-level optimization is
+// operator fusion: compute-intensive heads fused with chains of pointwise
+// followers, and chains of memory-bound pointwise ops fused together. None
+// of them merge chains of convolutions — that is BrickDL's contribution.
+//
+// One tiled executor expresses all three via a fusion-rule parameter:
+//   kNone          — every operator is its own kernel (cuDNN baseline);
+//   kConvPointwise — conv + following pointwise ops fuse (TorchScript-like);
+//   kAggressive    — additionally fuses chains of pointwise/multi-input
+//                    elementwise ops (XLA-like).
+// Fused groups keep intermediates in registers (scratch slots) within one
+// invocation; only group terminals materialize, which is exactly the traffic
+// difference fusion buys.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace brickdl {
+
+enum class FusionRules { kNone, kConvPointwise, kAggressive };
+
+const char* fusion_rules_name(FusionRules rules);
+
+class FusedGraphExecutor {
+ public:
+  FusedGraphExecutor(const Graph& graph, Backend& backend, FusionRules rules,
+                     i64 tile_side = 32);
+
+  /// Tensor holding a node's materialized output (graph inputs and group
+  /// terminals only — fusion-interior nodes never materialize).
+  TensorId tensor_of(int node_id) const;
+
+  /// The fusion groups, in execution order (exposed for tests).
+  const std::vector<std::vector<int>>& groups() const { return groups_; }
+
+  /// Execute the whole graph. Graph input tensors must be bound first
+  /// (NumericBackend::bind on tensor_of(input)).
+  void run();
+
+ private:
+  void build_groups();
+  void run_group_tiled(const std::vector<int>& group);
+
+  const Graph& graph_;
+  Backend& backend_;
+  FusionRules rules_;
+  i64 tile_side_;
+  std::vector<std::vector<int>> groups_;
+  std::unordered_map<int, TensorId> materialized_;
+};
+
+}  // namespace brickdl

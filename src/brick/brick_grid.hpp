@@ -1,0 +1,35 @@
+// Decomposition of an activation's blocked dimensions (batch + spatial,
+// never channels — §3.2) into a grid of fixed-size bricks. Partial bricks at
+// the boundary are masked with zeros (§3.3.4).
+#pragma once
+
+#include "tensor/shape.hpp"
+
+namespace brickdl {
+
+struct BrickGrid {
+  Dims blocked;  ///< extents of the blocked dims: [N, spatial...]
+  Dims brick;    ///< brick extent along each blocked dim
+  Dims grid;     ///< number of bricks along each blocked dim (ceil division)
+
+  BrickGrid() = default;
+  BrickGrid(const Dims& blocked_dims, const Dims& brick_extents);
+
+  int rank() const { return blocked.rank(); }
+  i64 num_bricks() const { return grid.product(); }
+  i64 brick_elements() const { return brick.product(); }
+
+  /// Grid coordinate of the brick containing a blocked-space point.
+  Dims brick_of(const Dims& blocked_index) const;
+  /// First blocked-space point covered by grid coordinate `g`.
+  Dims brick_origin(const Dims& g) const;
+  /// Extent of the valid (unmasked) region of brick `g`; equals `brick`
+  /// except for boundary bricks of a non-multiple layer size.
+  Dims valid_extent(const Dims& g) const;
+
+  bool operator==(const BrickGrid& other) const {
+    return blocked == other.blocked && brick == other.brick;
+  }
+};
+
+}  // namespace brickdl

@@ -1,0 +1,61 @@
+#include "brick/brick_info.hpp"
+
+namespace brickdl {
+
+BrickInfo::BrickInfo(const BrickGrid& grid, const BrickMap& map)
+    : rank_(grid.rank()), num_bricks_(grid.num_bricks()) {
+  BDL_CHECK(map.grid() == grid.grid);
+  num_directions_ = 1;
+  for (int i = 0; i < rank_; ++i) num_directions_ *= 3;
+
+  adjacency_.assign(static_cast<size_t>(num_bricks_ * num_directions_), -1);
+  for (i64 logical = 0; logical < num_bricks_; ++logical) {
+    const Dims g = grid.grid.unlinear(logical);
+    const i64 self = map.physical(logical);
+    for (int dir = 0; dir < num_directions_; ++dir) {
+      const Dims delta = delta_of(dir);
+      Dims n = g;
+      bool inside = true;
+      for (int i = 0; i < rank_; ++i) {
+        n[i] += delta[i];
+        if (n[i] < 0 || n[i] >= grid.grid[i]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) {
+        adjacency_[static_cast<size_t>(self * num_directions_ + dir)] =
+            map.physical(grid.grid.linear(n));
+      }
+    }
+  }
+}
+
+int BrickInfo::direction_of(const Dims& delta) const {
+  BDL_CHECK(delta.rank() == rank_);
+  int dir = 0;
+  for (int i = 0; i < rank_; ++i) {
+    BDL_CHECK_MSG(delta[i] >= -1 && delta[i] <= 1,
+                  "adjacency deltas must be in {-1,0,+1}");
+    dir = dir * 3 + static_cast<int>(delta[i] + 1);
+  }
+  return dir;
+}
+
+Dims BrickInfo::delta_of(int direction) const {
+  BDL_CHECK(direction >= 0 && direction < num_directions_);
+  Dims delta = Dims::filled(rank_, 0);
+  for (int i = rank_ - 1; i >= 0; --i) {
+    delta[i] = direction % 3 - 1;
+    direction /= 3;
+  }
+  return delta;
+}
+
+i64 BrickInfo::neighbor(i64 physical, int direction) const {
+  BDL_CHECK(physical >= 0 && physical < num_bricks_);
+  BDL_CHECK(direction >= 0 && direction < num_directions_);
+  return adjacency_[static_cast<size_t>(physical * num_directions_ + direction)];
+}
+
+}  // namespace brickdl

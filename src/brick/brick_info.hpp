@@ -1,0 +1,42 @@
+// BrickInfo (Fig. 6c): per-brick adjacency lists giving the physical index
+// of each logical neighbor, so kernels can reach halo data in neighboring
+// bricks through a single indexed lookup instead of recomputing the logical
+// mapping.
+#pragma once
+
+#include <vector>
+
+#include "brick/brick_map.hpp"
+
+namespace brickdl {
+
+class BrickInfo {
+ public:
+  BrickInfo() = default;
+  BrickInfo(const BrickGrid& grid, const BrickMap& map);
+
+  int rank() const { return rank_; }
+  /// Number of neighbor directions, 3^rank (deltas in {-1,0,+1}^rank,
+  /// including the zero delta which maps a brick to itself).
+  int num_directions() const { return num_directions_; }
+
+  /// Direction id for a delta vector with entries in {-1, 0, +1}.
+  int direction_of(const Dims& delta) const;
+  /// Delta vector for a direction id.
+  Dims delta_of(int direction) const;
+
+  /// Physical index of the neighbor of physical brick `physical` in
+  /// `direction`, or -1 when the neighbor falls outside the grid.
+  i64 neighbor(i64 physical, int direction) const;
+  i64 neighbor(i64 physical, const Dims& delta) const {
+    return neighbor(physical, direction_of(delta));
+  }
+
+ private:
+  int rank_ = 0;
+  int num_directions_ = 0;
+  i64 num_bricks_ = 0;
+  std::vector<i64> adjacency_;  // [num_bricks][num_directions]
+};
+
+}  // namespace brickdl

@@ -1,0 +1,71 @@
+#include "brick/brick_map.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace brickdl {
+
+BrickMap::BrickMap(const Dims& grid) : grid_(grid) {
+  const i64 n = grid.product();
+  to_physical_.resize(static_cast<size_t>(n));
+  to_logical_.resize(static_cast<size_t>(n));
+  std::iota(to_physical_.begin(), to_physical_.end(), i64{0});
+  std::iota(to_logical_.begin(), to_logical_.end(), i64{0});
+}
+
+BrickMap BrickMap::shuffled(const Dims& grid, Rng& rng) {
+  BrickMap map(grid);
+  const i64 n = map.num_bricks();
+  for (i64 i = n - 1; i > 0; --i) {
+    const i64 j = static_cast<i64>(rng.next_below(static_cast<u64>(i + 1)));
+    std::swap(map.to_physical_[static_cast<size_t>(i)],
+              map.to_physical_[static_cast<size_t>(j)]);
+  }
+  for (i64 l = 0; l < n; ++l) {
+    map.to_logical_[static_cast<size_t>(map.to_physical_[static_cast<size_t>(l)])] = l;
+  }
+  return map;
+}
+
+BrickMap BrickMap::z_order(const Dims& grid) {
+  BrickMap map(grid);
+  const i64 n = map.num_bricks();
+  // Morton code of each logical grid coordinate: interleave the bits of all
+  // blocked dimensions, then rank-compress so arbitrary grids stay dense.
+  std::vector<std::pair<u64, i64>> keyed(static_cast<size_t>(n));
+  for (i64 l = 0; l < n; ++l) {
+    const Dims g = grid.unlinear(l);
+    u64 code = 0;
+    int out_bit = 0;
+    for (int bit = 0; bit < 21 && out_bit < 63; ++bit) {
+      for (int d = 0; d < grid.rank() && out_bit < 63; ++d) {
+        code |= ((static_cast<u64>(g[d]) >> bit) & 1ull) << out_bit;
+        ++out_bit;
+      }
+    }
+    keyed[static_cast<size_t>(l)] = {code, l};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (i64 rank = 0; rank < n; ++rank) {
+    const i64 logical = keyed[static_cast<size_t>(rank)].second;
+    map.to_physical_[static_cast<size_t>(logical)] = rank;
+    map.to_logical_[static_cast<size_t>(rank)] = logical;
+  }
+  return map;
+}
+
+i64 BrickMap::physical(i64 logical) const {
+  BDL_CHECK_MSG(logical >= 0 && logical < num_bricks(),
+                "logical brick index out of range");
+  return to_physical_[static_cast<size_t>(logical)];
+}
+
+i64 BrickMap::logical(i64 physical) const {
+  BDL_CHECK_MSG(physical >= 0 && physical < num_bricks(),
+                "physical brick index out of range");
+  return to_logical_[static_cast<size_t>(physical)];
+}
+
+}  // namespace brickdl

@@ -1,0 +1,45 @@
+// BrickMap (Fig. 6b): the layer of indirection mapping each brick's logical
+// grid position to its physical slot in memory. Bricks are internally
+// contiguous but the collection of bricks may be laid out in any order;
+// BrickDL exploits this to keep the logical ordering abstract.
+#pragma once
+
+#include <vector>
+
+#include "brick/brick_grid.hpp"
+#include "util/rng.hpp"
+
+namespace brickdl {
+
+class BrickMap {
+ public:
+  BrickMap() = default;
+  /// Identity (row-major) placement.
+  explicit BrickMap(const Dims& grid);
+  /// Random permutation placement — demonstrates (and tests) that all access
+  /// goes through the indirection, as the paper's design requires.
+  static BrickMap shuffled(const Dims& grid, Rng& rng);
+
+  /// Z-order (Morton) placement: logically neighboring bricks land near each
+  /// other physically in all blocked dimensions, not just the innermost —
+  /// the locality-friendly ordering the paper's flexible physical layout
+  /// enables. Works for any grid (non-power-of-two grids are packed by
+  /// ranking the Morton codes).
+  static BrickMap z_order(const Dims& grid);
+
+  const Dims& grid() const { return grid_; }
+  i64 num_bricks() const { return static_cast<i64>(to_physical_.size()); }
+
+  i64 physical(i64 logical) const;
+  i64 logical(i64 physical) const;
+  i64 physical_at(const Dims& grid_coord) const {
+    return physical(grid_.linear(grid_coord));
+  }
+
+ private:
+  Dims grid_;
+  std::vector<i64> to_physical_;
+  std::vector<i64> to_logical_;
+};
+
+}  // namespace brickdl

@@ -1,0 +1,176 @@
+#include "brick/bricked_tensor.hpp"
+
+#include <algorithm>
+
+namespace brickdl {
+namespace {
+
+/// Iterate all index vectors in [0, extent) in row-major order.
+template <typename Fn>
+void for_each_index(const Dims& extent, Fn&& fn) {
+  const i64 total = extent.product();
+  Dims index = Dims::filled(extent.rank(), 0);
+  for (i64 i = 0; i < total; ++i) {
+    fn(index);
+    for (int d = extent.rank() - 1; d >= 0; --d) {
+      if (++index[d] < extent[d]) break;
+      index[d] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+BrickedTensor::BrickedTensor(Shape shape, const Dims& brick_extents)
+    : BrickedTensor(shape, brick_extents,
+                    BrickMap(BrickGrid(shape.blocked_dims(), brick_extents).grid)) {}
+
+BrickedTensor::BrickedTensor(Shape shape, const Dims& brick_extents, BrickMap map)
+    : shape_(shape),
+      grid_(shape.blocked_dims(), brick_extents),
+      map_(std::move(map)),
+      info_(grid_, map_) {
+  BDL_CHECK_MSG(map_.grid() == grid_.grid,
+                "brick map grid " << map_.grid().str()
+                                  << " does not match decomposition grid "
+                                  << grid_.grid.str());
+  storage_.assign(static_cast<size_t>(num_bricks() * brick_storage_elements()),
+                  0.0f);
+}
+
+Brick BrickedTensor::brick(i64 physical) {
+  return Brick(brick_data(physical), channels(), grid_.brick);
+}
+
+const float* BrickedTensor::brick_data(i64 physical) const {
+  BDL_CHECK(physical >= 0 && physical < num_bricks());
+  return storage_.data() + physical * brick_storage_elements();
+}
+
+float* BrickedTensor::brick_data(i64 physical) {
+  BDL_CHECK(physical >= 0 && physical < num_bricks());
+  return storage_.data() + physical * brick_storage_elements();
+}
+
+std::pair<i64, i64> BrickedTensor::locate(const Dims& index) const {
+  BDL_CHECK(index.rank() == shape_.rank());
+  const i64 channel = index[1];
+  BDL_CHECK(channel >= 0 && channel < channels());
+  Dims blocked = Dims::filled(grid_.rank(), 0);
+  blocked[0] = index[0];
+  for (int i = 0; i < shape_.spatial_rank(); ++i) blocked[i + 1] = index[2 + i];
+
+  const Dims g = grid_.brick_of(blocked);
+  const Dims origin = grid_.brick_origin(g);
+  Dims in_brick = blocked;
+  for (int i = 0; i < grid_.rank(); ++i) in_brick[i] -= origin[i];
+
+  const i64 physical = map_.physical_at(g);
+  const i64 offset =
+      channel * grid_.brick_elements() + grid_.brick.linear(in_brick);
+  return {physical, offset};
+}
+
+float& BrickedTensor::at(const Dims& index) {
+  const auto [physical, offset] = locate(index);
+  return storage_[static_cast<size_t>(physical * brick_storage_elements() + offset)];
+}
+
+float BrickedTensor::at(const Dims& index) const {
+  const auto [physical, offset] = locate(index);
+  return storage_[static_cast<size_t>(physical * brick_storage_elements() + offset)];
+}
+
+void BrickedTensor::fill(float value) {
+  std::fill(storage_.begin(), storage_.end(), value);
+}
+
+BrickedTensor BrickedTensor::from_canonical(const Tensor& src,
+                                            const Dims& brick_extents) {
+  const Shape shape(src.dims());
+  return from_canonical(src, brick_extents,
+                        BrickMap(BrickGrid(shape.blocked_dims(), brick_extents).grid));
+}
+
+BrickedTensor BrickedTensor::from_canonical(const Tensor& src,
+                                            const Dims& brick_extents,
+                                            BrickMap map) {
+  const Shape shape(src.dims());
+  BrickedTensor dst(shape, brick_extents, std::move(map));
+  for_each_index(src.dims(), [&](const Dims& index) {
+    dst.at(index) = src.at(index);
+  });
+  return dst;
+}
+
+Tensor BrickedTensor::to_canonical() const {
+  Tensor dst(shape_);
+  for_each_index(shape_.dims, [&](const Dims& index) {
+    dst.at(index) = at(index);
+  });
+  return dst;
+}
+
+void BrickedTensor::read_window(const Dims& lo, const Dims& extent,
+                                std::span<float> scratch) const {
+  BDL_CHECK(lo.rank() == grid_.rank() && extent.rank() == grid_.rank());
+  const i64 needed = channels() * extent.product();
+  BDL_CHECK_MSG(static_cast<i64>(scratch.size()) >= needed,
+                "scratch too small: " << scratch.size() << " < " << needed);
+  const i64 per_channel = extent.product();
+  for_each_index(extent, [&](const Dims& rel) {
+    Dims blocked = rel;
+    bool inside = true;
+    for (int i = 0; i < grid_.rank(); ++i) {
+      blocked[i] += lo[i];
+      if (blocked[i] < 0 || blocked[i] >= grid_.blocked[i]) inside = false;
+    }
+    const i64 rel_offset = extent.linear(rel);
+    if (!inside) {
+      for (i64 c = 0; c < channels(); ++c) {
+        scratch[static_cast<size_t>(c * per_channel + rel_offset)] = 0.0f;
+      }
+      return;
+    }
+    // Resolve the brick once per position and reuse across channels.
+    const Dims g = grid_.brick_of(blocked);
+    const Dims origin = grid_.brick_origin(g);
+    Dims in_brick = blocked;
+    for (int i = 0; i < grid_.rank(); ++i) in_brick[i] -= origin[i];
+    const float* data = brick_data(map_.physical_at(g));
+    const i64 in_offset = grid_.brick.linear(in_brick);
+    for (i64 c = 0; c < channels(); ++c) {
+      scratch[static_cast<size_t>(c * per_channel + rel_offset)] =
+          data[c * grid_.brick_elements() + in_offset];
+    }
+  });
+}
+
+void BrickedTensor::write_window(const Dims& lo, const Dims& extent,
+                                 std::span<const float> scratch) {
+  BDL_CHECK(lo.rank() == grid_.rank() && extent.rank() == grid_.rank());
+  const i64 needed = channels() * extent.product();
+  BDL_CHECK_MSG(static_cast<i64>(scratch.size()) >= needed,
+                "scratch too small: " << scratch.size() << " < " << needed);
+  const i64 per_channel = extent.product();
+  for_each_index(extent, [&](const Dims& rel) {
+    Dims blocked = rel;
+    for (int i = 0; i < grid_.rank(); ++i) {
+      blocked[i] += lo[i];
+      if (blocked[i] < 0 || blocked[i] >= grid_.blocked[i]) return;
+    }
+    const Dims g = grid_.brick_of(blocked);
+    const Dims origin = grid_.brick_origin(g);
+    Dims in_brick = blocked;
+    for (int i = 0; i < grid_.rank(); ++i) in_brick[i] -= origin[i];
+    float* data = brick_data(map_.physical_at(g));
+    const i64 in_offset = grid_.brick.linear(in_brick);
+    const i64 rel_offset = extent.linear(rel);
+    for (i64 c = 0; c < channels(); ++c) {
+      data[c * grid_.brick_elements() + in_offset] =
+          scratch[static_cast<size_t>(c * per_channel + rel_offset)];
+    }
+  });
+}
+
+}  // namespace brickdl

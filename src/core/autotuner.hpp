@@ -1,0 +1,45 @@
+// Autotuner: empirical configuration search over the modeled machine.
+//
+// The performance models of §3.3 make static choices; systems the paper
+// compares against (TVM/Ansor) instead *search*. This tuner bridges the two:
+// it sweeps brick sizes, merged-execution strategies and subgraph-depth caps,
+// runs each candidate end-to-end against the memory-hierarchy simulator, and
+// returns the empirically best engine configuration — useful both as a
+// deployment tool and as a check on how close the static models land to the
+// search optimum (see bench/ext_autotune).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace brickdl {
+
+struct TuneCandidate {
+  EngineOptions options;
+  std::string label;
+  double modeled_seconds = 0.0;
+  i64 dram_txns = 0;
+};
+
+struct TuneResult {
+  std::vector<TuneCandidate> candidates;  ///< sorted best-first
+  const TuneCandidate& best() const {
+    BDL_CHECK(!candidates.empty());
+    return candidates.front();
+  }
+};
+
+struct TuneSpace {
+  std::vector<i64> brick_sides = {0, 4, 8, 16};  ///< 0 = model-chosen
+  std::vector<int> max_layers = {4, 8, 12};
+  bool try_forced_strategies = true;  ///< padded/memoized/wavefront overrides
+  bool enable_wavefront = true;
+};
+
+/// Evaluate every candidate in `space` on the simulated machine and rank by
+/// the end-to-end serial total (T_DRAM + T_compute-side).
+TuneResult autotune(const Graph& graph, const TuneSpace& space = {});
+
+}  // namespace brickdl

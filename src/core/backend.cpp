@@ -1,0 +1,285 @@
+#include "core/backend.hpp"
+
+#include <algorithm>
+
+#include "util/odometer.hpp"
+
+namespace brickdl {
+namespace {
+
+/// Gather a blocked-space window from a canonical tensor into [C, extent...]
+/// scratch, zero-filling out-of-bounds positions.
+void canonical_read_window(const Tensor& t, const Dims& lo, const Dims& extent,
+                           std::span<float> scratch) {
+  const Shape shape(t.dims());
+  const Dims bounds = shape.blocked_dims();
+  const i64 channels = shape.channels();
+  const i64 points = extent.product();
+  BDL_CHECK(static_cast<i64>(scratch.size()) >= channels * points);
+  for_each_index(extent, [&](const Dims& rel) {
+    Dims blocked = rel;
+    bool inside = true;
+    for (int d = 0; d < rel.rank(); ++d) {
+      blocked[d] += lo[d];
+      if (blocked[d] < 0 || blocked[d] >= bounds[d]) inside = false;
+    }
+    const i64 rel_offset = extent.linear(rel);
+    if (!inside) {
+      for (i64 c = 0; c < channels; ++c) {
+        scratch[static_cast<size_t>(c * points + rel_offset)] = 0.0f;
+      }
+      return;
+    }
+    // Canonical index [n, c, spatial...] from blocked [n, spatial...].
+    Dims index = Dims::filled(shape.rank(), 0);
+    index[0] = blocked[0];
+    for (int d = 1; d < blocked.rank(); ++d) index[1 + d] = blocked[d];
+    for (i64 c = 0; c < channels; ++c) {
+      index[1] = c;
+      scratch[static_cast<size_t>(c * points + rel_offset)] = t.at(index);
+    }
+  });
+}
+
+void canonical_write_window(Tensor& t, const Dims& lo, const Dims& extent,
+                            std::span<const float> scratch) {
+  const Shape shape(t.dims());
+  const Dims bounds = shape.blocked_dims();
+  const i64 channels = shape.channels();
+  const i64 points = extent.product();
+  BDL_CHECK(static_cast<i64>(scratch.size()) >= channels * points);
+  for_each_index(extent, [&](const Dims& rel) {
+    Dims blocked = rel;
+    for (int d = 0; d < rel.rank(); ++d) {
+      blocked[d] += lo[d];
+      if (blocked[d] < 0 || blocked[d] >= bounds[d]) return;
+    }
+    Dims index = Dims::filled(shape.rank(), 0);
+    index[0] = blocked[0];
+    for (int d = 1; d < blocked.rank(); ++d) index[1 + d] = blocked[d];
+    const i64 rel_offset = extent.linear(rel);
+    for (i64 c = 0; c < channels; ++c) {
+      index[1] = c;
+      t.at(index) = scratch[static_cast<size_t>(c * points + rel_offset)];
+    }
+  });
+}
+
+/// Copy the sub-window [lo, lo+extent) out of `slot` into congruent scratch.
+ScratchSlot extract_subwindow(const ScratchSlot& slot, const Dims& lo,
+                              const Dims& extent) {
+  ScratchSlot out;
+  out.lo = lo;
+  out.extent = extent;
+  out.channels = slot.channels;
+  out.live = true;
+  const i64 points = extent.product();
+  const i64 src_points = slot.extent.product();
+  out.data.assign(static_cast<size_t>(slot.channels * points), 0.0f);
+  for_each_index(extent, [&](const Dims& rel) {
+    Dims src_rel = rel;
+    for (int d = 0; d < rel.rank(); ++d) {
+      src_rel[d] = rel[d] + lo[d] - slot.lo[d];
+      if (src_rel[d] < 0 || src_rel[d] >= slot.extent[d]) return;  // keep zero
+    }
+    const i64 dst_off = extent.linear(rel);
+    const i64 src_off = slot.extent.linear(src_rel);
+    for (i64 c = 0; c < slot.channels; ++c) {
+      out.data[static_cast<size_t>(c * points + dst_off)] =
+          slot.data[static_cast<size_t>(c * src_points + src_off)];
+    }
+  });
+  return out;
+}
+
+bool covers(const ScratchSlot& slot, const Dims& lo, const Dims& extent) {
+  for (int d = 0; d < lo.rank(); ++d) {
+    if (slot.lo[d] > lo[d]) return false;
+    if (slot.lo[d] + slot.extent[d] < lo[d] + extent[d]) return false;
+  }
+  return true;
+}
+
+bool needs_exact_window(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kSoftmax:
+    case OpKind::kBatchNorm:
+    case OpKind::kAdd:
+    case OpKind::kConcat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+NumericBackend::NumericBackend(const Graph& graph, WeightStore& weights,
+                               int workers)
+    : Backend(graph), weights_(weights), workers_(workers) {
+  BDL_CHECK(workers >= 1);
+  slots_.resize(static_cast<size_t>(workers));
+}
+
+TensorId NumericBackend::register_tensor(const Shape& shape, Layout layout,
+                                         const Dims& brick_extent,
+                                         const std::string& name) {
+  (void)name;
+  Buffer buf;
+  buf.shape = shape;
+  buf.layout = layout;
+  if (layout != Layout::kBricked) {
+    buf.canonical = std::make_unique<Tensor>(shape);
+  } else {
+    buf.bricked = std::make_unique<BrickedTensor>(shape, brick_extent);
+  }
+  buffers_.push_back(std::move(buf));
+  return static_cast<TensorId>(buffers_.size() - 1);
+}
+
+SlotId NumericBackend::new_slot(int worker) {
+  auto& pool = slots_[static_cast<size_t>(worker)];
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (!pool[i].live) return static_cast<SlotId>(i);
+  }
+  pool.emplace_back();
+  return static_cast<SlotId>(pool.size() - 1);
+}
+
+ScratchSlot& NumericBackend::slot_ref(int worker, SlotId slot) {
+  BDL_CHECK(worker >= 0 && worker < workers_);
+  auto& pool = slots_[static_cast<size_t>(worker)];
+  BDL_CHECK(slot >= 0 && slot < static_cast<SlotId>(pool.size()));
+  return pool[static_cast<size_t>(slot)];
+}
+
+SlotId NumericBackend::load_window(int worker, TensorId src, const Dims& lo,
+                                   const Dims& extent) {
+  BDL_CHECK(src >= 0 && src < static_cast<TensorId>(buffers_.size()));
+  const Buffer& buf = buffers_[static_cast<size_t>(src)];
+  const SlotId id = new_slot(worker);
+  ScratchSlot& slot = slot_ref(worker, id);
+  slot.lo = lo;
+  slot.extent = extent;
+  slot.channels = buf.shape.channels();
+  slot.live = true;
+  slot.data.assign(static_cast<size_t>(slot.channels * extent.product()), 0.0f);
+  if (buf.layout != Layout::kBricked) {
+    canonical_read_window(*buf.canonical, lo, extent, slot.data);
+  } else {
+    buf.bricked->read_window(lo, extent, slot.data);
+  }
+  return id;
+}
+
+void NumericBackend::store_window(int worker, SlotId slot_id, TensorId dst,
+                                  const Dims& lo, const Dims& extent) {
+  BDL_CHECK(dst >= 0 && dst < static_cast<TensorId>(buffers_.size()));
+  Buffer& buf = buffers_[static_cast<size_t>(dst)];
+  ScratchSlot& slot = slot_ref(worker, slot_id);
+  BDL_CHECK_MSG(slot.live && slot.lo == lo && slot.extent == extent,
+                "store window must match the slot geometry");
+  if (buf.layout != Layout::kBricked) {
+    canonical_write_window(*buf.canonical, lo, extent, slot.data);
+  } else {
+    buf.bricked->write_window(lo, extent, slot.data);
+  }
+  slot.live = false;
+  slot.data.clear();
+  slot.data.shrink_to_fit();
+}
+
+void NumericBackend::free_slot(int worker, SlotId slot_id) {
+  ScratchSlot& slot = slot_ref(worker, slot_id);
+  BDL_CHECK(slot.live);
+  slot.live = false;
+  slot.data.clear();
+  slot.data.shrink_to_fit();
+}
+
+SlotId NumericBackend::compute(int worker, int node_id,
+                               const std::vector<SlotId>& inputs,
+                               const Dims& out_lo, const Dims& out_extent,
+                               bool mask_to_bounds) {
+  const Node& node = graph_.node(node_id);
+  const std::vector<Shape> in_shapes = graph_.input_shapes(node);
+  BDL_CHECK(inputs.size() == node.inputs.size());
+
+  // Validate coverage: each slot must contain the window this region needs.
+  Dims need_lo, need_extent;
+  input_window_blocked(node, out_lo, out_extent, &need_lo, &need_extent);
+
+  std::vector<ScratchSlot> extracted;  // congruent copies for pointwise ops
+  std::vector<RegionInput> region_inputs;
+  region_inputs.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    ScratchSlot& slot = slot_ref(worker, inputs[i]);
+    BDL_CHECK_MSG(slot.live, "computing from a freed slot");
+    BDL_CHECK_MSG(covers(slot, need_lo, need_extent),
+                  "slot window does not cover the required input window for "
+                      << node.name);
+    const ScratchSlot* src = &slot;
+    if (needs_exact_window(node.kind) &&
+        !(slot.lo == out_lo && slot.extent == out_extent)) {
+      extracted.push_back(extract_subwindow(slot, out_lo, out_extent));
+      src = &extracted.back();
+    }
+    RegionInput ri;
+    ri.data = src->data;
+    ri.lo = src->lo;
+    ri.extent = src->extent;
+    ri.channels = src->channels;
+    region_inputs.push_back(ri);
+  }
+
+  const SlotId out_id = new_slot(worker);
+  ScratchSlot& out = slot_ref(worker, out_id);
+  out.lo = out_lo;
+  out.extent = out_extent;
+  out.channels = node.out_shape.channels();
+  out.live = true;
+  out.data.assign(static_cast<size_t>(out.channels * out_extent.product()),
+                  0.0f);
+  compute_region(node, region_inputs, weights_.weights(node), out_lo,
+                 out_extent, out.data);
+  if (mask_to_bounds) {
+    mask_region_outside(out_lo, out_extent, out.channels,
+                        node.out_shape.blocked_dims(), out.data);
+  }
+  return out_id;
+}
+
+void NumericBackend::execute_global(int /*worker*/, int node_id,
+                                    const std::vector<TensorId>& inputs,
+                                    TensorId out) {
+  const Node& node = graph_.node(node_id);
+  std::vector<Tensor> in_tensors;
+  std::vector<const Tensor*> in_ptrs;
+  in_tensors.reserve(inputs.size());
+  for (TensorId id : inputs) in_tensors.push_back(read(id));
+  for (const Tensor& t : in_tensors) in_ptrs.push_back(&t);
+  bind(out, execute_node_full(graph_, node, in_ptrs, weights_));
+}
+
+void NumericBackend::bind(TensorId id, const Tensor& data) {
+  BDL_CHECK(id >= 0 && id < static_cast<TensorId>(buffers_.size()));
+  Buffer& buf = buffers_[static_cast<size_t>(id)];
+  BDL_CHECK(buf.shape.dims == data.dims());
+  if (buf.layout != Layout::kBricked) {
+    *buf.canonical = data;
+  } else {
+    *buf.bricked =
+        BrickedTensor::from_canonical(data, buf.bricked->grid().brick);
+  }
+}
+
+Tensor NumericBackend::read(TensorId id) const {
+  BDL_CHECK(id >= 0 && id < static_cast<TensorId>(buffers_.size()));
+  const Buffer& buf = buffers_[static_cast<size_t>(id)];
+  if (buf.layout != Layout::kBricked) return *buf.canonical;
+  return buf.bricked->to_canonical();
+}
+
+}  // namespace brickdl

@@ -1,0 +1,70 @@
+#include "core/brick_size_model.hpp"
+
+#include <algorithm>
+
+namespace brickdl {
+
+Dims BrickSizeChoice::brick_extent(const Shape& shape) const {
+  BDL_CHECK_MSG(!vendor_fallback && brick_side > 0,
+                "no brick extent for vendor fallback");
+  const Dims blocked = shape.blocked_dims();
+  Dims extent = blocked;
+  for (int d = 0; d < blocked.rank(); ++d) {
+    extent[d] = std::min(brick_side, blocked[d]);
+  }
+  return extent;
+}
+
+double BrickSizeModel::rho(const Shape& shape, i64 brick_side) const {
+  const Dims blocked = shape.blocked_dims();
+  double bricks = 1.0;
+  for (int d = 0; d < blocked.rank(); ++d) {
+    bricks *= static_cast<double>(
+        ceil_div(blocked[d], std::min(brick_side, blocked[d])));
+  }
+  return bricks;
+}
+
+double BrickSizeModel::brick_volume(const Shape& shape, i64 brick_side) const {
+  const Dims blocked = shape.blocked_dims();
+  double volume = 1.0;
+  for (int d = 0; d < blocked.rank(); ++d) {
+    volume *= static_cast<double>(std::min(brick_side, blocked[d]));
+  }
+  return volume;
+}
+
+BrickSizeChoice BrickSizeModel::choose(const Shape& shape) const {
+  BrickSizeChoice best;
+  double best_rho = -1.0;
+  for (i64 b : kCandidates) {
+    const double r = rho(shape, b);
+    if (r <= static_cast<double>(tau) && r > best_rho) {
+      best_rho = r;
+      best.brick_side = b;
+      best.parallelism = r;
+    }
+  }
+  if (best.brick_side == 0) {
+    // Even the coarsest brick exceeds τ: take the largest (fewest bricks).
+    best.brick_side = kCandidates[3];
+    best.parallelism = rho(shape, best.brick_side);
+  }
+  // Tiny layers: fewer bricks than elements per brick — vendor fallback
+  // (§3.3.3, "when ρ < Bⁿ we leverage cuDNN instead").
+  if (best.parallelism < brick_volume(shape, best.brick_side)) {
+    // Try smaller bricks before giving up: the smallest B that still blocks.
+    for (i64 b : kCandidates) {
+      const double r = rho(shape, b);
+      if (r >= brick_volume(shape, b) && r <= static_cast<double>(tau)) {
+        best.brick_side = b;
+        best.parallelism = r;
+        return best;
+      }
+    }
+    best.vendor_fallback = true;
+  }
+  return best;
+}
+
+}  // namespace brickdl

@@ -1,0 +1,38 @@
+// Brick-size performance model (§3.3.3).
+//
+// For feature maps with n blocked spatial dimensions of sizes D₁…Dₙ, the
+// parallelism at brick size B is ρ = (D₁·…·Dₙ)/Bⁿ. Candidate sizes are
+// B ∈ {4, 8, 16, 32}; the model picks the B maximizing ρ subject to ρ ≤ τ
+// (τ = 2¹²). When even the largest brick leaves ρ > τ, the largest brick is
+// used; when ρ < Bⁿ the layer is too small for fine-grained blocking and
+// BrickDL falls back to the vendor library (cuDNN in the paper).
+#pragma once
+
+#include "tensor/shape.hpp"
+
+namespace brickdl {
+
+struct BrickSizeChoice {
+  i64 brick_side = 0;      ///< chosen B (0 when falling back)
+  double parallelism = 0;  ///< ρ at the chosen B (number of bricks)
+  bool vendor_fallback = false;
+
+  /// Brick extent over blocked dims [batch, spatial...]: every blocked dim
+  /// (sample dimension included, §3.3.4) gets extent min(B, D).
+  Dims brick_extent(const Shape& shape) const;
+};
+
+struct BrickSizeModel {
+  i64 tau = 1 << 12;
+  static constexpr i64 kCandidates[] = {4, 8, 16, 32};
+
+  /// Decide for the terminal activation shape of a subgraph.
+  BrickSizeChoice choose(const Shape& shape) const;
+  /// ρ for a given shape and brick side: the parallelism, i.e. the number of
+  /// bricks the blocked dims decompose into at extent min(B, D) per dim.
+  double rho(const Shape& shape, i64 brick_side) const;
+  /// Elements of one brick (the ρ < Bⁿ fallback comparand).
+  double brick_volume(const Shape& shape, i64 brick_side) const;
+};
+
+}  // namespace brickdl

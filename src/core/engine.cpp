@@ -1,0 +1,154 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "core/halo_plan.hpp"
+#include "core/wavefront_executor.hpp"
+
+namespace brickdl {
+
+Engine::Engine(const Graph& graph, EngineOptions options)
+    : graph_(graph), options_(std::move(options)) {
+  partition_ = partition_graph(graph, options_.partition);
+  // Apply bench overrides by re-planning merged subgraphs.
+  if (options_.force_brick_side > 0 || options_.force_strategy) {
+    for (auto& planned : partition_.subgraphs) {
+      if (planned.strategy == Strategy::kVendor) continue;
+      if (options_.force_brick_side > 0) {
+        planned = plan_subgraph(graph, planned.sg, options_.partition,
+                                options_.force_brick_side);
+      }
+      if (options_.force_strategy &&
+          planned.strategy != Strategy::kVendor) {
+        // Wavefront needs a spatial dimension to skew along; rank-1 blocked
+        // terminals (e.g. a post-classifier softmax) keep their planned
+        // strategy instead.
+        if (*options_.force_strategy != Strategy::kWavefront ||
+            planned.brick_extent.rank() >= 2) {
+          planned.strategy = *options_.force_strategy;
+        }
+      }
+    }
+  }
+}
+
+MemoizedExecutor::Stats run_planned_subgraph(
+    const Graph& graph, const PlannedSubgraph& planned, Backend& backend,
+    const std::unordered_map<int, TensorId>& io, TensorId out,
+    const EngineOptions& options) {
+  const Subgraph& sg = planned.sg;
+  std::unordered_map<int, TensorId> full_io = io;
+  full_io[sg.terminal()] = out;
+
+  switch (planned.strategy) {
+    case Strategy::kPadded: {
+      const HaloPlan plan(graph, sg, planned.brick_extent);
+      PaddedExecutor exec(graph, sg, plan, backend, full_io);
+      exec.run();
+      return {};
+    }
+    case Strategy::kMemoized: {
+      const int workers =
+          std::min(options.memo_workers, backend.num_workers());
+      MemoizedExecutor exec(graph, sg, planned.brick_extent, backend, full_io,
+                            workers);
+      exec.run();
+      return exec.stats();
+    }
+    case Strategy::kWavefront: {
+      WavefrontExecutor exec(graph, sg, planned.brick_extent, backend, full_io);
+      exec.run();
+      return {};
+    }
+    case Strategy::kVendor: {
+      // Per-layer tiled vendor calls; interiors materialize canonically.
+      std::unordered_map<int, TensorId> local = full_io;
+      for (int nid : sg.nodes) {
+        const Node& node = graph.node(nid);
+        TensorId dst;
+        if (nid == sg.terminal()) {
+          dst = out;
+        } else {
+          dst = backend.register_tensor(node.out_shape, Layout::kCanonical, {},
+                                        "vendor:" + node.name);
+          local[nid] = dst;
+        }
+        run_node_tiled(graph, node, backend, local, dst,
+                       options.vendor_tile_side);
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+EngineResult Engine::run(Backend& backend, const Tensor* input) {
+  EngineResult result;
+  auto* numeric = dynamic_cast<NumericBackend*>(&backend);
+  auto* model = dynamic_cast<ModelBackend*>(&backend);
+
+  std::unordered_map<int, TensorId> boundary;
+  for (const Node& node : graph_.nodes()) {
+    if (node.kind != OpKind::kInput) continue;
+    const TensorId id = backend.register_tensor(node.out_shape,
+                                                Layout::kCanonical, {},
+                                                "input:" + node.name);
+    boundary.emplace(node.id, id);
+    if (numeric && input) {
+      BDL_CHECK_MSG(node.out_shape.dims == input->dims(),
+                    "bound input shape mismatch");
+      numeric->bind(id, *input);
+    }
+  }
+
+  for (const PlannedSubgraph& planned : partition_.subgraphs) {
+    const Subgraph& sg = planned.sg;
+    const Node& terminal = graph_.node(sg.terminal());
+
+    const bool merged = planned.strategy != Strategy::kVendor;
+    const TensorId out_id = backend.register_tensor(
+        terminal.out_shape, merged ? Layout::kBricked : Layout::kCanonical,
+        merged ? planned.brick_extent : Dims{}, "out:" + terminal.name);
+    boundary.emplace(terminal.id, out_id);
+
+    std::unordered_map<int, TensorId> io;
+    for (int p : sg.external_inputs) io.emplace(p, boundary.at(p));
+
+    TxnCounters before;
+    ComputeTally tally_before;
+    if (model) {
+      before = model->sim().counters();
+      tally_before = model->tally();
+    }
+
+    SubgraphReport report;
+    report.plan = planned;
+    report.memo =
+        run_planned_subgraph(graph_, planned, backend, io, out_id, options_);
+
+    if (model) {
+      report.txns = model->sim().counters() - before;
+      ComputeTally after = model->tally();
+      report.tally.invocations = after.invocations - tally_before.invocations;
+      report.tally.flops = after.flops - tally_before.flops;
+      report.tally.tc_flops = after.tc_flops - tally_before.tc_flops;
+      report.tally.defers = after.defers - tally_before.defers;
+      report.tally.bricks_reduced =
+          after.bricks_reduced - tally_before.bricks_reduced;
+    }
+    result.reports.push_back(std::move(report));
+  }
+
+  if (model) {
+    model->sim().flush();  // charge buffered output writebacks to the run
+    result.total_txns = model->sim().counters();
+    result.total_tally = model->tally();
+  }
+
+  const auto outputs = graph_.outputs();
+  BDL_CHECK_MSG(outputs.size() == 1, "engine expects a single graph output");
+  result.output = boundary.at(outputs[0]);
+  return result;
+}
+
+}  // namespace brickdl

@@ -1,0 +1,66 @@
+// The BrickDL engine: partition → plan → execute.
+//
+// Ties together the partitioner (§3.3.1), the strategy and brick-size models
+// (§3.3.2–3), the merged executors (§3.2), and the vendor fallback for tiny
+// layers (§3.3.3). Runs against either backend: numerically for correctness,
+// against the simulator for the paper's performance methodology.
+#pragma once
+
+#include <optional>
+
+#include "baselines/vendor_tiled.hpp"
+#include "core/memoized_executor.hpp"
+#include "core/padded_executor.hpp"
+#include "core/partitioner.hpp"
+
+namespace brickdl {
+
+struct EngineOptions {
+  PartitionOptions partition;
+  /// Force one strategy for every merged subgraph (benches compare P vs M).
+  std::optional<Strategy> force_strategy;
+  i64 force_brick_side = 0;  ///< 0 = model-chosen
+  int memo_workers = 16;     ///< virtual workers for the memoized scheduler
+  i64 vendor_tile_side = 32;
+};
+
+struct SubgraphReport {
+  PlannedSubgraph plan;
+  TxnCounters txns;    ///< model backend only (zeros numerically)
+  ComputeTally tally;  ///< model backend only
+  MemoizedExecutor::Stats memo;
+};
+
+struct EngineResult {
+  std::vector<SubgraphReport> reports;
+  TensorId output = -1;  ///< tensor of the graph's (single) output node
+  TxnCounters total_txns;
+  ComputeTally total_tally;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Graph& graph, EngineOptions options = {});
+
+  const Partition& partition() const { return partition_; }
+
+  /// Execute the whole graph. With a NumericBackend, `input` (if given) is
+  /// bound to the graph's single kInput node and `result.output` can be
+  /// read back. With a ModelBackend, per-subgraph counter deltas and cost
+  /// tallies are collected into the reports.
+  EngineResult run(Backend& backend, const Tensor* input = nullptr);
+
+ private:
+  const Graph& graph_;
+  EngineOptions options_;
+  Partition partition_;
+};
+
+/// Execute one planned subgraph on `backend` with explicit io tensors.
+/// Exposed for the microbenchmark harnesses that force partitions.
+MemoizedExecutor::Stats run_planned_subgraph(
+    const Graph& graph, const PlannedSubgraph& planned, Backend& backend,
+    const std::unordered_map<int, TensorId>& io, TensorId out,
+    const EngineOptions& options);
+
+}  // namespace brickdl

@@ -1,0 +1,66 @@
+// Reverse-traversal halo planner (§3.2.1, Fig. 4).
+//
+// For a merged subgraph and a brick decomposition of its terminal layer, the
+// planner derives, per node, the output window that must be produced for one
+// terminal brick: the terminal needs exactly its brick; walking the subgraph
+// in reverse, each producer needs the union of its in-subgraph consumers'
+// input windows (brick + accumulated halo — the paper's B+2p, B+4p, ...).
+// The planner also yields the padding growth metric Δ that drives the
+// padded-vs-memoized strategy choice (§3.3.2).
+#pragma once
+
+#include <unordered_map>
+
+#include "core/subgraph.hpp"
+#include "graph/halo.hpp"
+
+namespace brickdl {
+
+/// A window in a node's blocked space.
+struct BlockedWindow {
+  Dims lo;
+  Dims extent;
+  i64 volume() const { return extent.product(); }
+};
+
+class HaloPlan {
+ public:
+  /// `brick_extent` is over the terminal's blocked dims ([batch, spatial...]).
+  HaloPlan(const Graph& graph, const Subgraph& sg, const Dims& brick_extent);
+
+  const Dims& brick_extent() const { return brick_extent_; }
+  const Dims& terminal_grid() const { return terminal_grid_; }
+  i64 num_bricks() const { return terminal_grid_.product(); }
+
+  /// Windows every node (subgraph members and external inputs) must provide
+  /// for terminal brick `g` (grid coordinate in the terminal's brick grid).
+  /// Keyed by node id; a member node's entry is the output window it must
+  /// compute, an external input's entry is the gather window.
+  std::unordered_map<int, BlockedWindow> windows_for_brick(const Dims& g) const;
+
+  /// Worst-case (interior brick) window extents per node — used for scratch
+  /// sizing and the Δ metric. Keyed by node id.
+  const std::unordered_map<int, Dims>& max_extents() const {
+    return max_extents_;
+  }
+
+  /// Padding growth Δ: the fractional increase of data processed by padded
+  /// bricks over the unpadded brick volumes, accumulated across the subgraph
+  /// (the paper's Δ > 15% rule selects memoized bricks).
+  double padding_growth() const { return padding_growth_; }
+
+  /// Maximum scratch floats a worker needs to execute one terminal brick
+  /// (sum over live windows, including channels).
+  i64 max_scratch_floats() const { return max_scratch_floats_; }
+
+ private:
+  const Graph& graph_;
+  const Subgraph& sg_;
+  Dims brick_extent_;
+  Dims terminal_grid_;
+  std::unordered_map<int, Dims> max_extents_;
+  double padding_growth_ = 0.0;
+  i64 max_scratch_floats_ = 0;
+};
+
+}  // namespace brickdl

@@ -1,0 +1,271 @@
+#include "core/memoized_executor.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "graph/halo.hpp"
+
+namespace brickdl {
+
+MemoizedExecutor::MemoizedExecutor(const Graph& graph, const Subgraph& sg,
+                                   const Dims& brick_extent, Backend& backend,
+                                   const std::unordered_map<int, TensorId>& io,
+                                   int num_workers)
+    : graph_(graph),
+      sg_(sg),
+      brick_extent_(brick_extent),
+      backend_(backend),
+      io_(io),
+      num_workers_(num_workers) {
+  validate_subgraph(graph, sg);
+  BDL_CHECK(num_workers >= 1 && num_workers <= backend.num_workers());
+  BDL_CHECK_MSG(io_.count(sg.terminal()),
+                "io map must provide the terminal output tensor");
+  for (int ext : sg.external_inputs) {
+    BDL_CHECK_MSG(io_.count(ext), "io map must provide external input "
+                                      << graph.node(ext).name);
+  }
+
+  grids_.reserve(sg.nodes.size());
+  memo_.reserve(sg.nodes.size());
+  for (size_t i = 0; i < sg.nodes.size(); ++i) {
+    const Node& node = graph.node(sg.nodes[i]);
+    const Dims bounds = node.out_shape.blocked_dims();
+    // The shared brick extent, clipped per dim to the layer bounds.
+    Dims extent = brick_extent;
+    BDL_CHECK(extent.rank() == bounds.rank());
+    for (int d = 0; d < extent.rank(); ++d) {
+      extent[d] = std::min(extent[d], bounds[d]);
+    }
+    grids_.emplace_back(bounds, extent);
+    grid_sizes_.push_back(grids_.back().num_bricks());
+    states_.push_back(std::make_unique<std::atomic<u8>[]>(
+        static_cast<size_t>(grids_.back().num_bricks())));
+    for (i64 b = 0; b < grids_.back().num_bricks(); ++b) {
+      states_.back()[static_cast<size_t>(b)].store(kNotStarted,
+                                                   std::memory_order_relaxed);
+    }
+    if (sg.nodes[i] == sg.terminal()) {
+      memo_.push_back(io_.at(sg.nodes[i]));
+    } else {
+      memo_.push_back(backend.register_tensor(
+          node.out_shape, Layout::kBricked, grids_.back().brick,
+          "memo:" + node.name));
+    }
+  }
+
+  // Partition terminal bricks contiguously across workers (GPU-style block
+  // assignment keeps neighboring bricks on neighboring workers, which is what
+  // produces halo contention).
+  const i64 total = grids_.back().num_bricks();
+  workers_.resize(static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    workers_[static_cast<size_t>(w)].next_brick = total * w / num_workers_;
+    workers_[static_cast<size_t>(w)].end_brick = total * (w + 1) / num_workers_;
+  }
+}
+
+i64 MemoizedExecutor::total_bricks() const {
+  i64 total = 0;
+  for (i64 s : grid_sizes_) total += s;
+  return total;
+}
+
+std::atomic<u8>& MemoizedExecutor::state(int sg_index, i64 brick) {
+  return states_[static_cast<size_t>(sg_index)][static_cast<size_t>(brick)];
+}
+
+MemoizedExecutor::Task MemoizedExecutor::make_task(int sg_index,
+                                                   i64 brick) const {
+  Task task;
+  task.sg_index = sg_index;
+  task.brick = brick;
+
+  const Node& node = graph_.node(sg_.nodes[static_cast<size_t>(sg_index)]);
+  const BrickGrid& grid = grids_[static_cast<size_t>(sg_index)];
+  const Dims g = grid.grid.unlinear(brick);
+  const Dims lo = grid.brick_origin(g);
+  const Dims extent = grid.valid_extent(g);
+  Dims need_lo, need_extent;
+  input_window_blocked(node, lo, extent, &need_lo, &need_extent);
+
+  for (int p : node.inputs) {
+    // External producers are fully materialized: no dependence tracking.
+    auto it = std::find(sg_.nodes.begin(), sg_.nodes.end(), p);
+    if (it == sg_.nodes.end()) continue;
+    const int p_index = static_cast<int>(it - sg_.nodes.begin());
+    const BrickGrid& p_grid = grids_[static_cast<size_t>(p_index)];
+    // Bricks of the producer overlapping the needed window, clipped to its
+    // layer bounds (out-of-bounds halo is zero and depends on nothing).
+    Dims b_lo = need_lo, b_cnt = need_extent;
+    bool empty = false;
+    for (int d = 0; d < need_lo.rank(); ++d) {
+      const i64 a = std::max<i64>(need_lo[d], 0);
+      const i64 b = std::min<i64>(need_lo[d] + need_extent[d],
+                                  p_grid.blocked[d]);
+      if (b <= a) {
+        empty = true;
+        break;
+      }
+      b_lo[d] = a / p_grid.brick[d];
+      b_cnt[d] = (b - 1) / p_grid.brick[d] - b_lo[d] + 1;
+    }
+    if (empty) continue;
+    Dims idx = b_lo;
+    const i64 n_deps = b_cnt.product();
+    for (i64 k = 0; k < n_deps; ++k) {
+      task.deps.emplace_back(p_index, p_grid.grid.linear(idx));
+      for (int d = idx.rank() - 1; d >= 0; --d) {
+        if (++idx[d] - b_lo[d] < b_cnt[d]) break;
+        idx[d] = b_lo[d];
+      }
+    }
+  }
+  return task;
+}
+
+void MemoizedExecutor::compute_brick(int worker_index, const Task& task) {
+  const int node_id = sg_.nodes[static_cast<size_t>(task.sg_index)];
+  const Node& node = graph_.node(node_id);
+  const BrickGrid& grid = grids_[static_cast<size_t>(task.sg_index)];
+  const Dims g = grid.grid.unlinear(task.brick);
+  const Dims lo = grid.brick_origin(g);
+  const Dims extent = grid.valid_extent(g);
+
+  backend_.invocation_begin(worker_index);
+  Dims need_lo, need_extent;
+  input_window_blocked(node, lo, extent, &need_lo, &need_extent);
+  std::vector<SlotId> inputs;
+  inputs.reserve(node.inputs.size());
+  for (int p : node.inputs) {
+    TensorId src;
+    auto it = std::find(sg_.nodes.begin(), sg_.nodes.end(), p);
+    if (it == sg_.nodes.end()) {
+      src = io_.at(p);
+    } else {
+      src = memo_[static_cast<size_t>(it - sg_.nodes.begin())];
+    }
+    inputs.push_back(backend_.load_window(worker_index, src, need_lo,
+                                          need_extent));
+  }
+  // Memoized bricks are stored clipped to the layer bounds, so no masking is
+  // needed: out-of-bounds halo reads zero-fill, matching zero padding.
+  const SlotId out = backend_.compute(worker_index, node_id, inputs, lo, extent,
+                                      /*mask_to_bounds=*/false);
+  for (SlotId s : inputs) backend_.free_slot(worker_index, s);
+  backend_.store_window(worker_index, out, memo_[static_cast<size_t>(task.sg_index)],
+                        lo, extent);
+}
+
+bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
+  Worker& w = workers_[static_cast<size_t>(worker_index)];
+  if (w.done) return false;
+
+  if (w.stack.empty()) {
+    if (w.next_brick >= w.end_brick) {
+      w.done = true;
+      return false;
+    }
+    const int terminal_index = static_cast<int>(sg_.nodes.size()) - 1;
+    const i64 brick = w.next_brick++;
+    u8 expected = kNotStarted;
+    if (state(terminal_index, brick)
+            .compare_exchange_strong(expected, kInProgress)) {
+      ++w.local.compulsory_atomics;  // acquire
+      w.stack.push_back(make_task(terminal_index, brick));
+    }
+    // Terminal bricks are partitioned, so the CAS only fails if another
+    // executor shares the state (it cannot); treat failure as skip.
+    return true;
+  }
+
+  Task& task = w.stack.back();
+  while (task.dep_cursor < task.deps.size()) {
+    const auto [p_index, p_brick] = task.deps[task.dep_cursor];
+    std::atomic<u8>& tag = state(p_index, p_brick);
+    u8 observed = tag.load(std::memory_order_acquire);
+    if (observed == kComplete) {
+      ++task.dep_cursor;
+      continue;
+    }
+    if (observed == kNotStarted) {
+      u8 expected = kNotStarted;
+      if (tag.compare_exchange_strong(expected, kInProgress)) {
+        ++w.local.compulsory_atomics;  // acquire
+        w.stack.push_back(make_task(p_index, p_brick));
+        return true;  // recurse: compute the dependent brick first
+      }
+      // Lost the race: another worker just claimed it.
+      ++w.local.conflict_atomics;
+      ++w.local.defers;
+      if (spin_wait) std::this_thread::yield();
+      return true;
+    }
+    // In progress on another worker: yield; every poll is a conflicting
+    // atomic (§3.2.2: stall by issuing CAS until the tag turns Complete).
+    ++w.local.conflict_atomics;
+    ++w.local.defers;
+    if (spin_wait) std::this_thread::yield();
+    return true;
+  }
+
+  // All dependencies complete: compute, publish, pop.
+  compute_brick(worker_index, task);
+  state(task.sg_index, task.brick).store(kComplete, std::memory_order_release);
+  ++w.local.compulsory_atomics;  // release/publish
+  ++w.local.bricks_computed;
+  w.stack.pop_back();
+  return true;
+}
+
+void MemoizedExecutor::finish(ThreadPool* /*pool*/) {
+  stats_ = Stats{};
+  for (const Worker& w : workers_) {
+    stats_.compulsory_atomics += w.local.compulsory_atomics;
+    stats_.conflict_atomics += w.local.conflict_atomics;
+    stats_.defers += w.local.defers;
+    stats_.bricks_computed += w.local.bricks_computed;
+  }
+  backend_.count_atomics(stats_.compulsory_atomics, stats_.conflict_atomics);
+  backend_.tally_defer(stats_.defers);
+  backend_.tally_reduce(stats_.bricks_computed);
+  // Interior memo buffers are dead once the subgraph finishes.
+  const int terminal_index = static_cast<int>(sg_.nodes.size()) - 1;
+  for (size_t i = 0; i < memo_.size(); ++i) {
+    if (static_cast<int>(i) != terminal_index) {
+      backend_.discard_tensor(memo_[i]);
+    }
+  }
+  // Every terminal brick must be complete; interior bricks that no terminal
+  // brick transitively needs (e.g. columns dropped by a strided conv) may
+  // legitimately stay uncomputed.
+  const auto& terminal_states = states_[static_cast<size_t>(terminal_index)];
+  for (i64 b = 0; b < grid_sizes_[static_cast<size_t>(terminal_index)]; ++b) {
+    BDL_CHECK_MSG(terminal_states[static_cast<size_t>(b)].load() == kComplete,
+                  "terminal brick " << b << " left incomplete");
+  }
+  BDL_CHECK(stats_.bricks_computed <= total_bricks());
+}
+
+void MemoizedExecutor::run() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int w = 0; w < num_workers_; ++w) {
+      progress |= advance(w, /*spin_wait=*/false);
+    }
+  }
+  finish(nullptr);
+}
+
+void MemoizedExecutor::run_parallel(ThreadPool& pool) {
+  BDL_CHECK_MSG(pool.size() == num_workers_,
+                "pool size must equal the executor's worker count");
+  pool.parallel_for(num_workers_, [this](i64 w, int /*pool_worker*/) {
+    while (advance(static_cast<int>(w), /*spin_wait=*/true)) {
+    }
+  });
+  finish(&pool);
+}
+
+}  // namespace brickdl

@@ -1,0 +1,98 @@
+// Memoized-bricks merged execution (§3.2.2, Fig. 2d, Fig. 5).
+//
+// Every node of the subgraph is materialized as a bricked memo buffer. Each
+// (node, brick) carries a three-state tag — 0 NotStarted, 1 InProgress,
+// 2 Complete — manipulated with CAS. A worker producing a terminal brick
+// backtracks through its dependence chain: unclaimed dependent bricks are
+// claimed and computed recursively (depth-first, in a modified execution
+// order); bricks already in progress on another worker are polled, each poll
+// costing a conflicting atomic, until they complete. Two compulsory atomics
+// (acquire + release/publish) are charged per brick, as the paper specifies.
+//
+// Two drivers share the protocol code and the real std::atomic state:
+//  * run()          — deterministic round-robin virtual scheduler: one
+//                     protocol step per worker per tick. This models many
+//                     concurrently-resident blocks on one thread, so conflict
+//                     counts are reproducible; used by the model benches.
+//  * run_parallel() — one OS thread per worker (numeric stress mode): the
+//                     protocol must be linearizable, and the tests hammer it.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+
+#include "core/backend.hpp"
+#include "core/subgraph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace brickdl {
+
+class MemoizedExecutor {
+ public:
+  struct Stats {
+    i64 compulsory_atomics = 0;
+    i64 conflict_atomics = 0;
+    i64 defers = 0;
+    i64 bricks_computed = 0;
+  };
+
+  /// `io` maps external-input node ids and the terminal node id to backend
+  /// tensors. `brick_extent` is over blocked dims and is shared by every
+  /// layer of the subgraph (§3.3.4: constant within a subgraph).
+  MemoizedExecutor(const Graph& graph, const Subgraph& sg,
+                   const Dims& brick_extent, Backend& backend,
+                   const std::unordered_map<int, TensorId>& io,
+                   int num_workers);
+
+  /// Deterministic virtual-time execution (single caller thread).
+  void run();
+  /// Real-thread execution; pool must have exactly num_workers threads.
+  void run_parallel(ThreadPool& pool);
+
+  const Stats& stats() const { return stats_; }
+  i64 total_bricks() const;
+
+ private:
+  struct Task {
+    int sg_index = -1;
+    i64 brick = -1;
+    std::vector<std::pair<int, i64>> deps;  ///< (sg_index, brick) in-subgraph
+    size_t dep_cursor = 0;                  ///< deps below this are Complete
+  };
+
+  struct Worker {
+    std::vector<Task> stack;
+    i64 next_brick = 0;  ///< next assigned terminal brick
+    i64 end_brick = 0;
+    Stats local;
+    bool done = false;
+  };
+
+  enum : u8 { kNotStarted = 0, kInProgress = 1, kComplete = 2 };
+
+  /// One protocol step; returns false when the worker has finished.
+  /// `spin_wait` selects the behaviour on a busy dependence: virtual mode
+  /// returns (the round-robin advances others), parallel mode yields.
+  bool advance(int worker_index, bool spin_wait);
+  void compute_brick(int worker_index, const Task& task);
+  Task make_task(int sg_index, i64 brick) const;
+  std::atomic<u8>& state(int sg_index, i64 brick);
+  void finish(ThreadPool* pool);
+
+  const Graph& graph_;
+  const Subgraph& sg_;
+  Dims brick_extent_;
+  Backend& backend_;
+  std::unordered_map<int, TensorId> io_;
+  int num_workers_;
+
+  std::vector<BrickGrid> grids_;              // per sg node
+  std::vector<TensorId> memo_;                // per sg node (terminal = io)
+  std::vector<std::unique_ptr<std::atomic<u8>[]>> states_;  // per sg node
+  std::vector<i64> grid_sizes_;
+  std::vector<Worker> workers_;
+  Stats stats_;
+};
+
+}  // namespace brickdl

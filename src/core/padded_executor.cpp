@@ -1,0 +1,93 @@
+#include "core/padded_executor.hpp"
+
+namespace brickdl {
+
+PaddedExecutor::PaddedExecutor(const Graph& graph, const Subgraph& sg,
+                               const HaloPlan& plan, Backend& backend,
+                               const std::unordered_map<int, TensorId>& io)
+    : graph_(graph), sg_(sg), plan_(plan), backend_(backend), io_(io) {
+  BDL_CHECK_MSG(io_.count(sg.terminal()),
+                "io map must provide the terminal output tensor");
+  for (int ext : sg.external_inputs) {
+    BDL_CHECK_MSG(io_.count(ext), "io map must provide external input "
+                                      << graph.node(ext).name);
+  }
+
+  // Per-worker scratch tensors (the on-chip arena) for every non-terminal
+  // node's padded window. A scratch tensor is shaped like the node's
+  // activation; halo positions outside the layer bounds are masked to zero
+  // before the store, so the store/load round-trip is value-preserving.
+  const int workers = backend.num_workers();
+  for (int n : sg.nodes) {
+    if (n == sg.terminal()) continue;
+    std::vector<TensorId> per_worker;
+    per_worker.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      per_worker.push_back(backend.register_tensor(
+          graph.node(n).out_shape, Layout::kOnChipScratch, {},
+          "padded_scratch:" + graph.node(n).name + ":w" + std::to_string(w)));
+    }
+    scratch_.emplace(n, std::move(per_worker));
+  }
+}
+
+void PaddedExecutor::run_brick(i64 brick_index, int worker) {
+  const Dims g = plan_.terminal_grid().unlinear(brick_index);
+  const auto windows = plan_.windows_for_brick(g);
+
+  for (int node_id : sg_.nodes) {
+    const Node& node = graph_.node(node_id);
+    const BlockedWindow& out_w = windows.at(node_id);
+    backend_.invocation_begin(worker);
+
+    // Every invocation gathers exactly the window it consumes: from the
+    // source tensor for external producers, from the worker's arena for
+    // intermediates computed earlier in this brick's chain.
+    Dims need_lo, need_extent;
+    input_window_blocked(node, out_w.lo, out_w.extent, &need_lo, &need_extent);
+    std::vector<SlotId> input_slots;
+    input_slots.reserve(node.inputs.size());
+    for (int p : node.inputs) {
+      const bool external = !sg_.contains(p);
+      const TensorId src =
+          external ? io_.at(p) : scratch_.at(p)[static_cast<size_t>(worker)];
+      input_slots.push_back(
+          backend_.load_window(worker, src, need_lo, need_extent));
+    }
+
+    const bool is_terminal = node_id == sg_.terminal();
+    const SlotId out = backend_.compute(worker, node_id, input_slots, out_w.lo,
+                                        out_w.extent,
+                                        /*mask_to_bounds=*/!is_terminal);
+    for (SlotId s : input_slots) backend_.free_slot(worker, s);
+
+    const TensorId dst = is_terminal
+                             ? io_.at(node_id)
+                             : scratch_.at(node_id)[static_cast<size_t>(worker)];
+    backend_.store_window(worker, out, dst, out_w.lo, out_w.extent);
+  }
+}
+
+void PaddedExecutor::run(ThreadPool* pool) {
+  const i64 n = plan_.num_bricks();
+  const int workers = backend_.num_workers();
+  if (pool) {
+    BDL_CHECK_MSG(pool->size() <= workers,
+                  "thread pool larger than backend worker count");
+    pool->parallel_for(n, [this](i64 i, int worker) { run_brick(i, worker); });
+  } else {
+    // Contiguous brick ranges per worker, like GPU block scheduling.
+    for (i64 i = 0; i < n; ++i) {
+      const int worker = static_cast<int>(i * workers / n);
+      run_brick(i, worker);
+    }
+  }
+  bricks_executed_ += n;
+  backend_.tally_reduce(n);
+  // Intermediate windows are dead: drop them without writeback.
+  for (auto& [node, per_worker] : scratch_) {
+    for (TensorId id : per_worker) backend_.discard_tensor(id);
+  }
+}
+
+}  // namespace brickdl

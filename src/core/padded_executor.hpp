@@ -1,0 +1,50 @@
+// Padded-bricks merged execution (§3.2.1, Fig. 2c, Fig. 4).
+//
+// Each terminal brick is produced by one worker that re-computes the whole
+// subgraph chain over a halo-padded window: the gather from the subgraph
+// input covers the accumulated halo of all layers (B+2p, B+4p, ...), each
+// intermediate layer is computed over its shrinking padded window into
+// per-worker scratch, masked to the true layer bounds, and only the final
+// brick is stored. Intermediate activations are never materialized globally;
+// no synchronization is needed until the end-of-subgraph reduction.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/backend.hpp"
+#include "core/halo_plan.hpp"
+#include "util/thread_pool.hpp"
+
+namespace brickdl {
+
+class PaddedExecutor {
+ public:
+  /// `io` maps every external-input node id and the terminal node id to the
+  /// backend tensors holding their data.
+  PaddedExecutor(const Graph& graph, const Subgraph& sg, const HaloPlan& plan,
+                 Backend& backend,
+                 const std::unordered_map<int, TensorId>& io);
+
+  /// Execute all terminal bricks. With `pool`, bricks run concurrently on
+  /// real threads (numeric stress mode); otherwise a deterministic serial
+  /// sweep assigns contiguous brick ranges to backend workers, mirroring GPU
+  /// block scheduling.
+  void run(ThreadPool* pool = nullptr);
+
+  i64 bricks_executed() const { return bricks_executed_; }
+
+ private:
+  void run_brick(i64 brick_index, int worker);
+
+  const Graph& graph_;
+  const Subgraph& sg_;
+  const HaloPlan& plan_;
+  Backend& backend_;
+  std::unordered_map<int, TensorId> io_;
+  // Per-worker, per-node scratch tensors for intermediate padded windows
+  // (the on-chip arena; discarded after the subgraph completes).
+  std::unordered_map<int, std::vector<TensorId>> scratch_;  // node -> [worker]
+  i64 bricks_executed_ = 0;
+};
+
+}  // namespace brickdl

@@ -1,0 +1,156 @@
+#include "core/wavefront_executor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/halo.hpp"
+
+namespace brickdl {
+
+WavefrontExecutor::WavefrontExecutor(
+    const Graph& graph, const Subgraph& sg, const Dims& brick_extent,
+    Backend& backend, const std::unordered_map<int, TensorId>& io)
+    : graph_(graph),
+      sg_(sg),
+      brick_extent_(brick_extent),
+      backend_(backend),
+      io_(io) {
+  validate_subgraph(graph, sg);
+  BDL_CHECK_MSG(io_.count(sg.terminal()),
+                "io map must provide the terminal output tensor");
+  for (int ext : sg.external_inputs) {
+    BDL_CHECK_MSG(io_.count(ext), "io map must provide external input "
+                                      << graph.node(ext).name);
+  }
+  BDL_CHECK_MSG(brick_extent.rank() >= 2,
+                "wavefront execution needs at least one spatial dim");
+
+  grids_.reserve(sg.nodes.size());
+  memo_.reserve(sg.nodes.size());
+  for (size_t i = 0; i < sg.nodes.size(); ++i) {
+    const Node& node = graph.node(sg.nodes[i]);
+    const Dims bounds = node.out_shape.blocked_dims();
+    Dims extent = brick_extent;
+    BDL_CHECK(extent.rank() == bounds.rank());
+    for (int d = 0; d < extent.rank(); ++d) {
+      extent[d] = std::min(extent[d], bounds[d]);
+    }
+    grids_.emplace_back(bounds, extent);
+    if (sg.nodes[i] == sg.terminal()) {
+      memo_.push_back(io_.at(sg.nodes[i]));
+    } else {
+      memo_.push_back(backend.register_tensor(
+          node.out_shape, Layout::kBricked, grids_.back().brick,
+          "wave:" + node.name));
+    }
+  }
+  skew_ = choose_skew();
+  stats_.skew = skew_;
+}
+
+i64 WavefrontExecutor::wave_of(int sg_index, const Dims& grid_coord) const {
+  // Row along the first spatial blocked dim (index 1; index 0 is batch).
+  return skew_ * static_cast<i64>(sg_index) + grid_coord[1];
+}
+
+i64 WavefrontExecutor::choose_skew() const {
+  // For every (node, brick row), the highest producer brick row it depends
+  // on must sit in a strictly earlier wave: skew·tp + r' < skew·t + r.
+  i64 required = 1;
+  for (size_t t = 0; t < sg_.nodes.size(); ++t) {
+    const Node& node = graph_.node(sg_.nodes[t]);
+    const BrickGrid& grid = grids_[t];
+    for (i64 r = 0; r < grid.grid[1]; ++r) {
+      const i64 lo = r * grid.brick[1];
+      const i64 extent = std::min(grid.brick[1], grid.blocked[1] - lo);
+      // Representative output window covering the full row band.
+      Dims out_lo = Dims::filled(grid.rank(), 0);
+      Dims out_extent = grid.blocked;
+      out_lo[1] = lo;
+      out_extent[1] = extent;
+      Dims need_lo, need_extent;
+      input_window_blocked(node, out_lo, out_extent, &need_lo, &need_extent);
+
+      for (int p : node.inputs) {
+        const auto it = std::find(sg_.nodes.begin(), sg_.nodes.end(), p);
+        if (it == sg_.nodes.end()) continue;  // external: always ready
+        const size_t tp = static_cast<size_t>(it - sg_.nodes.begin());
+        const BrickGrid& p_grid = grids_[tp];
+        const i64 hi = std::min(need_lo[1] + need_extent[1],
+                                p_grid.blocked[1]) - 1;
+        if (hi < 0) continue;
+        const i64 dep_row_max = hi / p_grid.brick[1];
+        const i64 gap = static_cast<i64>(t - tp);
+        // skew·tp + dep_row_max < skew·t + r  =>  skew > (dep_row_max-r)/gap
+        const i64 needed = (dep_row_max - r) / gap + 1;
+        required = std::max(required, needed);
+      }
+    }
+  }
+  return required;
+}
+
+void WavefrontExecutor::compute_brick(int worker, int sg_index, i64 brick) {
+  const int node_id = sg_.nodes[static_cast<size_t>(sg_index)];
+  const Node& node = graph_.node(node_id);
+  const BrickGrid& grid = grids_[static_cast<size_t>(sg_index)];
+  const Dims g = grid.grid.unlinear(brick);
+  const Dims lo = grid.brick_origin(g);
+  const Dims extent = grid.valid_extent(g);
+
+  backend_.invocation_begin(worker);
+  Dims need_lo, need_extent;
+  input_window_blocked(node, lo, extent, &need_lo, &need_extent);
+  std::vector<SlotId> inputs;
+  inputs.reserve(node.inputs.size());
+  for (int p : node.inputs) {
+    TensorId src;
+    const auto it = std::find(sg_.nodes.begin(), sg_.nodes.end(), p);
+    if (it == sg_.nodes.end()) {
+      src = io_.at(p);
+    } else {
+      src = memo_[static_cast<size_t>(it - sg_.nodes.begin())];
+    }
+    inputs.push_back(backend_.load_window(worker, src, need_lo, need_extent));
+  }
+  const SlotId out = backend_.compute(worker, node_id, inputs, lo, extent,
+                                      /*mask_to_bounds=*/false);
+  for (SlotId s : inputs) backend_.free_slot(worker, s);
+  backend_.store_window(worker, out,
+                        memo_[static_cast<size_t>(sg_index)], lo, extent);
+}
+
+void WavefrontExecutor::run() {
+  // Bucket every brick of every layer into its wave.
+  std::map<i64, std::vector<BrickRef>> waves;
+  for (size_t t = 0; t < sg_.nodes.size(); ++t) {
+    const BrickGrid& grid = grids_[t];
+    for (i64 b = 0; b < grid.num_bricks(); ++b) {
+      const Dims g = grid.grid.unlinear(b);
+      waves[wave_of(static_cast<int>(t), g)].push_back(
+          {static_cast<int>(t), b});
+    }
+  }
+
+  const int workers = backend_.num_workers();
+  for (const auto& [wave, bricks] : waves) {
+    (void)wave;
+    int worker = 0;
+    for (const BrickRef& ref : bricks) {
+      compute_brick(worker, ref.sg_index, ref.brick);
+      worker = (worker + 1) % workers;
+    }
+    backend_.tally_sync(1);
+    ++stats_.waves;
+    stats_.max_wave_width =
+        std::max(stats_.max_wave_width, static_cast<i64>(bricks.size()));
+    stats_.bricks_computed += static_cast<i64>(bricks.size());
+  }
+  backend_.tally_reduce(stats_.bricks_computed);
+  // Interior buffers are dead once the subgraph finishes.
+  for (size_t i = 0; i < memo_.size(); ++i) {
+    if (sg_.nodes[i] != sg_.terminal()) backend_.discard_tensor(memo_[i]);
+  }
+}
+
+}  // namespace brickdl

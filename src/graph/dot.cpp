@@ -1,0 +1,23 @@
+#include <sstream>
+
+#include "graph/graph.hpp"
+
+namespace brickdl {
+
+std::string Graph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << name_ << "\" {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const Node& n : nodes_) {
+    os << "  n" << n.id << " [label=\"" << n.name << "\\n"
+       << op_kind_name(n.kind) << " " << n.out_shape.str() << "\"];\n";
+  }
+  for (const Node& n : nodes_) {
+    for (int input : n.inputs) {
+      os << "  n" << input << " -> n" << n.id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace brickdl

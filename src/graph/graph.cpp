@@ -1,0 +1,153 @@
+#include "graph/graph.hpp"
+
+namespace brickdl {
+
+const Node& Graph::node(int id) const {
+  BDL_CHECK_MSG(id >= 0 && id < num_nodes(), "node id " << id << " out of range");
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const std::vector<int>& Graph::consumers(int id) const {
+  BDL_CHECK(id >= 0 && id < num_nodes());
+  return consumers_[static_cast<size_t>(id)];
+}
+
+std::vector<int> Graph::outputs() const {
+  std::vector<int> out;
+  for (int id = 0; id < num_nodes(); ++id) {
+    if (consumers_[static_cast<size_t>(id)].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+int Graph::add_node(OpKind kind, std::vector<int> inputs, OpAttrs attrs,
+                    const std::string& name) {
+  std::vector<Shape> shapes;
+  shapes.reserve(inputs.size());
+  for (int input : inputs) {
+    BDL_CHECK_MSG(input >= 0 && input < num_nodes(),
+                  "node '" << name << "' references unknown input " << input);
+    shapes.push_back(node(input).out_shape);
+  }
+
+  Node n;
+  n.id = num_nodes();
+  n.kind = kind;
+  n.name = name.empty() ? (std::string(op_kind_name(kind)) + "_" +
+                           std::to_string(n.id))
+                        : name;
+  n.inputs = inputs;
+  n.attrs = std::move(attrs);
+  n.out_shape = infer_shape(kind, shapes, n.attrs, &n.weight_dims);
+
+  nodes_.push_back(std::move(n));
+  consumers_.emplace_back();
+  for (int input : inputs) {
+    consumers_[static_cast<size_t>(input)].push_back(nodes_.back().id);
+  }
+  return nodes_.back().id;
+}
+
+std::vector<Shape> Graph::input_shapes(const Node& n) const {
+  std::vector<Shape> shapes;
+  shapes.reserve(n.inputs.size());
+  for (int input : n.inputs) shapes.push_back(node(input).out_shape);
+  return shapes;
+}
+
+i64 Graph::total_flops() const {
+  i64 total = 0;
+  for (const Node& n : nodes_) total += flops(n, input_shapes(n));
+  return total;
+}
+
+namespace {
+
+Dims ones_like(const Dims& d) { return Dims::filled(d.rank(), 1); }
+Dims zeros_like(const Dims& d) { return Dims::filled(d.rank(), 0); }
+
+}  // namespace
+
+int Graph::add_input(const std::string& name, Shape shape) {
+  OpAttrs attrs;
+  // Stash the shape where infer_shape for kInput can find it: inputs have no
+  // producers, so shape travels via a dedicated path below.
+  const int id = add_node(OpKind::kInput, {}, attrs, name);
+  nodes_[static_cast<size_t>(id)].out_shape = shape;
+  return id;
+}
+
+int Graph::add_conv(int input, const std::string& name, Dims kernel,
+                    i64 out_channels, Dims stride, Dims padding, Dims dilation,
+                    i64 groups, bool fused_relu) {
+  OpAttrs attrs;
+  attrs.kernel = kernel;
+  attrs.stride = stride.rank() ? stride : ones_like(kernel);
+  attrs.padding = padding.rank() ? padding : zeros_like(kernel);
+  attrs.dilation = dilation.rank() ? dilation : ones_like(kernel);
+  attrs.out_channels = out_channels;
+  attrs.groups = groups;
+  attrs.fused_relu = fused_relu;
+  return add_node(OpKind::kConv, {input}, std::move(attrs), name);
+}
+
+int Graph::add_deconv(int input, const std::string& name, Dims kernel,
+                      i64 out_channels, Dims stride, Dims padding,
+                      Dims output_padding, Dims dilation) {
+  OpAttrs attrs;
+  attrs.kernel = kernel;
+  attrs.stride = stride.rank() ? stride : ones_like(kernel);
+  attrs.padding = padding.rank() ? padding : zeros_like(kernel);
+  attrs.dilation = dilation.rank() ? dilation : ones_like(kernel);
+  attrs.output_padding =
+      output_padding.rank() ? output_padding : zeros_like(kernel);
+  attrs.out_channels = out_channels;
+  attrs.transposed = true;
+  return add_node(OpKind::kConv, {input}, std::move(attrs), name);
+}
+
+int Graph::add_pool(int input, const std::string& name, PoolKind kind,
+                    Dims window, Dims stride, Dims padding) {
+  OpAttrs attrs;
+  attrs.window = window;
+  attrs.stride = stride.rank() ? stride : window;
+  attrs.padding = padding.rank() ? padding : zeros_like(window);
+  attrs.pool_kind = kind;
+  return add_node(OpKind::kPool, {input}, std::move(attrs), name);
+}
+
+int Graph::add_relu(int input, const std::string& name) {
+  return add_node(OpKind::kRelu, {input}, {}, name);
+}
+
+int Graph::add_sigmoid(int input, const std::string& name) {
+  return add_node(OpKind::kSigmoid, {input}, {}, name);
+}
+
+int Graph::add_softmax(int input, const std::string& name) {
+  return add_node(OpKind::kSoftmax, {input}, {}, name);
+}
+
+int Graph::add_batchnorm(int input, const std::string& name) {
+  return add_node(OpKind::kBatchNorm, {input}, {}, name);
+}
+
+int Graph::add_add(int lhs, int rhs, const std::string& name) {
+  return add_node(OpKind::kAdd, {lhs, rhs}, {}, name);
+}
+
+int Graph::add_concat(std::vector<int> inputs, const std::string& name) {
+  return add_node(OpKind::kConcat, std::move(inputs), {}, name);
+}
+
+int Graph::add_global_avg_pool(int input, const std::string& name) {
+  return add_node(OpKind::kGlobalAvgPool, {input}, {}, name);
+}
+
+int Graph::add_dense(int input, const std::string& name, i64 out_features) {
+  OpAttrs attrs;
+  attrs.out_features = out_features;
+  return add_node(OpKind::kDense, {input}, std::move(attrs), name);
+}
+
+}  // namespace brickdl

@@ -1,0 +1,71 @@
+// Dataflow graph IR. Nodes are appended in topological order (a node's
+// inputs must already exist), which keeps traversal trivial: node ids are a
+// valid topological order by construction.
+#pragma once
+
+#include <vector>
+
+#include "graph/op.hpp"
+
+namespace brickdl {
+
+class Graph {
+ public:
+  explicit Graph(std::string name = "graph") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Node ids that consume the output of `id`.
+  const std::vector<int>& consumers(int id) const;
+
+  /// Nodes nothing consumes (the graph outputs).
+  std::vector<int> outputs() const;
+
+  // ---- builders (all return the new node id) ----
+  int add_input(const std::string& name, Shape shape);
+  int add_conv(int input, const std::string& name, Dims kernel, i64 out_channels,
+               Dims stride, Dims padding, Dims dilation = {}, i64 groups = 1,
+               bool fused_relu = false);
+  int add_deconv(int input, const std::string& name, Dims kernel,
+                 i64 out_channels, Dims stride, Dims padding,
+                 Dims output_padding = {}, Dims dilation = {});
+  int add_pool(int input, const std::string& name, PoolKind kind, Dims window,
+               Dims stride, Dims padding = {});
+  int add_relu(int input, const std::string& name);
+  int add_sigmoid(int input, const std::string& name);
+  int add_softmax(int input, const std::string& name);
+  int add_batchnorm(int input, const std::string& name);
+  int add_add(int lhs, int rhs, const std::string& name);
+  int add_concat(std::vector<int> inputs, const std::string& name);
+  int add_global_avg_pool(int input, const std::string& name);
+  int add_dense(int input, const std::string& name, i64 out_features);
+
+  /// Generic insertion; validates inputs, runs shape inference, derives
+  /// weight dims. All named builders funnel through this.
+  int add_node(OpKind kind, std::vector<int> inputs, OpAttrs attrs,
+               const std::string& name);
+
+  /// Shapes of a node's inputs, in order.
+  std::vector<Shape> input_shapes(const Node& node) const;
+
+  /// Total flops of the whole graph.
+  i64 total_flops() const;
+
+  /// Graphviz dump (dot.cpp), for debugging and the examples.
+  std::string to_dot() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<int>> consumers_;
+};
+
+/// Shape inference for one prospective node (shape_inference.cpp).
+/// Also derives `weight_dims` for ops that carry weights.
+Shape infer_shape(OpKind kind, const std::vector<Shape>& inputs,
+                  const OpAttrs& attrs, Dims* weight_dims);
+
+}  // namespace brickdl

@@ -1,0 +1,127 @@
+#include "graph/halo.hpp"
+
+#include <algorithm>
+
+namespace brickdl {
+namespace {
+
+/// Floor division, correct for negative numerators.
+i64 fdiv(i64 a, i64 b) {
+  BDL_CHECK(b > 0);
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+/// Ceiling division, correct for negative numerators.
+i64 cdiv(i64 a, i64 b) { return fdiv(a + b - 1, b); }
+
+bool pointwise(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kSoftmax:
+    case OpKind::kBatchNorm:
+    case OpKind::kAdd:
+    case OpKind::kConcat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+HaloLaw halo_law(const Node& node, int spatial_dim) {
+  const OpAttrs& a = node.attrs;
+  switch (node.kind) {
+    case OpKind::kConv: {
+      const i64 s = a.stride[spatial_dim];
+      const i64 span = a.dilation[spatial_dim] * (a.kernel[spatial_dim] - 1) + 1;
+      if (!a.transposed) return {s, 1, span - s};
+      // Transposed conv: contributing input indices for an output window of
+      // extent X span at most ceil(X/s) + ceil((span-1)/s) positions.
+      return {1, s, cdiv(span - 1, s) + 1 - 1};
+    }
+    case OpKind::kPool: {
+      const i64 s = a.stride[spatial_dim];
+      return {s, 1, a.window[spatial_dim] - s};
+    }
+    default:
+      BDL_CHECK_MSG(pointwise(node.kind),
+                    "halo_law undefined for op " << op_kind_name(node.kind));
+      return {1, 1, 0};
+  }
+}
+
+Window1D input_window(const Node& node, int spatial_dim, Window1D out) {
+  BDL_CHECK(out.len >= 0);
+  if (out.len == 0) return {out.lo, 0};
+  const OpAttrs& a = node.attrs;
+  switch (node.kind) {
+    case OpKind::kConv: {
+      const i64 s = a.stride[spatial_dim];
+      const i64 d = a.dilation[spatial_dim];
+      const i64 k = a.kernel[spatial_dim];
+      const i64 p = a.padding[spatial_dim];
+      if (!a.transposed) {
+        const i64 lo = out.lo * s - p;
+        const i64 len = (out.len - 1) * s + d * (k - 1) + 1;
+        return {lo, len};
+      }
+      // Transposed: output o receives input i iff o = i*s - p + d*t for some
+      // tap t in [0, k). Over the output window [lo, hi]:
+      const i64 hi = out.lo + out.len - 1;
+      const i64 in_lo = cdiv(out.lo + p - d * (k - 1), s);
+      const i64 in_hi = fdiv(hi + p, s);
+      return {in_lo, in_hi - in_lo + 1};
+    }
+    case OpKind::kPool: {
+      const i64 s = a.stride[spatial_dim];
+      const i64 w = a.window[spatial_dim];
+      const i64 p = a.padding[spatial_dim];
+      return {out.lo * s - p, (out.len - 1) * s + w};
+    }
+    default:
+      BDL_CHECK_MSG(pointwise(node.kind),
+                    "input_window undefined for op " << op_kind_name(node.kind));
+      return out;
+  }
+}
+
+void input_window_blocked(const Node& node, const Dims& out_lo,
+                          const Dims& out_extent, Dims* in_lo,
+                          Dims* in_extent) {
+  BDL_CHECK(out_lo.rank() == out_extent.rank());
+  BDL_CHECK(in_lo != nullptr && in_extent != nullptr);
+  *in_lo = out_lo;
+  *in_extent = out_extent;
+  // Dim 0 is batch (identity); dims 1.. are spatial.
+  for (int d = 1; d < out_lo.rank(); ++d) {
+    const Window1D w =
+        input_window(node, d - 1, {out_lo[d], out_extent[d]});
+    (*in_lo)[d] = w.lo;
+    (*in_extent)[d] = w.len;
+  }
+}
+
+i64 padding_factor(const Node& node, int spatial_dim) {
+  const OpAttrs& a = node.attrs;
+  switch (node.kind) {
+    case OpKind::kConv: {
+      if (a.transposed) {
+        // Dependence reach of a transposed conv in input space.
+        return cdiv(a.dilation[spatial_dim] * (a.kernel[spatial_dim] - 1),
+                    a.stride[spatial_dim] * 2);
+      }
+      return ceil_div(a.dilation[spatial_dim] * (a.kernel[spatial_dim] - 1), 2);
+    }
+    case OpKind::kPool:
+      // §3.2.1: for pooling the padding factor is governed by the stride.
+      return std::max<i64>(a.window[spatial_dim] - a.stride[spatial_dim], 0);
+    default:
+      BDL_CHECK_MSG(pointwise(node.kind), "padding_factor undefined for op "
+                                              << op_kind_name(node.kind));
+      return 0;
+  }
+}
+
+}  // namespace brickdl

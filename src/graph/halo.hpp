@@ -1,0 +1,54 @@
+// Halo/window algebra (§3.2, §3.2.1).
+//
+// For every mergeable operator, the input region needed to produce an output
+// block of extent X along a spatial dimension is affine: αX + β. The padded-
+// bricks planner composes these laws over a subgraph by reverse traversal;
+// the executors use the exact (lo, len) window mapping to gather inputs
+// (including halo from neighboring bricks) for each output brick.
+#pragma once
+
+#include "graph/op.hpp"
+
+namespace brickdl {
+
+/// Half-open interval [lo, lo+len) in one dimension; lo may be negative and
+/// the interval may extend past the layer boundary — readers zero-fill.
+struct Window1D {
+  i64 lo = 0;
+  i64 len = 0;
+  bool operator==(const Window1D& o) const { return lo == o.lo && len == o.len; }
+};
+
+/// The affine law in_extent = ceil(alpha * out_extent) + beta for one
+/// spatial dimension. Rational alpha (num/den) keeps transposed convolutions
+/// (alpha = 1/stride) exact.
+struct HaloLaw {
+  i64 alpha_num = 1;
+  i64 alpha_den = 1;
+  i64 beta = 0;
+
+  i64 input_extent(i64 out_extent) const {
+    return ceil_div(alpha_num * out_extent, alpha_den) + beta;
+  }
+};
+
+/// Law for `node` along spatial dimension `spatial_dim`.
+HaloLaw halo_law(const Node& node, int spatial_dim);
+
+/// Exact input window along one spatial dimension for the given output
+/// window. For multi-input elementwise ops the window applies to every input.
+Window1D input_window(const Node& node, int spatial_dim, Window1D out);
+
+/// Input window over all blocked dims ([batch, spatial...]); the batch
+/// dimension always maps identically.
+void input_window_blocked(const Node& node, const Dims& out_lo,
+                          const Dims& out_extent, Dims* in_lo,
+                          Dims* in_extent);
+
+/// One-sided padding factor p of §3.2.1 — the halo depth a brick must be
+/// expanded by on each side along `spatial_dim` to absorb this operator's
+/// dependence (p = (effective kernel − 1)/2 for odd kernels, rounded up for
+/// even ones; 0 for pointwise ops; window−stride for pooling).
+i64 padding_factor(const Node& node, int spatial_dim);
+
+}  // namespace brickdl

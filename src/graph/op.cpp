@@ -1,0 +1,119 @@
+#include "graph/op.hpp"
+
+namespace brickdl {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kConv: return "conv";
+    case OpKind::kPool: return "pool";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kSigmoid: return "sigmoid";
+    case OpKind::kSoftmax: return "softmax";
+    case OpKind::kBatchNorm: return "batchnorm";
+    case OpKind::kAdd: return "add";
+    case OpKind::kConcat: return "concat";
+    case OpKind::kGlobalAvgPool: return "global_avg_pool";
+    case OpKind::kDense: return "dense";
+  }
+  return "unknown";
+}
+
+bool is_mergeable(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv:
+    case OpKind::kPool:
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kAdd:
+    case OpKind::kConcat:
+      return true;
+    // Softmax normalizes across channels (never blocked, so spatially
+    // pointwise) and inference-mode batch norm is a per-channel scale/shift:
+    // both satisfy the αX+β law. They remain preferred subgraph terminators
+    // via is_global(), as §3.3.1 prescribes for global operations.
+    case OpKind::kSoftmax:
+    case OpKind::kBatchNorm:
+      return true;
+    case OpKind::kInput:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kDense:
+      return false;
+  }
+  return false;
+}
+
+bool is_global(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBatchNorm:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kDense:
+    case OpKind::kSoftmax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool uses_tensor_cores(const Node& node) {
+  switch (node.kind) {
+    case OpKind::kConv:
+      return node.attrs.kernel.rank() == 2;
+    case OpKind::kDense:
+      return true;
+    default:
+      return false;
+  }
+}
+
+i64 flops(const Node& node, const std::vector<Shape>& input_shapes) {
+  const i64 out_elems = node.out_shape.elements();
+  switch (node.kind) {
+    case OpKind::kInput:
+      return 0;
+    case OpKind::kConv: {
+      BDL_CHECK(!input_shapes.empty());
+      const i64 in_channels = input_shapes[0].channels();
+      const i64 taps = node.attrs.kernel.product();
+      // Multiply + add per tap per input-channel-in-group.
+      i64 f = out_elems * (in_channels / node.attrs.groups) * taps * 2;
+      if (node.attrs.fused_relu) f += out_elems;
+      return f;
+    }
+    case OpKind::kPool:
+      return out_elems * node.attrs.window.product();
+    case OpKind::kRelu:
+      return out_elems;
+    case OpKind::kSigmoid:
+      return out_elems * 4;  // exp + add + div, approximated
+    case OpKind::kSoftmax:
+      return out_elems * 5;  // exp, running max/sum, normalize
+    case OpKind::kBatchNorm:
+      return out_elems * 2;  // scale + shift (inference mode)
+    case OpKind::kAdd:
+      return out_elems;
+    case OpKind::kConcat:
+      return out_elems;  // pure data movement; count copies as 1 each
+    case OpKind::kGlobalAvgPool: {
+      BDL_CHECK(!input_shapes.empty());
+      return input_shapes[0].elements();
+    }
+    case OpKind::kDense: {
+      BDL_CHECK(!input_shapes.empty());
+      const i64 in_features =
+          input_shapes[0].elements() / input_shapes[0].batch();
+      return node.out_shape.elements() * in_features * 2;
+    }
+  }
+  return 0;
+}
+
+double flops_per_blocked_point(const Node& node,
+                               const std::vector<Shape>& input_shapes) {
+  const i64 blocked = node.out_shape.blocked_dims().product();
+  if (blocked == 0) return 0.0;
+  return static_cast<double>(flops(node, input_shapes)) /
+         static_cast<double>(blocked);
+}
+
+}  // namespace brickdl

@@ -1,0 +1,94 @@
+// Operator vocabulary of the DNN graph IR.
+//
+// BrickDL merges any operator whose input window for an output block of size
+// X along dimension i has the affine form αᵢX + βᵢ (§3.2): convolutions of
+// all flavors (strided, dilated, depthwise, transposed), pooling, and
+// element-wise/pointwise ops. Global operators (dense, global pooling,
+// batch-norm, channel softmax) terminate subgraphs (§3.3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace brickdl {
+
+enum class OpKind {
+  kInput,
+  kConv,           ///< N-D convolution; attrs select strided/dilated/depthwise/transposed
+  kPool,           ///< max or average pooling
+  kRelu,
+  kSigmoid,
+  kSoftmax,        ///< across channels; global along C, pointwise spatially
+  kBatchNorm,      ///< inference-mode scale/shift with global statistics
+  kAdd,            ///< elementwise sum of two inputs (residual connections)
+  kConcat,         ///< channel concatenation (Inception modules)
+  kGlobalAvgPool,  ///< reduce all spatial positions to 1
+  kDense,          ///< fully-connected on flattened input
+};
+
+const char* op_kind_name(OpKind kind);
+
+enum class PoolKind { kMax, kAvg };
+
+/// Flat attribute bag; which fields are meaningful depends on OpKind.
+/// All Dims fields are over spatial dimensions only.
+struct OpAttrs {
+  // kConv
+  Dims kernel;
+  Dims stride;
+  Dims dilation;
+  Dims padding;
+  Dims output_padding;  ///< transposed conv only
+  i64 out_channels = 0;
+  i64 groups = 1;
+  bool transposed = false;
+  bool fused_relu = false;  ///< vendor-style conv+pointwise fusion (§3.3.4)
+
+  // kPool
+  Dims window;
+  PoolKind pool_kind = PoolKind::kMax;
+  // (stride/padding shared with conv fields)
+
+  // kDense
+  i64 out_features = 0;
+};
+
+/// A node of the dataflow graph.
+struct Node {
+  int id = -1;
+  OpKind kind = OpKind::kInput;
+  std::string name;
+  std::vector<int> inputs;  ///< producer node ids, in argument order
+  OpAttrs attrs;
+  Shape out_shape;   ///< filled by shape inference at insertion
+  Dims weight_dims;  ///< rank 0 if the op has no weights
+  i64 weight_elements() const {
+    return weight_dims.rank() == 0 ? 0 : weight_dims.product();
+  }
+};
+
+/// True if the operator satisfies the αX+β window law and may appear in the
+/// interior of a merged subgraph.
+bool is_mergeable(OpKind kind);
+
+/// True for reduction/global operators the partitioner prefers as the last
+/// node of a subgraph (§3.3.1).
+bool is_global(OpKind kind);
+
+/// True when the operator's arithmetic runs on tensor cores on an A100
+/// (2D convolutions and dense/GEMM layers under TF32); 3D convolutions and
+/// pointwise work run on the FP32 CUDA cores.
+bool uses_tensor_cores(const Node& node);
+
+/// Floating-point operations needed to produce the full output of `node`
+/// given its (inferred) shapes. Used by the compute-time model.
+i64 flops(const Node& node, const std::vector<Shape>& input_shapes);
+
+/// Flops to produce one output element (all channels at one blocked-space
+/// position), i.e. flops(node)/blocked-volume. Used for per-brick costs.
+double flops_per_blocked_point(const Node& node,
+                               const std::vector<Shape>& input_shapes);
+
+}  // namespace brickdl

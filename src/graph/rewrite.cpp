@@ -1,0 +1,46 @@
+#include "graph/rewrite.hpp"
+
+#include <unordered_map>
+
+namespace brickdl {
+
+Graph fuse_conv_pointwise(const Graph& graph) {
+  Graph fused(graph.name());
+  // old node id -> new node id (relu nodes absorbed into their conv map to
+  // the conv's new id).
+  std::unordered_map<int, int> remap;
+
+  for (const Node& node : graph.nodes()) {
+    if (remap.count(node.id)) continue;  // already absorbed
+
+    if (node.kind == OpKind::kInput) {
+      remap[node.id] = fused.add_input(node.name, node.out_shape);
+      continue;
+    }
+
+    std::vector<int> inputs;
+    inputs.reserve(node.inputs.size());
+    for (int p : node.inputs) inputs.push_back(remap.at(p));
+
+    OpAttrs attrs = node.attrs;
+    bool absorb_relu = false;
+    int relu_id = -1;
+    if (node.kind == OpKind::kConv && !attrs.fused_relu) {
+      const auto& consumers = graph.consumers(node.id);
+      if (consumers.size() == 1 &&
+          graph.node(consumers[0]).kind == OpKind::kRelu) {
+        attrs.fused_relu = true;
+        absorb_relu = true;
+        relu_id = consumers[0];
+      }
+    }
+
+    const int new_id = fused.add_node(node.kind, std::move(inputs),
+                                      std::move(attrs), node.name);
+    remap[node.id] = new_id;
+    if (absorb_relu) remap[relu_id] = new_id;
+  }
+  return fused;
+}
+
+}  // namespace brickdl

@@ -1,0 +1,21 @@
+// Graph-level rewrites.
+//
+// BrickDL fuses DNN primitives with point-wise epilogues through the cuDNN
+// Backend engine API (§3.3.4): a convolution whose only consumer is a ReLU
+// becomes one fused kernel. We implement this as a graph rewrite so that the
+// fusion is a property of the system under test, not of the model builders —
+// the tiled-cuDNN baseline runs the unfused graph, the framework baselines
+// apply their own execution-time fusion, and BrickDL rewrites before
+// partitioning.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace brickdl {
+
+/// Return a graph where every (conv -> relu) pair with a single-consumer
+/// edge is replaced by one convolution with a fused ReLU epilogue. Node
+/// names are preserved; semantics are identical.
+Graph fuse_conv_pointwise(const Graph& graph);
+
+}  // namespace brickdl

@@ -1,0 +1,244 @@
+#include "graph/serialize.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace brickdl {
+namespace {
+
+std::string dims_csv(const Dims& d) {
+  std::ostringstream os;
+  for (int i = 0; i < d.rank(); ++i) {
+    if (i) os << ',';
+    os << d[i];
+  }
+  return os.str();
+}
+
+Dims parse_dims_csv(const std::string& text, int line_no) {
+  Dims d;
+  std::istringstream is(text);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    BDL_CHECK_MSG(!part.empty(), "line " << line_no << ": empty dim in '"
+                                         << text << "'");
+    char* end = nullptr;
+    const long long v = std::strtoll(part.c_str(), &end, 10);
+    BDL_CHECK_MSG(end && *end == '\0',
+                  "line " << line_no << ": bad integer '" << part << "'");
+    d.push_back(static_cast<i64>(v));
+  }
+  BDL_CHECK_MSG(d.rank() > 0, "line " << line_no << ": empty dim list");
+  return d;
+}
+
+/// key=value tokens plus bare flags, after the fixed `<op> <name>` prefix.
+struct TokenBag {
+  std::unordered_map<std::string, std::string> kv;
+  std::vector<std::string> flags;
+  int line_no;
+
+  bool has(const std::string& key) const { return kv.count(key) > 0; }
+  bool flag(const std::string& name) const {
+    for (const auto& f : flags) {
+      if (f == name) return true;
+    }
+    return false;
+  }
+  const std::string& get(const std::string& key) const {
+    auto it = kv.find(key);
+    BDL_CHECK_MSG(it != kv.end(),
+                  "line " << line_no << ": missing attribute '" << key << "'");
+    return it->second;
+  }
+  Dims dims(const std::string& key) const {
+    return parse_dims_csv(get(key), line_no);
+  }
+  i64 integer(const std::string& key) const {
+    return parse_dims_csv(get(key), line_no)[0];
+  }
+};
+
+}  // namespace
+
+std::string serialize_graph(const Graph& graph) {
+  std::ostringstream os;
+  os << "# brickdl graph: " << graph.name() << "\n";
+  for (const Node& node : graph.nodes()) {
+    const auto in_names = [&]() {
+      std::ostringstream names;
+      for (size_t i = 0; i < node.inputs.size(); ++i) {
+        if (i) names << ',';
+        names << graph.node(node.inputs[i]).name;
+      }
+      return names.str();
+    };
+    const OpAttrs& a = node.attrs;
+    switch (node.kind) {
+      case OpKind::kInput:
+        os << "input " << node.name << " shape=" << dims_csv(node.out_shape.dims);
+        break;
+      case OpKind::kConv: {
+        os << "conv " << node.name << " in=" << in_names()
+           << " k=" << dims_csv(a.kernel) << " out_ch=" << a.out_channels
+           << " stride=" << dims_csv(a.stride) << " pad=" << dims_csv(a.padding);
+        bool dilated = false;
+        for (int d = 0; d < a.dilation.rank(); ++d) dilated |= a.dilation[d] != 1;
+        if (dilated) os << " dil=" << dims_csv(a.dilation);
+        if (a.groups != 1) os << " groups=" << a.groups;
+        if (a.transposed) {
+          os << " transposed";
+          bool out_pad = false;
+          for (int d = 0; d < a.output_padding.rank(); ++d) {
+            out_pad |= a.output_padding[d] != 0;
+          }
+          if (out_pad) os << " out_pad=" << dims_csv(a.output_padding);
+        }
+        if (a.fused_relu) os << " fused_relu";
+        break;
+      }
+      case OpKind::kPool:
+        os << "pool " << node.name << " in=" << in_names()
+           << " kind=" << (a.pool_kind == PoolKind::kMax ? "max" : "avg")
+           << " w=" << dims_csv(a.window) << " stride=" << dims_csv(a.stride)
+           << " pad=" << dims_csv(a.padding);
+        break;
+      case OpKind::kRelu:
+        os << "relu " << node.name << " in=" << in_names();
+        break;
+      case OpKind::kSigmoid:
+        os << "sigmoid " << node.name << " in=" << in_names();
+        break;
+      case OpKind::kSoftmax:
+        os << "softmax " << node.name << " in=" << in_names();
+        break;
+      case OpKind::kBatchNorm:
+        os << "batchnorm " << node.name << " in=" << in_names();
+        break;
+      case OpKind::kAdd:
+        os << "add " << node.name << " in=" << in_names();
+        break;
+      case OpKind::kConcat:
+        os << "concat " << node.name << " in=" << in_names();
+        break;
+      case OpKind::kGlobalAvgPool:
+        os << "gap " << node.name << " in=" << in_names();
+        break;
+      case OpKind::kDense:
+        os << "dense " << node.name << " in=" << in_names()
+           << " out=" << a.out_features;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Graph parse_graph(const std::string& text, const std::string& name) {
+  Graph graph(name);
+  std::unordered_map<std::string, int> by_name;
+
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string op, node_name;
+    if (!(tokens >> op)) continue;
+    BDL_CHECK_MSG(static_cast<bool>(tokens >> node_name),
+                  "line " << line_no << ": missing node name");
+    BDL_CHECK_MSG(!by_name.count(node_name),
+                  "line " << line_no << ": duplicate node '" << node_name << "'");
+
+    TokenBag bag;
+    bag.line_no = line_no;
+    std::string token;
+    while (tokens >> token) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        bag.flags.push_back(token);
+      } else {
+        bag.kv[token.substr(0, eq)] = token.substr(eq + 1);
+      }
+    }
+
+    std::vector<int> inputs;
+    if (bag.has("in")) {
+      std::istringstream is(bag.get("in"));
+      std::string ref;
+      while (std::getline(is, ref, ',')) {
+        auto it = by_name.find(ref);
+        BDL_CHECK_MSG(it != by_name.end(),
+                      "line " << line_no << ": unknown input '" << ref << "'");
+        inputs.push_back(it->second);
+      }
+    }
+    auto one_input = [&]() -> int {
+      BDL_CHECK_MSG(inputs.size() == 1,
+                    "line " << line_no << ": op '" << op
+                            << "' takes exactly one input");
+      return inputs[0];
+    };
+
+    int id = -1;
+    if (op == "input") {
+      BDL_CHECK_MSG(inputs.empty(), "line " << line_no << ": input has no in=");
+      id = graph.add_input(node_name, Shape(bag.dims("shape")));
+    } else if (op == "conv") {
+      const Dims kernel = bag.dims("k");
+      const Dims dil = bag.has("dil") ? bag.dims("dil") : Dims{};
+      if (bag.flag("transposed")) {
+        const Dims out_pad = bag.has("out_pad") ? bag.dims("out_pad") : Dims{};
+        id = graph.add_deconv(one_input(), node_name, kernel,
+                              bag.integer("out_ch"), bag.dims("stride"),
+                              bag.dims("pad"), out_pad, dil);
+      } else {
+        id = graph.add_conv(one_input(), node_name, kernel,
+                            bag.integer("out_ch"), bag.dims("stride"),
+                            bag.dims("pad"), dil,
+                            bag.has("groups") ? bag.integer("groups") : 1,
+                            bag.flag("fused_relu"));
+      }
+    } else if (op == "pool") {
+      const std::string& kind = bag.get("kind");
+      BDL_CHECK_MSG(kind == "max" || kind == "avg",
+                    "line " << line_no << ": pool kind must be max|avg");
+      id = graph.add_pool(one_input(), node_name,
+                          kind == "max" ? PoolKind::kMax : PoolKind::kAvg,
+                          bag.dims("w"), bag.dims("stride"),
+                          bag.has("pad") ? bag.dims("pad") : Dims{});
+    } else if (op == "relu") {
+      id = graph.add_relu(one_input(), node_name);
+    } else if (op == "sigmoid") {
+      id = graph.add_sigmoid(one_input(), node_name);
+    } else if (op == "softmax") {
+      id = graph.add_softmax(one_input(), node_name);
+    } else if (op == "batchnorm") {
+      id = graph.add_batchnorm(one_input(), node_name);
+    } else if (op == "add") {
+      BDL_CHECK_MSG(inputs.size() == 2,
+                    "line " << line_no << ": add takes two inputs");
+      id = graph.add_add(inputs[0], inputs[1], node_name);
+    } else if (op == "concat") {
+      BDL_CHECK_MSG(inputs.size() >= 2,
+                    "line " << line_no << ": concat takes >= 2 inputs");
+      id = graph.add_concat(inputs, node_name);
+    } else if (op == "gap") {
+      id = graph.add_global_avg_pool(one_input(), node_name);
+    } else if (op == "dense") {
+      id = graph.add_dense(one_input(), node_name, bag.integer("out"));
+    } else {
+      BDL_CHECK_MSG(false, "line " << line_no << ": unknown op '" << op << "'");
+    }
+    by_name.emplace(node_name, id);
+  }
+  BDL_CHECK_MSG(graph.num_nodes() > 0, "empty graph text");
+  return graph;
+}
+
+}  // namespace brickdl

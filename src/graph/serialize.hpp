@@ -1,0 +1,32 @@
+// Graph serialization: a line-oriented text format for saving and loading
+// model graphs, so networks can be defined outside C++ and shipped with
+// weights. One node per line:
+//
+//   input  <name> shape=N,C,S...
+//   conv   <name> in=<name> k=KH,KW out_ch=M stride=.. pad=.. [dil=..]
+//                 [groups=G] [transposed] [out_pad=..] [fused_relu]
+//   pool   <name> in=<name> kind=max|avg w=.. stride=.. [pad=..]
+//   relu | sigmoid | softmax | batchnorm  <name> in=<name>
+//   add    <name> in=<name>,<name>
+//   concat <name> in=<name>[,<name>...]
+//   gap    <name> in=<name>
+//   dense  <name> in=<name> out=F
+//
+// `#` starts a comment; blank lines are ignored. Node names must be unique.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace brickdl {
+
+/// Render `graph` in the text format above (round-trips through
+/// parse_graph; shape inference re-derives output shapes on load).
+std::string serialize_graph(const Graph& graph);
+
+/// Parse the text format. Throws Error with a line number on malformed
+/// input, unknown ops, undefined references, or duplicate names.
+Graph parse_graph(const std::string& text, const std::string& name = "graph");
+
+}  // namespace brickdl

@@ -1,0 +1,146 @@
+#include "graph/graph.hpp"
+
+namespace brickdl {
+namespace {
+
+void check_spatial_attrs(const Shape& in, const OpAttrs& a, const Dims& window) {
+  BDL_CHECK_MSG(window.rank() == in.spatial_rank(),
+                "kernel/window rank " << window.rank()
+                                      << " does not match spatial rank "
+                                      << in.spatial_rank());
+  BDL_CHECK(a.stride.rank() == window.rank());
+  BDL_CHECK(a.padding.rank() == window.rank());
+  for (int i = 0; i < window.rank(); ++i) {
+    BDL_CHECK_MSG(window[i] >= 1, "kernel extent must be >= 1");
+    BDL_CHECK_MSG(a.stride[i] >= 1, "stride must be >= 1");
+    BDL_CHECK_MSG(a.padding[i] >= 0, "padding must be >= 0");
+  }
+}
+
+Shape conv_shape(const std::vector<Shape>& inputs, const OpAttrs& a,
+                 Dims* weight_dims) {
+  BDL_CHECK(inputs.size() == 1);
+  const Shape& in = inputs[0];
+  check_spatial_attrs(in, a, a.kernel);
+  BDL_CHECK(a.dilation.rank() == a.kernel.rank());
+  BDL_CHECK_MSG(a.out_channels >= 1, "conv needs out_channels");
+  BDL_CHECK_MSG(a.groups >= 1 && in.channels() % a.groups == 0 &&
+                    a.out_channels % a.groups == 0,
+                "groups must divide both channel counts");
+
+  Dims out = in.dims;
+  out[1] = a.out_channels;
+  for (int i = 0; i < in.spatial_rank(); ++i) {
+    const i64 span = a.dilation[i] * (a.kernel[i] - 1) + 1;
+    i64 extent;
+    if (!a.transposed) {
+      extent = (in.spatial(i) + 2 * a.padding[i] - span) / a.stride[i] + 1;
+    } else {
+      extent = (in.spatial(i) - 1) * a.stride[i] - 2 * a.padding[i] + span +
+               (a.output_padding.rank() ? a.output_padding[i] : 0);
+    }
+    BDL_CHECK_MSG(extent >= 1, "conv output spatial extent collapsed to "
+                                   << extent << " along dim " << i);
+    out[2 + i] = extent;
+  }
+
+  if (weight_dims) {
+    // [M, C/groups, kernel...] (transposed convs store the same way here).
+    Dims w;
+    w.push_back(a.out_channels);
+    w.push_back(in.channels() / a.groups);
+    for (int i = 0; i < a.kernel.rank() && w.rank() < Dims::kMaxRank; ++i) {
+      w.push_back(a.kernel[i]);
+    }
+    // 3D conv weights would need rank 5+2; fold trailing kernel dims if the
+    // fixed capacity is hit (storage size is what matters downstream).
+    i64 folded = 1;
+    for (int i = w.rank() - 2; i < a.kernel.rank(); ++i) folded *= a.kernel[i];
+    if (folded > 1) w[w.rank() - 1] *= folded;
+    *weight_dims = w;
+  }
+  return Shape(out);
+}
+
+Shape pool_shape(const std::vector<Shape>& inputs, const OpAttrs& a) {
+  BDL_CHECK(inputs.size() == 1);
+  const Shape& in = inputs[0];
+  check_spatial_attrs(in, a, a.window);
+  Dims out = in.dims;
+  for (int i = 0; i < in.spatial_rank(); ++i) {
+    const i64 extent =
+        (in.spatial(i) + 2 * a.padding[i] - a.window[i]) / a.stride[i] + 1;
+    BDL_CHECK_MSG(extent >= 1, "pool output collapsed along dim " << i);
+    out[2 + i] = extent;
+  }
+  return Shape(out);
+}
+
+}  // namespace
+
+Shape infer_shape(OpKind kind, const std::vector<Shape>& inputs,
+                  const OpAttrs& attrs, Dims* weight_dims) {
+  if (weight_dims) *weight_dims = Dims{};
+  switch (kind) {
+    case OpKind::kInput:
+      // Shape is assigned by Graph::add_input after insertion.
+      return inputs.empty() ? Shape{} : inputs[0];
+    case OpKind::kConv:
+      return conv_shape(inputs, attrs, weight_dims);
+    case OpKind::kPool:
+      return pool_shape(inputs, attrs);
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kSoftmax:
+      BDL_CHECK(inputs.size() == 1);
+      return inputs[0];
+    case OpKind::kBatchNorm: {
+      BDL_CHECK(inputs.size() == 1);
+      if (weight_dims) *weight_dims = Dims{inputs[0].channels(), 2};  // scale, shift
+      return inputs[0];
+    }
+    case OpKind::kAdd: {
+      BDL_CHECK(inputs.size() == 2);
+      BDL_CHECK_MSG(inputs[0] == inputs[1],
+                    "add requires matching shapes, got "
+                        << inputs[0].str() << " vs " << inputs[1].str());
+      return inputs[0];
+    }
+    case OpKind::kConcat: {
+      BDL_CHECK(inputs.size() >= 2);
+      Dims out = inputs[0].dims;
+      i64 channels = inputs[0].channels();
+      for (size_t i = 1; i < inputs.size(); ++i) {
+        BDL_CHECK_MSG(inputs[i].rank() == inputs[0].rank(),
+                      "concat rank mismatch");
+        BDL_CHECK(inputs[i].batch() == inputs[0].batch());
+        for (int d = 0; d < inputs[0].spatial_rank(); ++d) {
+          BDL_CHECK_MSG(inputs[i].spatial(d) == inputs[0].spatial(d),
+                        "concat spatial mismatch along dim " << d);
+        }
+        channels += inputs[i].channels();
+      }
+      out[1] = channels;
+      return Shape(out);
+    }
+    case OpKind::kGlobalAvgPool: {
+      BDL_CHECK(inputs.size() == 1);
+      Dims out = inputs[0].dims;
+      for (int i = 0; i < inputs[0].spatial_rank(); ++i) out[2 + i] = 1;
+      return Shape(out);
+    }
+    case OpKind::kDense: {
+      BDL_CHECK(inputs.size() == 1);
+      BDL_CHECK_MSG(attrs.out_features >= 1, "dense needs out_features");
+      if (weight_dims) {
+        const i64 in_features = inputs[0].elements() / inputs[0].batch();
+        *weight_dims = Dims{attrs.out_features, in_features};
+      }
+      return Shape(Dims{inputs[0].batch(), attrs.out_features});
+    }
+  }
+  BDL_CHECK_MSG(false, "unhandled op kind");
+  return Shape{};
+}
+
+}  // namespace brickdl

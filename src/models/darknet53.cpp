@@ -1,0 +1,53 @@
+#include "models/models.hpp"
+
+namespace brickdl {
+namespace {
+
+/// DarkNet residual unit: 1×1 squeeze to half width, 3×3 back to full,
+/// identity add (Redmon & Farhadi, YOLOv3 backbone).
+int dark_residual(Graph& g, int x, const std::string& name, i64 channels) {
+  int y = g.add_conv(x, name + "_1x1", Dims{1, 1}, channels / 2, Dims{1, 1},
+                     Dims{0, 0});
+  y = g.add_relu(y, name + "_1x1_relu");
+  y = g.add_conv(y, name + "_3x3", Dims{3, 3}, channels, Dims{1, 1}, Dims{1, 1});
+  y = g.add_relu(y, name + "_3x3_relu");
+  return g.add_add(y, x, name + "_add");
+}
+
+}  // namespace
+
+// DarkNet-53: stride-2 3×3 downsampling convs between residual stages of
+// depth {1, 2, 8, 8, 4}.
+Graph build_darknet53(const ModelConfig& config) {
+  Graph g("darknet53");
+  int x = g.add_input(
+      "input", Shape{config.batch, 3, config.spatial, config.spatial});
+  x = g.add_conv(x, "conv0", Dims{3, 3}, config.ch(32), Dims{1, 1}, Dims{1, 1});
+  x = g.add_relu(x, "conv0_relu");
+
+  const struct {
+    int blocks;
+    i64 channels;
+  } stages[] = {{1, 64}, {2, 128}, {8, 256}, {8, 512}, {4, 1024}};
+
+  int stage_idx = 0;
+  for (const auto& stage : stages) {
+    ++stage_idx;
+    const i64 ch = config.ch(stage.channels);
+    x = g.add_conv(x, "down" + std::to_string(stage_idx), Dims{3, 3}, ch,
+                   Dims{2, 2}, Dims{1, 1});
+    x = g.add_relu(x, "down" + std::to_string(stage_idx) + "_relu");
+    for (int b = 0; b < stage.blocks; ++b) {
+      x = dark_residual(
+          g, x, "res" + std::to_string(stage_idx) + "_" + std::to_string(b + 1),
+          ch);
+    }
+  }
+
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_dense(x, "fc", config.classes);
+  g.add_softmax(x, "prob");
+  return g;
+}
+
+}  // namespace brickdl

@@ -1,0 +1,68 @@
+#include "models/models.hpp"
+
+namespace brickdl {
+namespace {
+
+int conv_relu(Graph& g, int x, const std::string& name, Dims kernel, i64 out,
+              Dims stride, Dims padding, Dims dilation = {}) {
+  const int c = g.add_conv(x, name, kernel, out, stride, padding, dilation);
+  return g.add_relu(c, name + "_relu");
+}
+
+}  // namespace
+
+// DeepCAM (Kurth et al.): encoder–decoder segmentation network for climate
+// analytics, with an atrous spatial pyramid pooling (ASPP) bottleneck of
+// parallel dilated convolutions and transposed-convolution upsampling with
+// encoder skip connections. Output is a per-pixel sigmoid map at input
+// resolution.
+Graph build_deepcam(const ModelConfig& config) {
+  BDL_CHECK_MSG(config.spatial % 4 == 0, "deepcam needs spatial % 4 == 0");
+  Graph g("deepcam");
+  int x = g.add_input(
+      "input", Shape{config.batch, 4, config.spatial, config.spatial});
+
+  // Encoder: two stride-2 stages.
+  int e1 = conv_relu(g, x, "enc1a", Dims{3, 3}, config.ch(64), Dims{1, 1},
+                     Dims{1, 1});
+  e1 = conv_relu(g, e1, "enc1b", Dims{3, 3}, config.ch(64), Dims{1, 1},
+                 Dims{1, 1});
+  int e2 = conv_relu(g, e1, "enc2_down", Dims{3, 3}, config.ch(128),
+                     Dims{2, 2}, Dims{1, 1});
+  e2 = conv_relu(g, e2, "enc2", Dims{3, 3}, config.ch(128), Dims{1, 1},
+                 Dims{1, 1});
+  int e3 = conv_relu(g, e2, "enc3_down", Dims{3, 3}, config.ch(256),
+                     Dims{2, 2}, Dims{1, 1});
+  e3 = conv_relu(g, e3, "enc3", Dims{3, 3}, config.ch(256), Dims{1, 1},
+                 Dims{1, 1});
+
+  // ASPP: parallel branches at dilation rates {1, 2, 4} + channel concat.
+  const i64 aspp_ch = config.ch(128);
+  int a1 = conv_relu(g, e3, "aspp_r1", Dims{1, 1}, aspp_ch, Dims{1, 1},
+                     Dims{0, 0});
+  int a2 = conv_relu(g, e3, "aspp_r2", Dims{3, 3}, aspp_ch, Dims{1, 1},
+                     Dims{2, 2}, Dims{2, 2});
+  int a3 = conv_relu(g, e3, "aspp_r4", Dims{3, 3}, aspp_ch, Dims{1, 1},
+                     Dims{4, 4}, Dims{4, 4});
+  int aspp = g.add_concat({a1, a2, a3}, "aspp_concat");
+  aspp = conv_relu(g, aspp, "aspp_fuse", Dims{1, 1}, config.ch(256),
+                   Dims{1, 1}, Dims{0, 0});
+
+  // Decoder: transposed convs upsample ×2 twice, with encoder skips.
+  int d2 = g.add_deconv(aspp, "dec2_up", Dims{4, 4}, config.ch(128),
+                        Dims{2, 2}, Dims{1, 1});
+  d2 = g.add_concat({d2, e2}, "dec2_skip");
+  d2 = conv_relu(g, d2, "dec2", Dims{3, 3}, config.ch(128), Dims{1, 1},
+                 Dims{1, 1});
+  int d1 = g.add_deconv(d2, "dec1_up", Dims{4, 4}, config.ch(64), Dims{2, 2},
+                        Dims{1, 1});
+  d1 = g.add_concat({d1, e1}, "dec1_skip");
+  d1 = conv_relu(g, d1, "dec1", Dims{3, 3}, config.ch(64), Dims{1, 1},
+                 Dims{1, 1});
+
+  int out = g.add_conv(d1, "head", Dims{1, 1}, 3, Dims{1, 1}, Dims{0, 0});
+  g.add_sigmoid(out, "mask");
+  return g;
+}
+
+}  // namespace brickdl

@@ -1,0 +1,70 @@
+#include "models/models.hpp"
+
+namespace brickdl {
+namespace {
+
+/// DRN basic block: two 3×3 convs with a given dilation; residual add.
+int drn_block(Graph& g, int x, const std::string& name, i64 out, i64 stride,
+              i64 dilation, bool project) {
+  int skip = x;
+  if (project) {
+    skip = g.add_conv(x, name + "_proj", Dims{1, 1}, out, Dims{stride, stride},
+                      Dims{0, 0});
+  }
+  int y = g.add_conv(x, name + "_a", Dims{3, 3}, out, Dims{stride, stride},
+                     Dims{dilation, dilation}, Dims{dilation, dilation});
+  y = g.add_relu(y, name + "_a_relu");
+  y = g.add_conv(y, name + "_b", Dims{3, 3}, out, Dims{1, 1},
+                 Dims{dilation, dilation}, Dims{dilation, dilation});
+  y = g.add_add(y, skip, name + "_add");
+  return g.add_relu(y, name + "_relu");
+}
+
+}  // namespace
+
+// DRN-26 (DRN-C, Yu et al.): a residual network whose last two stages trade
+// stride for dilation (2 then 4), keeping spatial resolution, followed by
+// the DRN-C de-gridding convolutions (plain, decreasing dilation).
+Graph build_drn26(const ModelConfig& config) {
+  Graph g("drn26");
+  int x = g.add_input(
+      "input", Shape{config.batch, 3, config.spatial, config.spatial});
+  x = g.add_conv(x, "stem1", Dims{7, 7}, config.ch(16), Dims{1, 1}, Dims{3, 3});
+  x = g.add_relu(x, "stem1_relu");
+  x = g.add_conv(x, "stem2", Dims{3, 3}, config.ch(32), Dims{2, 2}, Dims{1, 1});
+  x = g.add_relu(x, "stem2_relu");
+
+  const struct {
+    int blocks;
+    i64 channels;
+    i64 stride;
+    i64 dilation;
+  } stages[] = {{2, 64, 2, 1}, {2, 128, 2, 1}, {2, 256, 1, 2}, {2, 512, 1, 4}};
+
+  int stage_idx = 0;
+  for (const auto& stage : stages) {
+    ++stage_idx;
+    for (int b = 0; b < stage.blocks; ++b) {
+      const std::string name =
+          "drn" + std::to_string(stage_idx) + static_cast<char>('a' + b);
+      x = drn_block(g, x, name, config.ch(stage.channels),
+                    b == 0 ? stage.stride : 1, stage.dilation,
+                    /*project=*/b == 0);
+    }
+  }
+
+  // De-gridding tail: dilation 2 then 1, no residuals (DRN-C).
+  x = g.add_conv(x, "degrid1", Dims{3, 3}, config.ch(512), Dims{1, 1},
+                 Dims{2, 2}, Dims{2, 2});
+  x = g.add_relu(x, "degrid1_relu");
+  x = g.add_conv(x, "degrid2", Dims{3, 3}, config.ch(512), Dims{1, 1},
+                 Dims{1, 1}, Dims{1, 1});
+  x = g.add_relu(x, "degrid2_relu");
+
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_dense(x, "fc", config.classes);
+  g.add_softmax(x, "prob");
+  return g;
+}
+
+}  // namespace brickdl

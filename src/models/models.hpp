@@ -1,0 +1,46 @@
+// Model zoo: builders for the seven CNNs of the paper's evaluation (§4.2)
+// plus the synthetic convolution-chain proxies of §4.5.
+//
+// All models are inference graphs. Batch-norm layers are folded into the
+// preceding convolution (standard inference practice; the remaining explicit
+// kBatchNorm nodes appear only where the paper calls one out as a subgraph
+// terminator). `ModelConfig` scales batch, input resolution, and channel
+// width so the same topology serves full-scale simulator runs and tiny
+// numeric tests.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace brickdl {
+
+struct ModelConfig {
+  i64 batch = 1;
+  i64 spatial = 224;  ///< input resolution per spatial dim (3D models: cubed)
+  i64 width_div = 1;  ///< divide all channel counts (numeric test scaling)
+  i64 classes = 100;
+
+  i64 ch(i64 c) const { return std::max<i64>(4, c / width_div); }
+};
+
+Graph build_vgg16(const ModelConfig& config = {});
+Graph build_resnet50(const ModelConfig& config = {});
+Graph build_darknet53(const ModelConfig& config = {});
+Graph build_resnet34_3d(const ModelConfig& config = {});
+Graph build_drn26(const ModelConfig& config = {});
+Graph build_deepcam(const ModelConfig& config = {});
+Graph build_inception_v4(const ModelConfig& config = {});
+
+/// All seven models, in the paper's Figure 7 order.
+using ModelBuilder = Graph (*)(const ModelConfig&);
+std::vector<std::pair<std::string, ModelBuilder>> model_zoo();
+
+/// §4.5 proxy microbenchmarks: a chain of `layers` back-to-back convolutions
+/// (kernel 3, stride 1, no padding — each layer shrinks by 2), starting from
+/// a `spatial`^d activation with `channels` channels.
+Graph build_conv_chain_3d(int layers, i64 batch, i64 spatial, i64 channels);
+Graph build_conv_chain_2d(int layers, i64 batch, i64 spatial, i64 channels);
+
+}  // namespace brickdl

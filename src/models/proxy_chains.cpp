@@ -1,0 +1,36 @@
+#include "models/models.hpp"
+
+namespace brickdl {
+
+namespace {
+
+Graph build_conv_chain(int layers, i64 batch, i64 spatial, i64 channels,
+                       int spatial_rank, const std::string& name) {
+  BDL_CHECK(layers >= 1 && spatial >= 2 * layers + 1);
+  Graph g(name);
+  Dims input_dims{batch, channels};
+  for (int d = 0; d < spatial_rank; ++d) input_dims.push_back(spatial);
+  int x = g.add_input("input", Shape(input_dims));
+  const Dims kernel = Dims::filled(spatial_rank, 3);
+  const Dims stride = Dims::filled(spatial_rank, 1);
+  const Dims padding = Dims::filled(spatial_rank, 0);
+  for (int l = 0; l < layers; ++l) {
+    x = g.add_conv(x, "conv" + std::to_string(l + 1), kernel, channels, stride,
+                   padding);
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph build_conv_chain_3d(int layers, i64 batch, i64 spatial, i64 channels) {
+  return build_conv_chain(layers, batch, spatial, channels, 3,
+                          "conv_chain_3d_" + std::to_string(layers));
+}
+
+Graph build_conv_chain_2d(int layers, i64 batch, i64 spatial, i64 channels) {
+  return build_conv_chain(layers, batch, spatial, channels, 2,
+                          "conv_chain_2d_" + std::to_string(layers));
+}
+
+}  // namespace brickdl

@@ -1,0 +1,61 @@
+#include "models/models.hpp"
+
+namespace brickdl {
+namespace {
+
+/// 3D basic block: two 3×3×3 convolutions with identity/projection shortcut
+/// (Hara et al., 3D ResNets for action recognition).
+int basic3d(Graph& g, int x, const std::string& name, i64 out, i64 stride,
+            bool project) {
+  int skip = x;
+  if (project) {
+    skip = g.add_conv(x, name + "_proj", Dims{1, 1, 1}, out,
+                      Dims{stride, stride, stride}, Dims{0, 0, 0});
+  }
+  int y = g.add_conv(x, name + "_a", Dims{3, 3, 3}, out,
+                     Dims{stride, stride, stride}, Dims{1, 1, 1});
+  y = g.add_relu(y, name + "_a_relu");
+  y = g.add_conv(y, name + "_b", Dims{3, 3, 3}, out, Dims{1, 1, 1},
+                 Dims{1, 1, 1});
+  y = g.add_add(y, skip, name + "_add");
+  return g.add_relu(y, name + "_relu");
+}
+
+}  // namespace
+
+// 3D ResNet-34: basic blocks with 3D convolutions, stage depths {3,4,6,3}.
+// The input is a cubic volume (clips of frames in the original).
+Graph build_resnet34_3d(const ModelConfig& config) {
+  Graph g("resnet34_3d");
+  int x = g.add_input("input", Shape{config.batch, 3, config.spatial,
+                                     config.spatial, config.spatial});
+  x = g.add_conv(x, "stem", Dims{3, 3, 3}, config.ch(64), Dims{1, 1, 1},
+                 Dims{1, 1, 1});
+  x = g.add_relu(x, "stem_relu");
+  x = g.add_pool(x, "stem_pool", PoolKind::kMax, Dims{2, 2, 2}, Dims{2, 2, 2});
+
+  const struct {
+    int blocks;
+    i64 channels;
+    i64 stride;
+  } stages[] = {{3, 64, 1}, {4, 128, 2}, {6, 256, 2}, {3, 512, 2}};
+
+  int stage_idx = 1;
+  for (const auto& stage : stages) {
+    ++stage_idx;
+    for (int b = 0; b < stage.blocks; ++b) {
+      const std::string name =
+          "res" + std::to_string(stage_idx) + static_cast<char>('a' + b);
+      const i64 stride = b == 0 ? stage.stride : 1;
+      x = basic3d(g, x, name, config.ch(stage.channels), stride,
+                  /*project=*/b == 0 && stage_idx > 2);
+    }
+  }
+
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_dense(x, "fc", config.classes);
+  g.add_softmax(x, "prob");
+  return g;
+}
+
+}  // namespace brickdl

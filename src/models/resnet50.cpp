@@ -1,0 +1,64 @@
+#include "models/models.hpp"
+
+namespace brickdl {
+namespace {
+
+/// Bottleneck block: 1×1 reduce → 3×3 → 1×1 expand, with identity or
+/// projection shortcut (He et al.). Batch norms are folded into the convs.
+int bottleneck(Graph& g, int x, const std::string& name, i64 mid, i64 out,
+               i64 stride, bool project) {
+  int skip = x;
+  if (project) {
+    skip = g.add_conv(x, name + "_proj", Dims{1, 1}, out, Dims{stride, stride},
+                      Dims{0, 0});
+  }
+  int y = g.add_conv(x, name + "_1x1a", Dims{1, 1}, mid, Dims{1, 1}, Dims{0, 0});
+  y = g.add_relu(y, name + "_1x1a_relu");
+  y = g.add_conv(y, name + "_3x3", Dims{3, 3}, mid, Dims{stride, stride},
+                 Dims{1, 1});
+  y = g.add_relu(y, name + "_3x3_relu");
+  y = g.add_conv(y, name + "_1x1b", Dims{1, 1}, out, Dims{1, 1}, Dims{0, 0});
+  y = g.add_add(y, skip, name + "_add");
+  return g.add_relu(y, name + "_relu");
+}
+
+}  // namespace
+
+// ResNet-50: 7×7 stem, 3-4-6-3 bottleneck stages with identity and
+// projection skip connections, global average pooling + classifier.
+Graph build_resnet50(const ModelConfig& config) {
+  Graph g("resnet50");
+  int x = g.add_input(
+      "input", Shape{config.batch, 3, config.spatial, config.spatial});
+  x = g.add_conv(x, "stem", Dims{7, 7}, config.ch(64), Dims{2, 2}, Dims{3, 3});
+  x = g.add_relu(x, "stem_relu");
+  x = g.add_pool(x, "stem_pool", PoolKind::kMax, Dims{3, 3}, Dims{2, 2},
+                 Dims{1, 1});
+
+  const struct {
+    int blocks;
+    i64 mid;
+    i64 out;
+    i64 stride;
+  } stages[] = {{3, 64, 256, 1}, {4, 128, 512, 2}, {6, 256, 1024, 2},
+                {3, 512, 2048, 2}};
+
+  int stage_idx = 1;
+  for (const auto& stage : stages) {
+    ++stage_idx;
+    for (int b = 0; b < stage.blocks; ++b) {
+      const std::string name =
+          "res" + std::to_string(stage_idx) + static_cast<char>('a' + b);
+      const i64 stride = b == 0 ? stage.stride : 1;
+      x = bottleneck(g, x, name, config.ch(stage.mid), config.ch(stage.out),
+                     stride, /*project=*/b == 0);
+    }
+  }
+
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_dense(x, "fc", config.classes);
+  g.add_softmax(x, "prob");
+  return g;
+}
+
+}  // namespace brickdl

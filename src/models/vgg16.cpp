@@ -1,0 +1,38 @@
+#include "models/models.hpp"
+
+namespace brickdl {
+
+// VGG-16 (Simonyan & Zisserman): five conv stages separated by max pooling,
+// then the classifier head. BN-free by design; ReLU after every conv.
+Graph build_vgg16(const ModelConfig& config) {
+  Graph g("vgg16");
+  int x = g.add_input(
+      "input", Shape{config.batch, 3, config.spatial, config.spatial});
+
+  const struct {
+    int convs;
+    i64 channels;
+  } stages[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+
+  int stage_idx = 0;
+  for (const auto& stage : stages) {
+    ++stage_idx;
+    for (int c = 0; c < stage.convs; ++c) {
+      const std::string tag =
+          "conv" + std::to_string(stage_idx) + "_" + std::to_string(c + 1);
+      x = g.add_conv(x, tag, Dims{3, 3}, config.ch(stage.channels), Dims{1, 1},
+                     Dims{1, 1});
+      x = g.add_relu(x, tag + "_relu");
+    }
+    x = g.add_pool(x, "pool" + std::to_string(stage_idx), PoolKind::kMax,
+                   Dims{2, 2}, Dims{2, 2});
+  }
+
+  x = g.add_dense(x, "fc6", config.ch(4096));
+  x = g.add_dense(x, "fc7", config.ch(4096));
+  x = g.add_dense(x, "fc8", config.classes);
+  g.add_softmax(x, "prob");
+  return g;
+}
+
+}  // namespace brickdl

@@ -1,0 +1,89 @@
+#include "util/odometer.hpp"
+#include "ops/region.hpp"
+
+namespace brickdl {
+namespace {
+
+/// Read input window at relative blocked position, zero outside the window.
+inline float window_at(const RegionInput& in, i64 channel, const Dims& abs) {
+  i64 offset = 0;
+  for (int d = 0; d < abs.rank(); ++d) {
+    const i64 rel = abs[d] - in.lo[d];
+    if (rel < 0 || rel >= in.extent[d]) return 0.0f;
+    offset = offset * in.extent[d] + rel;
+  }
+  return in.data[static_cast<size_t>(channel * in.extent.product() + offset)];
+}
+
+}  // namespace
+
+void conv_region(const Node& node, const RegionInput& input,
+                 std::span<const float> weights, const Dims& out_lo,
+                 const Dims& out_extent, std::span<float> out) {
+  const OpAttrs& a = node.attrs;
+  const int spatial_rank = a.kernel.rank();
+  BDL_CHECK(out_lo.rank() == spatial_rank + 1);
+  const i64 m_total = a.out_channels;
+  const i64 c_in = input.channels;
+  const i64 c_group = c_in / a.groups;
+  const i64 m_group = m_total / a.groups;
+  const i64 taps = a.kernel.product();
+  const i64 out_points = out_extent.product();
+  BDL_CHECK(static_cast<i64>(out.size()) >= m_total * out_points);
+  BDL_CHECK(static_cast<i64>(weights.size()) >= m_total * c_group * taps);
+
+  const bool relu = a.fused_relu;
+  i64 point = 0;
+  for_each_index(out_extent, [&](const Dims& rel) {
+    Dims abs = rel;
+    for (int d = 0; d <= spatial_rank; ++d) abs[d] += out_lo[d];
+    for (i64 m = 0; m < m_total; ++m) {
+      const i64 g = m / m_group;
+      const float* w_m = weights.data() + m * c_group * taps;
+      double acc = 0.0;
+      if (!a.transposed) {
+        for_each_index(a.kernel, [&](const Dims& tap) {
+          Dims in_abs = abs;
+          for (int d = 0; d < spatial_rank; ++d) {
+            in_abs[d + 1] = abs[d + 1] * a.stride[d] - a.padding[d] +
+                            a.dilation[d] * tap[d];
+          }
+          const i64 t = a.kernel.linear(tap);
+          for (i64 cg = 0; cg < c_group; ++cg) {
+            acc += static_cast<double>(
+                       window_at(input, g * c_group + cg, in_abs)) *
+                   w_m[cg * taps + t];
+          }
+        });
+      } else {
+        // Transposed: output o accumulates in(i)·w(t) where o = i·s − p + d·t.
+        for_each_index(a.kernel, [&](const Dims& tap) {
+          Dims in_abs = abs;
+          bool valid = true;
+          for (int d = 0; d < spatial_rank && valid; ++d) {
+            const i64 numer =
+                abs[d + 1] + a.padding[d] - a.dilation[d] * tap[d];
+            if (numer % a.stride[d] != 0) {
+              valid = false;
+            } else {
+              in_abs[d + 1] = numer / a.stride[d];
+            }
+          }
+          if (!valid) return;
+          const i64 t = a.kernel.linear(tap);
+          for (i64 cg = 0; cg < c_group; ++cg) {
+            acc += static_cast<double>(
+                       window_at(input, g * c_group + cg, in_abs)) *
+                   w_m[cg * taps + t];
+          }
+        });
+      }
+      float v = static_cast<float>(acc);
+      if (relu && v < 0.0f) v = 0.0f;
+      out[static_cast<size_t>(m * out_points + point)] = v;
+    }
+    ++point;
+  });
+}
+
+}  // namespace brickdl

@@ -1,0 +1,47 @@
+#include "ops/dispatch.hpp"
+
+namespace brickdl {
+
+Tensor dense_forward(const Node& node, const Tensor& input,
+                     std::span<const float> weights) {
+  const Shape in_shape(input.dims());
+  const i64 batch = in_shape.batch();
+  const i64 in_features = in_shape.elements() / batch;
+  const i64 out_features = node.attrs.out_features;
+  BDL_CHECK(static_cast<i64>(weights.size()) >= out_features * in_features);
+
+  Tensor out(Dims{batch, out_features});
+  for (i64 n = 0; n < batch; ++n) {
+    const float* x = input.data() + n * in_features;
+    for (i64 m = 0; m < out_features; ++m) {
+      const float* w = weights.data() + m * in_features;
+      double acc = 0.0;
+      for (i64 k = 0; k < in_features; ++k) {
+        acc += static_cast<double>(x[k]) * w[k];
+      }
+      out.flat(n * out_features + m) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool_forward(const Node& node, const Tensor& input) {
+  const Shape in_shape(input.dims());
+  const i64 batch = in_shape.batch();
+  const i64 channels = in_shape.channels();
+  const i64 points = in_shape.spatial_dims().product();
+
+  Tensor out(node.out_shape);
+  const double inv = 1.0 / static_cast<double>(points);
+  for (i64 n = 0; n < batch; ++n) {
+    for (i64 c = 0; c < channels; ++c) {
+      const float* x = input.data() + (n * channels + c) * points;
+      double acc = 0.0;
+      for (i64 p = 0; p < points; ++p) acc += x[p];
+      out.flat(n * channels + c) = static_cast<float>(acc * inv);
+    }
+  }
+  return out;
+}
+
+}  // namespace brickdl

@@ -1,0 +1,62 @@
+#include <cmath>
+
+#include "ops/region.hpp"
+
+namespace brickdl {
+namespace {
+
+void check_congruent(const RegionInput& in, size_t out_size) {
+  BDL_CHECK_MSG(static_cast<i64>(out_size) >=
+                    in.channels * in.extent.product(),
+                "output span too small for pointwise region");
+}
+
+}  // namespace
+
+void relu_region(const RegionInput& input, std::span<float> out) {
+  check_congruent(input, out.size());
+  const i64 n = input.channels * input.extent.product();
+  for (i64 i = 0; i < n; ++i) {
+    const float v = input.data[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)] = v > 0.0f ? v : 0.0f;
+  }
+}
+
+void sigmoid_region(const RegionInput& input, std::span<float> out) {
+  check_congruent(input, out.size());
+  const i64 n = input.channels * input.extent.product();
+  for (i64 i = 0; i < n; ++i) {
+    const float v = input.data[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)] = 1.0f / (1.0f + std::exp(-v));
+  }
+}
+
+void add_region(const RegionInput& lhs, const RegionInput& rhs,
+                std::span<float> out) {
+  BDL_CHECK_MSG(lhs.extent == rhs.extent && lhs.lo == rhs.lo &&
+                    lhs.channels == rhs.channels,
+                "add requires congruent input windows");
+  check_congruent(lhs, out.size());
+  const i64 n = lhs.channels * lhs.extent.product();
+  for (i64 i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] =
+        lhs.data[static_cast<size_t>(i)] + rhs.data[static_cast<size_t>(i)];
+  }
+}
+
+void concat_region(std::span<const RegionInput> inputs, std::span<float> out) {
+  BDL_CHECK(!inputs.empty());
+  i64 offset = 0;
+  for (const RegionInput& in : inputs) {
+    BDL_CHECK_MSG(in.extent == inputs[0].extent && in.lo == inputs[0].lo,
+                  "concat requires congruent input windows");
+    const i64 n = in.channels * in.extent.product();
+    BDL_CHECK(static_cast<i64>(out.size()) >= offset + n);
+    for (i64 i = 0; i < n; ++i) {
+      out[static_cast<size_t>(offset + i)] = in.data[static_cast<size_t>(i)];
+    }
+    offset += n;
+  }
+}
+
+}  // namespace brickdl

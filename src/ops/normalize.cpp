@@ -1,0 +1,56 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ops/region.hpp"
+
+namespace brickdl {
+
+void softmax_region(const RegionInput& input, std::span<float> out) {
+  // Softmax normalizes across channels at each blocked-space position. The
+  // channel dimension is never blocked (§3.2), so every region holds all
+  // channels and the reduction is local to the region.
+  const i64 points = input.extent.product();
+  const i64 c_total = input.channels;
+  BDL_CHECK(static_cast<i64>(out.size()) >= c_total * points);
+  for (i64 p = 0; p < points; ++p) {
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (i64 c = 0; c < c_total; ++c) {
+      max_v = std::max(max_v, input.data[static_cast<size_t>(c * points + p)]);
+    }
+    double sum = 0.0;
+    for (i64 c = 0; c < c_total; ++c) {
+      sum += std::exp(
+          static_cast<double>(input.data[static_cast<size_t>(c * points + p)]) -
+          max_v);
+    }
+    const double inv = 1.0 / sum;
+    for (i64 c = 0; c < c_total; ++c) {
+      out[static_cast<size_t>(c * points + p)] = static_cast<float>(
+          std::exp(static_cast<double>(
+                       input.data[static_cast<size_t>(c * points + p)]) -
+                   max_v) *
+          inv);
+    }
+  }
+}
+
+void batchnorm_region(const RegionInput& input, std::span<const float> weights,
+                      std::span<float> out) {
+  // Inference-mode batch norm folded to per-channel scale/shift:
+  // weights[c*2+0] = scale, weights[c*2+1] = shift.
+  const i64 points = input.extent.product();
+  const i64 c_total = input.channels;
+  BDL_CHECK(static_cast<i64>(weights.size()) >= c_total * 2);
+  BDL_CHECK(static_cast<i64>(out.size()) >= c_total * points);
+  for (i64 c = 0; c < c_total; ++c) {
+    const float scale = weights[static_cast<size_t>(c * 2)];
+    const float shift = weights[static_cast<size_t>(c * 2 + 1)];
+    for (i64 p = 0; p < points; ++p) {
+      out[static_cast<size_t>(c * points + p)] =
+          input.data[static_cast<size_t>(c * points + p)] * scale + shift;
+    }
+  }
+}
+
+}  // namespace brickdl

@@ -1,0 +1,60 @@
+#include <algorithm>
+#include <limits>
+
+#include "util/odometer.hpp"
+#include "ops/region.hpp"
+
+namespace brickdl {
+namespace {
+
+inline float window_at(const RegionInput& in, i64 channel, const Dims& abs) {
+  i64 offset = 0;
+  for (int d = 0; d < abs.rank(); ++d) {
+    const i64 rel = abs[d] - in.lo[d];
+    if (rel < 0 || rel >= in.extent[d]) return 0.0f;
+    offset = offset * in.extent[d] + rel;
+  }
+  return in.data[static_cast<size_t>(channel * in.extent.product() + offset)];
+}
+
+}  // namespace
+
+void pool_region(const Node& node, const RegionInput& input, const Dims& out_lo,
+                 const Dims& out_extent, std::span<float> out) {
+  const OpAttrs& a = node.attrs;
+  const int spatial_rank = a.window.rank();
+  BDL_CHECK(out_lo.rank() == spatial_rank + 1);
+  const i64 channels = input.channels;
+  const i64 out_points = out_extent.product();
+  BDL_CHECK(static_cast<i64>(out.size()) >= channels * out_points);
+  const double inv_volume = 1.0 / static_cast<double>(a.window.product());
+
+  i64 point = 0;
+  for_each_index(out_extent, [&](const Dims& rel) {
+    Dims abs = rel;
+    for (int d = 0; d <= spatial_rank; ++d) abs[d] += out_lo[d];
+    for (i64 c = 0; c < channels; ++c) {
+      double acc = a.pool_kind == PoolKind::kMax
+                       ? -std::numeric_limits<double>::infinity()
+                       : 0.0;
+      for_each_index(a.window, [&](const Dims& tap) {
+        Dims in_abs = abs;
+        for (int d = 0; d < spatial_rank; ++d) {
+          in_abs[d + 1] = abs[d + 1] * a.stride[d] - a.padding[d] + tap[d];
+        }
+        // Out-of-bounds reads as zero in every executor path (see region.hpp).
+        const double v = window_at(input, c, in_abs);
+        if (a.pool_kind == PoolKind::kMax) {
+          acc = std::max(acc, v);
+        } else {
+          acc += v;
+        }
+      });
+      if (a.pool_kind == PoolKind::kAvg) acc *= inv_volume;
+      out[static_cast<size_t>(c * out_points + point)] = static_cast<float>(acc);
+    }
+    ++point;
+  });
+}
+
+}  // namespace brickdl

@@ -1,0 +1,112 @@
+#include "ops/weights_io.hpp"
+
+#include <fstream>
+#include <unordered_map>
+
+namespace brickdl {
+namespace {
+
+constexpr char kMagic[4] = {'B', 'D', 'L', 'W'};
+constexpr u32 kVersion = 1;
+
+void write_u32(std::ostream& out, u32 v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_i64(std::ostream& out, i64 v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+u32 read_u32(std::istream& in) {
+  u32 v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  BDL_CHECK_MSG(static_cast<bool>(in), "truncated weight container");
+  return v;
+}
+
+i64 read_i64(std::istream& in) {
+  i64 v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  BDL_CHECK_MSG(static_cast<bool>(in), "truncated weight container");
+  return v;
+}
+
+}  // namespace
+
+void save_weights(const Graph& graph, WeightStore& store, std::ostream& out) {
+  std::vector<const Node*> weighted;
+  for (const Node& node : graph.nodes()) {
+    if (node.weight_elements() > 0) weighted.push_back(&node);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<u32>(weighted.size()));
+  for (const Node* node : weighted) {
+    const auto data = store.weights(*node);
+    write_u32(out, static_cast<u32>(node->name.size()));
+    out.write(node->name.data(), static_cast<std::streamsize>(node->name.size()));
+    write_u32(out, static_cast<u32>(node->weight_dims.rank()));
+    for (int d = 0; d < node->weight_dims.rank(); ++d) {
+      write_i64(out, node->weight_dims[d]);
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  BDL_CHECK_MSG(static_cast<bool>(out), "failed writing weight container");
+}
+
+int load_weights(const Graph& graph, WeightStore& store, std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  BDL_CHECK_MSG(static_cast<bool>(in) && std::equal(magic, magic + 4, kMagic),
+                "not a BrickDL weight container");
+  BDL_CHECK_MSG(read_u32(in) == kVersion, "unsupported weight version");
+
+  std::unordered_map<std::string, const Node*> by_name;
+  for (const Node& node : graph.nodes()) {
+    if (node.weight_elements() > 0) by_name.emplace(node.name, &node);
+  }
+
+  const u32 count = read_u32(in);
+  int installed = 0;
+  for (u32 i = 0; i < count; ++i) {
+    const u32 name_len = read_u32(in);
+    BDL_CHECK_MSG(name_len < 4096, "implausible name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const u32 rank = read_u32(in);
+    BDL_CHECK_MSG(rank >= 1 && rank <= Dims::kMaxRank, "bad weight rank");
+    Dims dims;
+    for (u32 d = 0; d < rank; ++d) dims.push_back(read_i64(in));
+    Tensor values(dims);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(values.elements() * sizeof(float)));
+    BDL_CHECK_MSG(static_cast<bool>(in), "truncated weight container");
+
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) continue;  // unknown node: skip
+    BDL_CHECK_MSG(it->second->weight_dims == dims,
+                  "weight shape mismatch for '" << name << "': file "
+                                                << dims.str() << " vs graph "
+                                                << it->second->weight_dims.str());
+    store.set(*it->second, values);
+    ++installed;
+  }
+  return installed;
+}
+
+void save_weights_file(const Graph& graph, WeightStore& store,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  BDL_CHECK_MSG(out.is_open(), "cannot open '" << path << "' for writing");
+  save_weights(graph, store, out);
+}
+
+int load_weights_file(const Graph& graph, WeightStore& store,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BDL_CHECK_MSG(in.is_open(), "cannot open '" << path << "'");
+  return load_weights(graph, store, in);
+}
+
+}  // namespace brickdl

@@ -1,0 +1,36 @@
+// Weight serialization: a simple binary container mapping node names to
+// float tensors, so trained parameters can ship alongside a serialized
+// graph (graph/serialize.hpp) instead of the deterministic random weights
+// the WeightStore otherwise generates.
+//
+// Format (little-endian):
+//   magic "BDLW" | u32 version=1 | u32 count
+//   per entry: u32 name_len | name bytes | u32 rank | i64 dims[rank]
+//              | f32 data[prod(dims)]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "ops/dispatch.hpp"
+
+namespace brickdl {
+
+/// Write every weighted node's parameters (materializing them from `store`
+/// if not yet touched) for `graph` into `out`.
+void save_weights(const Graph& graph, WeightStore& store, std::ostream& out);
+
+/// Load a weight container and install every entry whose name matches a
+/// weighted node of `graph` into `store`. Returns the number of entries
+/// installed; throws on malformed input or shape mismatches. Entries naming
+/// unknown nodes are skipped (forward compatibility).
+int load_weights(const Graph& graph, WeightStore& store, std::istream& in);
+
+/// Convenience file wrappers.
+void save_weights_file(const Graph& graph, WeightStore& store,
+                       const std::string& path);
+int load_weights_file(const Graph& graph, WeightStore& store,
+                      const std::string& path);
+
+}  // namespace brickdl

@@ -1,0 +1,97 @@
+#include "sim/cache.hpp"
+
+namespace brickdl {
+
+CacheModel::CacheModel(i64 capacity_bytes, int ways, i64 line_bytes)
+    : line_bytes_(line_bytes), ways_(ways) {
+  BDL_CHECK(capacity_bytes > 0 && ways > 0 && line_bytes > 0);
+  num_sets_ = capacity_bytes / (ways * line_bytes);
+  BDL_CHECK_MSG(num_sets_ > 0, "cache too small for its associativity");
+  ways_storage_.resize(static_cast<size_t>(num_sets_) * static_cast<size_t>(ways_));
+  set_touched_.assign(static_cast<size_t>(num_sets_), 0);
+}
+
+void CacheModel::touch_set(u64 line) {
+  const u64 set = line % static_cast<u64>(num_sets_);
+  if (!set_touched_[static_cast<size_t>(set)]) {
+    set_touched_[static_cast<size_t>(set)] = 1;
+    touched_sets_.push_back(set);
+  }
+}
+
+CacheModel::AccessResult CacheModel::access(u64 line, bool write) {
+  AccessResult result;
+  const size_t base = set_base(line);
+  touch_set(line);
+  ++tick_;
+
+  size_t victim = base;
+  u64 victim_lru = ways_storage_[base].lru;
+  for (size_t w = base; w < base + static_cast<size_t>(ways_); ++w) {
+    Way& way = ways_storage_[w];
+    if (way.valid && way.tag == line) {
+      way.lru = tick_;
+      way.dirty = way.dirty || write;
+      result.hit = true;
+      return result;
+    }
+    if (!way.valid) {
+      victim = w;
+      victim_lru = 0;
+    } else if (way.lru < victim_lru) {
+      victim = w;
+      victim_lru = way.lru;
+    }
+  }
+
+  Way& way = ways_storage_[victim];
+  if (way.valid && way.dirty) {
+    result.evicted_dirty = true;
+    result.evicted_line = way.tag;
+  }
+  way.tag = line;
+  way.valid = true;
+  way.dirty = write;
+  way.lru = tick_;
+  return result;
+}
+
+bool CacheModel::contains(u64 line) const {
+  const size_t base = set_base(line);
+  for (size_t w = base; w < base + static_cast<size_t>(ways_); ++w) {
+    if (ways_storage_[w].valid && ways_storage_[w].tag == line) return true;
+  }
+  return false;
+}
+
+i64 CacheModel::flush(std::vector<u64>* dirty_lines) {
+  i64 dirty = 0;
+  for (u64 set : touched_sets_) {
+    const size_t base = static_cast<size_t>(set) * static_cast<size_t>(ways_);
+    for (size_t w = base; w < base + static_cast<size_t>(ways_); ++w) {
+      Way& way = ways_storage_[w];
+      if (way.valid && way.dirty) {
+        ++dirty;
+        if (dirty_lines) dirty_lines->push_back(way.tag);
+      }
+      way.valid = false;
+      way.dirty = false;
+    }
+    set_touched_[static_cast<size_t>(set)] = 0;
+  }
+  touched_sets_.clear();
+  return dirty;
+}
+
+void CacheModel::invalidate(u64 line) {
+  const size_t base = set_base(line);
+  for (size_t w = base; w < base + static_cast<size_t>(ways_); ++w) {
+    if (ways_storage_[w].valid && ways_storage_[w].tag == line) {
+      ways_storage_[w].valid = false;
+      ways_storage_[w].dirty = false;
+      return;
+    }
+  }
+}
+
+}  // namespace brickdl

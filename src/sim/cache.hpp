@@ -1,0 +1,66 @@
+// Set-associative LRU write-back cache model, used for both the shared L2
+// and the per-worker L1s of the simulated GPU.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace brickdl {
+
+class CacheModel {
+ public:
+  struct AccessResult {
+    bool hit = false;
+    bool evicted_dirty = false;
+    u64 evicted_line = 0;  ///< line index, valid when evicted_dirty
+  };
+
+  CacheModel(i64 capacity_bytes, int ways, i64 line_bytes);
+
+  i64 line_bytes() const { return line_bytes_; }
+  i64 num_sets() const { return num_sets_; }
+
+  /// Probe/fill one line (by line index = address / line_bytes). Misses
+  /// allocate; write marks dirty. Reports a dirty eviction if one occurred.
+  AccessResult access(u64 line, bool write);
+
+  /// Probe without filling or LRU update (used by flush accounting tests).
+  bool contains(u64 line) const;
+
+  /// Invalidate everything, returning the number of dirty lines dropped or
+  /// written back (caller decides what a dirty line means). If `dirty_lines`
+  /// is non-null the dirty line indices are appended to it.
+  i64 flush(std::vector<u64>* dirty_lines = nullptr);
+
+  /// Invalidate any cached copy of `line` without writeback accounting;
+  /// models discarding dead intermediate data.
+  void invalidate(u64 line);
+
+ private:
+  struct Way {
+    u64 tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    u64 lru = 0;  ///< larger = more recently used
+  };
+
+  size_t set_base(u64 line) const {
+    return static_cast<size_t>(line % static_cast<u64>(num_sets_)) *
+           static_cast<size_t>(ways_);
+  }
+
+  void touch_set(u64 line);
+
+  i64 line_bytes_;
+  int ways_;
+  i64 num_sets_;
+  u64 tick_ = 0;
+  std::vector<Way> ways_storage_;
+  // Sets touched since the last flush, so flush() is O(working set) instead
+  // of O(capacity) — per-invocation L1 resets would otherwise dominate.
+  std::vector<u64> touched_sets_;
+  std::vector<u8> set_touched_;
+};
+
+}  // namespace brickdl

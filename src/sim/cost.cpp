@@ -1,0 +1,48 @@
+#include "sim/cost.hpp"
+
+#include <algorithm>
+
+namespace brickdl {
+
+Breakdown& Breakdown::operator+=(const Breakdown& o) {
+  idle += o.idle;
+  dram += o.dram;
+  compute += o.compute;
+  atomics_compulsory += o.atomics_compulsory;
+  atomics_conflict += o.atomics_conflict;
+  other += o.other;
+  return *this;
+}
+
+Bar Breakdown::memory_bar(const std::string& label, double scale) const {
+  Bar bar;
+  bar.label = label;
+  bar.segments = {{"DRAM", dram * scale, 'D'}, {"Idle", idle * scale, '.'}};
+  return bar;
+}
+
+Bar Breakdown::compute_bar(const std::string& label, double scale) const {
+  Bar bar;
+  bar.label = label;
+  bar.segments = {{"Compute", compute * scale, 'C'},
+                  {"Atomics-compulsory", atomics_compulsory * scale, 'a'},
+                  {"Atomics-conflict", atomics_conflict * scale, 'x'},
+                  {"Other", other * scale, 'o'}};
+  return bar;
+}
+
+Breakdown CostModel::breakdown(const TxnCounters& txns,
+                               const ComputeTally& tally, double rho) const {
+  Breakdown b;
+  b.dram = dram_time(txns.dram());
+  b.compute = compute_time(tally) * utilization_stretch(rho);
+  b.atomics_compulsory = atomic_time(txns.atomics_compulsory);
+  b.atomics_conflict = atomic_time(txns.atomics_conflict);
+  b.other = other_time(tally);
+  // Perfect overlap (§4.4): total is the longer of the two sides; the memory
+  // side absorbs the difference as Idle so both bars reach the same height.
+  b.idle = std::max(0.0, b.compute_side() - b.dram);
+  return b;
+}
+
+}  // namespace brickdl

@@ -1,0 +1,145 @@
+#include "sim/memsim.hpp"
+
+#include <algorithm>
+
+namespace brickdl {
+
+TxnCounters TxnCounters::operator-(const TxnCounters& o) const {
+  TxnCounters r;
+  r.l1 = l1 - o.l1;
+  r.l2 = l2 - o.l2;
+  r.dram_read = dram_read - o.dram_read;
+  r.dram_write = dram_write - o.dram_write;
+  r.atomics_compulsory = atomics_compulsory - o.atomics_compulsory;
+  r.atomics_conflict = atomics_conflict - o.atomics_conflict;
+  return r;
+}
+
+TxnCounters& TxnCounters::operator+=(const TxnCounters& o) {
+  l1 += o.l1;
+  l2 += o.l2;
+  dram_read += o.dram_read;
+  dram_write += o.dram_write;
+  atomics_compulsory += o.atomics_compulsory;
+  atomics_conflict += o.atomics_conflict;
+  return *this;
+}
+
+MemoryHierarchySim::MemoryHierarchySim(const MachineParams& params)
+    : params_(params),
+      l2_(params.l2_bytes, params.l2_ways, params.line_bytes) {
+  l1_.reserve(static_cast<size_t>(params.concurrent_blocks));
+  for (int w = 0; w < params.concurrent_blocks; ++w) {
+    l1_.emplace_back(params.l1_bytes, params.l1_ways, params.line_bytes);
+  }
+}
+
+u64 MemoryHierarchySim::allocate(const std::string& name, i64 bytes) {
+  (void)name;  // names aid debugging; the model only needs disjoint ranges
+  std::lock_guard<std::mutex> lock(mu_);
+  BDL_CHECK(bytes >= 0);
+  const u64 base = next_addr_;
+  next_addr_ += static_cast<u64>(round_up(bytes, params_.line_bytes));
+  // Guard line between allocations catches off-by-one range emissions.
+  next_addr_ += static_cast<u64>(params_.line_bytes);
+  return base;
+}
+
+bool MemoryHierarchySim::is_discarded(u64 line) const {
+  auto it = std::upper_bound(
+      discarded_.begin(), discarded_.end(), line,
+      [](u64 l, const std::pair<u64, u64>& range) { return l < range.first; });
+  return it != discarded_.begin() && line <= std::prev(it)->second;
+}
+
+void MemoryHierarchySim::l2_access(u64 line, bool write, bool fill_on_miss) {
+  ++counters_.l2;
+  const auto result = l2_.access(line, write);
+  // Full-line writes validate in place (no fetch) — the GPU write-allocate
+  // path does not read DRAM when the store covers the whole sector.
+  if (!result.hit && fill_on_miss) ++counters_.dram_read;
+  if (result.evicted_dirty && !is_discarded(result.evicted_line)) {
+    ++counters_.dram_write;
+  }
+}
+
+void MemoryHierarchySim::access(int worker, u64 addr, i64 bytes, bool write) {
+  BDL_CHECK(worker >= 0 && worker < num_workers());
+  if (bytes <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 first = addr / static_cast<u64>(params_.line_bytes);
+  const u64 last =
+      (addr + static_cast<u64>(bytes) - 1) / static_cast<u64>(params_.line_bytes);
+  CacheModel& l1 = l1_[static_cast<size_t>(worker)];
+  const i64 lb = params_.line_bytes;
+  for (u64 line = first; line <= last; ++line) {
+    ++counters_.l1;
+    // Does this access cover the whole line? (Only possible for writes.)
+    const bool full_line =
+        write && addr <= line * static_cast<u64>(lb) &&
+        addr + static_cast<u64>(bytes) >= (line + 1) * static_cast<u64>(lb);
+    const auto r1 = l1.access(line, write);
+    if (r1.evicted_dirty) {
+      l2_access(r1.evicted_line, /*write=*/true, /*fill_on_miss=*/false);
+    }
+    if (!r1.hit && !full_line) l2_access(line, /*write=*/false, true);
+  }
+}
+
+void MemoryHierarchySim::invocation_begin(int worker) {
+  BDL_CHECK(worker >= 0 && worker < num_workers());
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<u64> dirty;
+  l1_[static_cast<size_t>(worker)].flush(&dirty);
+  for (u64 line : dirty) l2_access(line, /*write=*/true, false);
+}
+
+void MemoryHierarchySim::count_l2_resident_reads(i64 lines) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.l1 += lines;
+  counters_.l2 += lines;
+}
+
+void MemoryHierarchySim::count_atomics(i64 compulsory, i64 conflict) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.atomics_compulsory += compulsory;
+  counters_.atomics_conflict += conflict;
+}
+
+void MemoryHierarchySim::discard(u64 addr, i64 bytes) {
+  if (bytes <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 first = addr / static_cast<u64>(params_.line_bytes);
+  const u64 last =
+      (addr + static_cast<u64>(bytes) - 1) / static_cast<u64>(params_.line_bytes);
+  const auto pos = std::upper_bound(
+      discarded_.begin(), discarded_.end(), first,
+      [](u64 l, const std::pair<u64, u64>& range) { return l < range.first; });
+  discarded_.insert(pos, {first, last});
+}
+
+void MemoryHierarchySim::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& l1 : l1_) {
+    std::vector<u64> dirty;
+    l1.flush(&dirty);
+    for (u64 line : dirty) l2_access(line, /*write=*/true, false);
+  }
+  std::vector<u64> dirty;
+  l2_.flush(&dirty);
+  for (u64 line : dirty) {
+    if (!is_discarded(line)) ++counters_.dram_write;
+  }
+}
+
+TxnCounters MemoryHierarchySim::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void MemoryHierarchySim::reset_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = TxnCounters{};
+}
+
+}  // namespace brickdl

@@ -1,0 +1,93 @@
+// MemoryHierarchySim: the GPU memory-system substrate.
+//
+// Executors running in model mode emit their real access streams here at
+// cache-line granularity. The simulator maintains one L1 per worker (a worker
+// models a resident thread block; L1 starts cold at each kernel invocation,
+// since GPU L1s are not coherent across blocks) and one shared L2. Counters
+// correspond to the Nsight metrics the paper collects: global (L1), L2 and
+// DRAM transactions, plus atomic-operation counts (§4.2–4.4, Fig. 9).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/machine.hpp"
+
+namespace brickdl {
+
+struct TxnCounters {
+  i64 l1 = 0;          ///< global/L1 transactions (all line touches)
+  i64 l2 = 0;          ///< L1 misses reaching L2 (plus L1 writebacks)
+  i64 dram_read = 0;   ///< L2 miss fills
+  i64 dram_write = 0;  ///< L2 dirty writebacks (incl. flush)
+  i64 atomics_compulsory = 0;
+  i64 atomics_conflict = 0;
+
+  i64 dram() const { return dram_read + dram_write; }
+  i64 atomics() const { return atomics_compulsory + atomics_conflict; }
+
+  TxnCounters operator-(const TxnCounters& o) const;
+  TxnCounters& operator+=(const TxnCounters& o);
+};
+
+class MemoryHierarchySim {
+ public:
+  explicit MemoryHierarchySim(const MachineParams& params);
+
+  const MachineParams& params() const { return params_; }
+  int num_workers() const { return params_.concurrent_blocks; }
+
+  /// Reserve a line-aligned address range for a named tensor/buffer.
+  u64 allocate(const std::string& name, i64 bytes);
+
+  /// Emit one access of `bytes` starting at `addr` from `worker`.
+  void access(int worker, u64 addr, i64 bytes, bool write);
+
+  /// New kernel invocation on `worker`: its L1 starts cold. Dirty L1 lines
+  /// from the previous invocation are written back into L2.
+  void invocation_begin(int worker);
+
+  /// Count atomic operations (they synchronize at L2 on NVIDIA GPUs; we track
+  /// them separately from data transactions, as Nsight does).
+  void count_atomics(i64 compulsory, i64 conflict);
+
+  /// Account `lines` of reads that are known to be L2-resident without
+  /// probing the cache model: each line costs one L1 and one L2 transaction
+  /// and never reaches DRAM. Used for repeated weight streams, whose
+  /// footprint stays L2-resident across a layer's brick invocations — per-line
+  /// simulation of those re-reads would dominate runtime while changing
+  /// nothing (see DESIGN.md §5.3).
+  void count_l2_resident_reads(i64 lines);
+
+  /// Mark an address range dead — models merged execution discarding
+  /// intermediate buffers that will never be read again (their storage is
+  /// reused, not persisted). Implemented lazily: dead lines may keep
+  /// occupying cache (as they would on real hardware) but their eventual
+  /// dirty evictions are not charged as DRAM writebacks. The bump allocator
+  /// never reuses addresses, so stale cached copies can never be re-read.
+  void discard(u64 addr, i64 bytes);
+
+  /// Write back all dirty lines (L1s then L2); counts DRAM writes. Harnesses
+  /// call this at the end of a measured region so buffered output traffic is
+  /// charged comparably across executors.
+  void flush();
+
+  TxnCounters counters() const;
+  void reset_counters();
+
+ private:
+  void l2_access(u64 line, bool write, bool fill_on_miss);
+  bool is_discarded(u64 line) const;
+
+  MachineParams params_;
+  mutable std::mutex mu_;
+  CacheModel l2_;
+  std::vector<CacheModel> l1_;
+  TxnCounters counters_;
+  u64 next_addr_ = 0;
+  std::vector<std::pair<u64, u64>> discarded_;  ///< [first, last] line ranges, sorted
+};
+
+}  // namespace brickdl

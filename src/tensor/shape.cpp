@@ -1,0 +1,94 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+namespace brickdl {
+
+Dims::Dims(std::initializer_list<i64> values) {
+  BDL_CHECK_MSG(values.size() <= kMaxRank, "rank exceeds kMaxRank");
+  for (i64 v : values) v_[static_cast<size_t>(rank_++)] = v;
+}
+
+Dims Dims::filled(int rank, i64 value) {
+  BDL_CHECK(rank >= 0 && rank <= kMaxRank);
+  Dims d;
+  d.rank_ = rank;
+  for (int i = 0; i < rank; ++i) d.v_[static_cast<size_t>(i)] = value;
+  return d;
+}
+
+i64 Dims::operator[](int i) const {
+  BDL_CHECK_MSG(i >= 0 && i < rank_, "dim index " << i << " out of rank " << rank_);
+  return v_[static_cast<size_t>(i)];
+}
+
+i64& Dims::operator[](int i) {
+  BDL_CHECK_MSG(i >= 0 && i < rank_, "dim index " << i << " out of rank " << rank_);
+  return v_[static_cast<size_t>(i)];
+}
+
+void Dims::push_back(i64 v) {
+  BDL_CHECK_MSG(rank_ < kMaxRank, "rank exceeds kMaxRank");
+  v_[static_cast<size_t>(rank_++)] = v;
+}
+
+i64 Dims::product() const {
+  i64 p = 1;
+  for (int i = 0; i < rank_; ++i) p *= v_[static_cast<size_t>(i)];
+  return p;
+}
+
+bool Dims::operator==(const Dims& other) const {
+  if (rank_ != other.rank_) return false;
+  for (int i = 0; i < rank_; ++i) {
+    if (v_[static_cast<size_t>(i)] != other.v_[static_cast<size_t>(i)]) return false;
+  }
+  return true;
+}
+
+std::string Dims::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (int i = 0; i < rank_; ++i) {
+    if (i) os << 'x';
+    os << v_[static_cast<size_t>(i)];
+  }
+  os << ']';
+  return os.str();
+}
+
+i64 Dims::linear(const Dims& index) const {
+  BDL_CHECK(index.rank() == rank_);
+  i64 offset = 0;
+  for (int i = 0; i < rank_; ++i) {
+    BDL_CHECK_MSG(index[i] >= 0 && index[i] < (*this)[i],
+                  "index " << index.str() << " out of extent " << str());
+    offset = offset * (*this)[i] + index[i];
+  }
+  return offset;
+}
+
+Dims Dims::unlinear(i64 offset) const {
+  BDL_CHECK(offset >= 0 && offset < product());
+  Dims index = Dims::filled(rank_, 0);
+  for (int i = rank_ - 1; i >= 0; --i) {
+    index[i] = offset % (*this)[i];
+    offset /= (*this)[i];
+  }
+  return index;
+}
+
+Dims Shape::blocked_dims() const {
+  Dims d;
+  d.push_back(batch());
+  for (int i = 0; i < spatial_rank(); ++i) d.push_back(spatial(i));
+  return d;
+}
+
+Dims Shape::spatial_dims() const {
+  Dims d;
+  for (int i = 0; i < spatial_rank(); ++i) d.push_back(spatial(i));
+  return d;
+}
+
+}  // namespace brickdl

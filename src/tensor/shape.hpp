@@ -1,0 +1,76 @@
+// Shape and multi-dimensional index types.
+//
+// Conventions (canonical layouts, matching the paper's framing):
+//  * activations: [N, C, spatial...] — NCHW for 2D models, NCDHW for 3D;
+//  * convolution weights: [M, C, kernel-spatial...];
+//  * spatial rank is rank - 2 for activations.
+// BrickDL blocks along batch and spatial dimensions only, never channels
+// (§3.2), so `spatial_*` helpers below are what the brick layer consumes.
+#pragma once
+
+#include <array>
+#include <initializer_list>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace brickdl {
+
+/// Fixed-capacity dimension vector (max rank 5: N,C,D,H,W).
+class Dims {
+ public:
+  static constexpr int kMaxRank = 5;
+
+  Dims() = default;
+  Dims(std::initializer_list<i64> values);
+  static Dims filled(int rank, i64 value);
+
+  int rank() const { return rank_; }
+  i64 operator[](int i) const;
+  i64& operator[](int i);
+
+  void push_back(i64 v);
+  i64 product() const;
+  bool operator==(const Dims& other) const;
+  bool operator!=(const Dims& other) const { return !(*this == other); }
+
+  std::string str() const;
+
+  /// Row-major linear offset of `index` within an array of extent *this.
+  i64 linear(const Dims& index) const;
+
+  /// Inverse of linear(): decompose a row-major offset into an index.
+  Dims unlinear(i64 offset) const;
+
+ private:
+  std::array<i64, kMaxRank> v_{};
+  int rank_ = 0;
+};
+
+/// Shape of an activation tensor: batch, channels, and spatial extents.
+struct Shape {
+  Dims dims;  // [N, C, spatial...]
+
+  Shape() = default;
+  explicit Shape(Dims d) : dims(std::move(d)) {}
+  Shape(std::initializer_list<i64> values) : dims(values) {}
+
+  int rank() const { return dims.rank(); }
+  int spatial_rank() const { return dims.rank() - 2; }
+  i64 batch() const { return dims[0]; }
+  i64 channels() const { return dims[1]; }
+  i64 spatial(int i) const { return dims[2 + i]; }
+  i64 elements() const { return dims.product(); }
+  i64 bytes() const { return elements() * static_cast<i64>(sizeof(float)); }
+
+  /// The blocked dimensions: batch + spatial (channels excluded, §3.2).
+  Dims blocked_dims() const;
+  /// Spatial extents alone.
+  Dims spatial_dims() const;
+
+  bool operator==(const Shape& other) const { return dims == other.dims; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+  std::string str() const { return dims.str(); }
+};
+
+}  // namespace brickdl

@@ -1,0 +1,40 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace brickdl {
+
+Tensor::Tensor(Shape shape) : Tensor(shape.dims) {}
+
+Tensor::Tensor(Dims dims) : dims_(dims) {
+  BDL_CHECK_MSG(dims.rank() > 0, "tensor must have rank >= 1");
+  for (int i = 0; i < dims.rank(); ++i) {
+    BDL_CHECK_MSG(dims[i] > 0, "tensor extent must be positive, got " << dims.str());
+  }
+  data_.assign(static_cast<size_t>(dims.product()), 0.0f);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::fill_random(Rng& rng, float lo, float hi) {
+  for (auto& v : data_) v = rng.next_float(lo, hi);
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  BDL_CHECK_MSG(a.dims() == b.dims(),
+                "shape mismatch: " << a.dims().str() << " vs " << b.dims().str());
+  double worst = 0.0;
+  for (i64 i = 0; i < a.elements(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(a.flat(i)) - b.flat(i)));
+  }
+  return worst;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, double tol) {
+  return max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace brickdl

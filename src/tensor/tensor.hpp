@@ -1,0 +1,49 @@
+// Dense canonical (row-major) tensor of floats. This is the layout the
+// paper's baselines use and the source/target of brick layout conversions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/rng.hpp"
+
+namespace brickdl {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  /// Arbitrary-rank storage (weights, bias); dims interpreted by the op.
+  explicit Tensor(Dims dims);
+
+  const Dims& dims() const { return dims_; }
+  i64 elements() const { return dims_.product(); }
+  i64 bytes() const { return elements() * static_cast<i64>(sizeof(float)); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& at(const Dims& index) { return data_[static_cast<size_t>(dims_.linear(index))]; }
+  float at(const Dims& index) const { return data_[static_cast<size_t>(dims_.linear(index))]; }
+  float& flat(i64 i) { return data_[static_cast<size_t>(i)]; }
+  float flat(i64 i) const { return data_[static_cast<size_t>(i)]; }
+
+  void fill(float value);
+  void fill_random(Rng& rng, float lo = -1.0f, float hi = 1.0f);
+
+ private:
+  Dims dims_;
+  std::vector<float> data_;
+};
+
+/// Largest absolute elementwise difference; 0 for empty tensors.
+/// Requires identical dims.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True if tensors match within `tol` everywhere.
+bool allclose(const Tensor& a, const Tensor& b, double tol = 1e-4);
+
+}  // namespace brickdl

@@ -1,0 +1,59 @@
+// Common error-handling and integer utilities shared by every BrickDL module.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace brickdl {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Thrown on any precondition/invariant violation inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "BrickDL check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+// Always-on checks: BrickDL is a library with untrusted inputs at the API
+// boundary, so these stay enabled in release builds.
+#define BDL_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::brickdl::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define BDL_CHECK_MSG(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::ostringstream bdl_os_;                                 \
+      bdl_os_ << msg;                                             \
+      ::brickdl::detail::fail(#cond, __FILE__, __LINE__, bdl_os_.str()); \
+    }                                                             \
+  } while (0)
+
+/// Integer ceiling division for non-negative values.
+constexpr i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+
+/// Round `a` up to the next multiple of `b`.
+constexpr i64 round_up(i64 a, i64 b) { return ceil_div(a, b) * b; }
+
+}  // namespace brickdl

@@ -1,0 +1,23 @@
+// Row-major iteration over an N-D index space.
+#pragma once
+
+#include "tensor/shape.hpp"
+
+namespace brickdl {
+
+/// Call fn(index) for every index vector in [0, extent), row-major order.
+template <typename Fn>
+void for_each_index(const Dims& extent, Fn&& fn) {
+  const i64 total = extent.product();
+  if (total <= 0) return;
+  Dims index = Dims::filled(extent.rank(), 0);
+  for (i64 i = 0; i < total; ++i) {
+    fn(index);
+    for (int d = extent.rank() - 1; d >= 0; --d) {
+      if (++index[d] < extent[d]) break;
+      index[d] = 0;
+    }
+  }
+}
+
+}  // namespace brickdl

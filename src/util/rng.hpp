@@ -1,0 +1,54 @@
+// Deterministic random number generation used by tests, examples and
+// benchmark workload generators. All BrickDL randomness flows through this
+// type so runs are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace brickdl {
+
+/// xoshiro256** — small, fast, high-quality PRNG; deterministic across
+/// platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  u64 next_below(u64 n) { return next_u64() % n; }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo = 0.0f, float hi = 1.0f) {
+    const float unit = static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+    return lo + unit * (hi - lo);
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4];
+};
+
+}  // namespace brickdl

@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace brickdl {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << ' ';
+    }
+    os << "|\n";
+  };
+  auto emit_rule = [&] {
+    for (size_t c = 0; c < header_.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string render_bars(const std::vector<Bar>& bars, int width,
+                        const std::string& unit) {
+  double max_total = 0.0;
+  size_t label_width = 0;
+  std::map<char, std::string> legend;
+  for (const auto& bar : bars) {
+    double total = 0.0;
+    for (const auto& seg : bar.segments) {
+      total += seg.value;
+      if (!seg.name.empty()) legend[seg.glyph] = seg.name;
+    }
+    max_total = std::max(max_total, total);
+    label_width = std::max(label_width, bar.label.size());
+  }
+  if (max_total <= 0.0) max_total = 1.0;
+
+  std::ostringstream os;
+  for (const auto& bar : bars) {
+    os << std::left << std::setw(static_cast<int>(label_width)) << bar.label
+       << " |";
+    double total = 0.0;
+    int emitted = 0;
+    for (const auto& seg : bar.segments) {
+      total += seg.value;
+      // Scale cumulative totals (not individual segments) so rounding errors
+      // never change a bar's overall length.
+      const int end = static_cast<int>(total / max_total * width + 0.5);
+      for (; emitted < end; ++emitted) os << seg.glyph;
+    }
+    os << std::string(static_cast<size_t>(std::max(0, width - emitted)), ' ')
+       << "| " << TextTable::num(total) << (unit.empty() ? "" : " ") << unit
+       << "\n";
+  }
+  if (!legend.empty()) {
+    os << "legend:";
+    for (const auto& [glyph, name] : legend) os << "  " << glyph << "=" << name;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace brickdl

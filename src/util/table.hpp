@@ -1,0 +1,46 @@
+// Plain-text table and stacked-bar rendering used by the benchmark harnesses
+// to print the paper's figures as terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace brickdl {
+
+/// Column-aligned ASCII table. Rows may have fewer cells than the header;
+/// missing cells render empty.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One stacked horizontal bar: a label plus named segments (value, glyph).
+struct BarSegment {
+  std::string name;
+  double value = 0.0;
+  char glyph = '#';
+};
+
+struct Bar {
+  std::string label;
+  std::vector<BarSegment> segments;
+};
+
+/// Render bars scaled to a common maximum of `width` characters, with a
+/// legend mapping glyphs to segment names and each bar's total printed.
+std::string render_bars(const std::vector<Bar>& bars, int width = 60,
+                        const std::string& unit = "");
+
+}  // namespace brickdl

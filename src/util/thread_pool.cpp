@@ -1,0 +1,93 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+namespace brickdl {
+
+ThreadPool::ThreadPool(int workers) {
+  BDL_CHECK_MSG(workers > 0, "thread pool needs at least one worker");
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::parallel_for(i64 n,
+                              const std::function<void(i64, int)>& f) {
+  if (n <= 0) return;
+  // Shared state lives on the heap: straggler workers (which may find the
+  // queue drained after the waiter has already been released) must still be
+  // able to touch the counters safely after this function returns.
+  struct State {
+    std::atomic<i64> next{0};
+    std::atomic<i64> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+
+  const int fanout = size();
+  for (int w = 0; w < fanout; ++w) {
+    submit([state, n, &f](int worker) {
+      i64 completed = 0;
+      for (i64 i = state->next.fetch_add(1); i < n;
+           i = state->next.fetch_add(1)) {
+        f(i, worker);
+        ++completed;
+      }
+      // Note: `f` is only dereferenced for indices < n, all of which finish
+      // before `done` reaches n and the caller is released.
+      if (state->done.fetch_add(completed) + completed == n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop(int worker) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace brickdl

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "core/autotuner.hpp"
+#include "models/models.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(Autotuner, RanksCandidatesBestFirst) {
+  const Graph g = build_conv_chain_2d(3, 2, 48, 16);
+  TuneSpace space;
+  space.max_layers = {2, 4};
+  space.brick_sides = {0, 4};
+  const TuneResult result = autotune(g, space);
+  // 2 depths x 2 sides x 4 strategies (auto/padded/memoized/wavefront).
+  EXPECT_EQ(result.candidates.size(), 16u);
+  for (size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_LE(result.candidates[i - 1].modeled_seconds,
+              result.candidates[i].modeled_seconds);
+  }
+  EXPECT_GT(result.best().modeled_seconds, 0.0);
+  EXPECT_GT(result.best().dram_txns, 0);
+  EXPECT_FALSE(result.best().label.empty());
+}
+
+TEST(Autotuner, StaticModelCompetitiveWithSearch) {
+  // The §3.3 models should land within a small factor of the search optimum
+  // (they decide without running anything).
+  const Graph g = build_conv_chain_2d(4, 2, 64, 16);
+  TuneSpace space;
+  space.max_layers = {4};
+  space.brick_sides = {0, 4, 8};
+  const TuneResult tuned = autotune(g, space);
+
+  // The auto/auto candidate is the static-model configuration.
+  double static_time = 0.0;
+  for (const auto& c : tuned.candidates) {
+    if (c.label.find("B=auto strategy=auto") != std::string::npos) {
+      static_time = c.modeled_seconds;
+      break;
+    }
+  }
+  ASSERT_GT(static_time, 0.0);
+  EXPECT_LE(static_time, tuned.best().modeled_seconds * 2.0);
+}
+
+TEST(Autotuner, RespectsDisabledStrategySweep) {
+  const Graph g = build_conv_chain_2d(2, 1, 32, 8);
+  TuneSpace space;
+  space.max_layers = {2};
+  space.brick_sides = {0};
+  space.try_forced_strategies = false;
+  const TuneResult result = autotune(g, space);
+  EXPECT_EQ(result.candidates.size(), 1u);
+}
+
+}  // namespace
+}  // namespace brickdl

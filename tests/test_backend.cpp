@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/backend.hpp"
+
+namespace brickdl {
+namespace {
+
+struct Fixture {
+  Graph g;
+  int input = -1;
+  int conv = -1;
+  WeightStore ws{11};
+
+  Fixture() {
+    input = g.add_input("x", Shape{1, 3, 16, 16});
+    conv = g.add_conv(input, "c", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  }
+};
+
+TEST(NumericBackend, BindAndReadCanonical) {
+  Fixture f;
+  NumericBackend backend(f.g, f.ws, 2);
+  const TensorId id = backend.register_tensor(Shape{1, 3, 16, 16},
+                                              Layout::kCanonical, {}, "t");
+  Tensor data(Shape{1, 3, 16, 16});
+  Rng rng(1);
+  data.fill_random(rng);
+  backend.bind(id, data);
+  EXPECT_TRUE(allclose(backend.read(id), data, 0.0));
+}
+
+TEST(NumericBackend, BindAndReadBricked) {
+  Fixture f;
+  NumericBackend backend(f.g, f.ws, 1);
+  const TensorId id = backend.register_tensor(
+      Shape{1, 3, 16, 16}, Layout::kBricked, Dims{1, 4, 4}, "t");
+  Tensor data(Shape{1, 3, 16, 16});
+  Rng rng(2);
+  data.fill_random(rng);
+  backend.bind(id, data);
+  EXPECT_TRUE(allclose(backend.read(id), data, 0.0));
+}
+
+TEST(NumericBackend, LoadComputeStoreMatchesReference) {
+  Fixture f;
+  NumericBackend backend(f.g, f.ws, 1);
+  const TensorId in_id = backend.register_tensor(Shape{1, 3, 16, 16},
+                                                 Layout::kCanonical, {}, "in");
+  const TensorId out_id = backend.register_tensor(Shape{1, 4, 16, 16},
+                                                  Layout::kCanonical, {}, "out");
+  Tensor input(Shape{1, 3, 16, 16});
+  Rng rng(3);
+  input.fill_random(rng);
+  backend.bind(in_id, input);
+
+  // Whole-output region through the backend slot machinery.
+  const Dims out_lo{0, 0, 0};
+  const Dims out_extent{1, 16, 16};
+  Dims need_lo, need_extent;
+  input_window_blocked(f.g.node(f.conv), out_lo, out_extent, &need_lo,
+                       &need_extent);
+  backend.invocation_begin(0);
+  const SlotId in_slot = backend.load_window(0, in_id, need_lo, need_extent);
+  const SlotId out_slot =
+      backend.compute(0, f.conv, {in_slot}, out_lo, out_extent, false);
+  backend.free_slot(0, in_slot);
+  backend.store_window(0, out_slot, out_id, out_lo, out_extent);
+
+  const auto expected =
+      run_graph_reference(f.g, input, f.ws)[static_cast<size_t>(f.conv)];
+  EXPECT_TRUE(allclose(backend.read(out_id), expected, 1e-5));
+}
+
+TEST(NumericBackend, CoverageCheckRejectsSmallWindow) {
+  Fixture f;
+  NumericBackend backend(f.g, f.ws, 1);
+  const TensorId in_id = backend.register_tensor(Shape{1, 3, 16, 16},
+                                                 Layout::kCanonical, {}, "in");
+  // Load a window that does NOT cover the conv halo.
+  const SlotId slot = backend.load_window(0, in_id, Dims{0, 0, 0},
+                                          Dims{1, 8, 8});
+  EXPECT_THROW(
+      backend.compute(0, f.conv, {slot}, Dims{0, 0, 0}, Dims{1, 8, 8}, false),
+      Error);
+}
+
+TEST(NumericBackend, FreedSlotRejected) {
+  Fixture f;
+  NumericBackend backend(f.g, f.ws, 1);
+  const TensorId in_id = backend.register_tensor(Shape{1, 3, 16, 16},
+                                                 Layout::kCanonical, {}, "in");
+  const SlotId slot = backend.load_window(0, in_id, Dims{0, -1, -1},
+                                          Dims{1, 18, 18});
+  backend.free_slot(0, slot);
+  EXPECT_THROW(backend.free_slot(0, slot), Error);
+  EXPECT_THROW(backend.compute(0, f.conv, {slot}, Dims{0, 0, 0},
+                               Dims{1, 16, 16}, false),
+               Error);
+}
+
+TEST(NumericBackend, MaskToBoundsZeroesHalo) {
+  Fixture f;
+  NumericBackend backend(f.g, f.ws, 1);
+  const TensorId in_id = backend.register_tensor(Shape{1, 3, 16, 16},
+                                                 Layout::kCanonical, {}, "in");
+  Tensor input(Shape{1, 3, 16, 16});
+  input.fill(1.0f);
+  backend.bind(in_id, input);
+  const TensorId out_id = backend.register_tensor(Shape{1, 4, 16, 16},
+                                                  Layout::kCanonical, {}, "out");
+  // Compute a window that extends past the layer: [-2, 6) x [-2, 6).
+  const Dims out_lo{0, -2, -2};
+  const Dims out_extent{1, 8, 8};
+  Dims need_lo, need_extent;
+  input_window_blocked(f.g.node(f.conv), out_lo, out_extent, &need_lo,
+                       &need_extent);
+  const SlotId in_slot = backend.load_window(0, in_id, need_lo, need_extent);
+  const SlotId masked =
+      backend.compute(0, f.conv, {in_slot}, out_lo, out_extent, true);
+  // Store through a window write and check the out-of-bounds part vanished
+  // while in-bounds values survived.
+  backend.store_window(0, masked, out_id, out_lo, out_extent);
+  const Tensor out = backend.read(out_id);
+  EXPECT_NE(out.at(Dims{0, 0, 2, 2}), 0.0f);
+  backend.free_slot(0, in_slot);
+}
+
+TEST(ModelBackend, LoadStoreEmitTraffic) {
+  Fixture f;
+  MemoryHierarchySim sim(MachineParams::a100());
+  ModelBackend backend(f.g, sim);
+  const TensorId id = backend.register_tensor(Shape{1, 3, 16, 16},
+                                              Layout::kCanonical, {}, "t");
+  backend.invocation_begin(0);
+  const SlotId slot = backend.load_window(0, id, Dims{0, 0, 0}, Dims{1, 16, 16});
+  const TxnCounters after_load = sim.counters();
+  // 3 channels x 16 rows x 16 floats = 3 KiB = 96 lines minimum.
+  EXPECT_GE(after_load.l1, 96);
+  backend.store_window(0, slot, id, Dims{0, 0, 0}, Dims{1, 16, 16});
+  EXPECT_GT(sim.counters().l1, after_load.l1);
+}
+
+TEST(ModelBackend, ComputeTalliesFlopsAndWeights) {
+  Fixture f;
+  MemoryHierarchySim sim(MachineParams::a100());
+  ModelBackend backend(f.g, sim);
+  const TensorId id = backend.register_tensor(Shape{1, 3, 16, 16},
+                                              Layout::kCanonical, {}, "t");
+  const SlotId slot =
+      backend.load_window(0, id, Dims{0, -1, -1}, Dims{1, 18, 18});
+  const TxnCounters before = sim.counters();
+  const SlotId out =
+      backend.compute(0, f.conv, {slot}, Dims{0, 0, 0}, Dims{1, 16, 16}, false);
+  (void)out;
+  EXPECT_EQ(backend.tally().invocations, 1);
+  // Full conv flops: 16*16*4 out elems * 3ch * 9 taps * 2 — a 2D conv, so
+  // the flops land in the tensor-core bucket.
+  EXPECT_NEAR(backend.tally().tc_flops, 16 * 16 * 4 * 3 * 9 * 2.0, 1.0);
+  EXPECT_NEAR(backend.tally().flops, 0.0, 1e-9);
+  // Weight stream: 4*3*9 floats = 108 floats -> at least 13 lines of traffic.
+  EXPECT_GE((sim.counters() - before).l1, 13);
+}
+
+TEST(ModelBackend, BrickedEmissionTouchesWholeBricks) {
+  Fixture f;
+  MemoryHierarchySim sim(MachineParams::a100());
+  ModelBackend backend(f.g, sim);
+  const TensorId id = backend.register_tensor(
+      Shape{1, 4, 16, 16}, Layout::kBricked, Dims{1, 8, 8}, "b");
+  // Full-brick window: exactly 4 channels x 64 elements = 32 lines.
+  backend.invocation_begin(0);
+  const SlotId s = backend.load_window(0, id, Dims{0, 0, 0}, Dims{1, 8, 8});
+  backend.free_slot(0, s);
+  EXPECT_EQ(sim.counters().l1, 32);
+
+  // A one-column halo slice from the neighboring brick: 8 rows per channel,
+  // each row its own 32-byte line -> 8 lines x 4 channels.
+  sim.reset_counters();
+  backend.invocation_begin(1);
+  const SlotId h = backend.load_window(0, id, Dims{0, 0, 8}, Dims{1, 8, 1});
+  backend.free_slot(0, h);
+  EXPECT_EQ(sim.counters().l1, 32);  // 4 ch x 8 rows x 1 line each
+}
+
+TEST(ModelBackend, DiscardPreventsWriteback) {
+  Fixture f;
+  MemoryHierarchySim sim(MachineParams::a100());
+  ModelBackend backend(f.g, sim);
+  const TensorId id = backend.register_tensor(Shape{1, 3, 16, 16},
+                                              Layout::kCanonical, {}, "t");
+  const SlotId s = backend.load_window(0, id, Dims{0, 0, 0}, Dims{1, 16, 16});
+  backend.store_window(0, s, id, Dims{0, 0, 0}, Dims{1, 16, 16});
+  backend.discard_tensor(id);
+  sim.flush();
+  EXPECT_EQ(sim.counters().dram_write, 0);
+}
+
+TEST(ModelBackend, OutOfBoundsWindowEmitsNothing) {
+  Fixture f;
+  MemoryHierarchySim sim(MachineParams::a100());
+  ModelBackend backend(f.g, sim);
+  const TensorId id = backend.register_tensor(Shape{1, 3, 16, 16},
+                                              Layout::kCanonical, {}, "t");
+  const SlotId s =
+      backend.load_window(0, id, Dims{0, -8, -8}, Dims{1, 4, 4});
+  backend.free_slot(0, s);
+  EXPECT_EQ(sim.counters().l1, 0);
+}
+
+}  // namespace
+}  // namespace brickdl

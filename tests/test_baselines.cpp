@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "baselines/fused_graph.hpp"
+#include "baselines/vendor_tiled.hpp"
+#include "models/models.hpp"
+
+namespace brickdl {
+namespace {
+
+Graph conv_relu_chain() {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 3, 16, 16});
+  x = g.add_conv(x, "c1", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  x = g.add_relu(x, "r1");
+  x = g.add_conv(x, "c2", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  x = g.add_relu(x, "r2");
+  x = g.add_pool(x, "p", PoolKind::kMax, Dims{2, 2}, Dims{2, 2});
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_dense(x, "fc", 5);
+  g.add_softmax(x, "sm");
+  return g;
+}
+
+Tensor random_input(const Graph& g, u64 seed = 3) {
+  Tensor input(g.node(0).out_shape);
+  Rng rng(seed);
+  input.fill_random(rng);
+  return input;
+}
+
+void check_fused_matches_reference(const Graph& g, FusionRules rules,
+                                   i64 tile = 8) {
+  WeightStore ws(13);
+  const Tensor input = random_input(g);
+  const auto reference = run_graph_reference(g, input, ws);
+
+  NumericBackend backend(g, ws, 2);
+  FusedGraphExecutor exec(g, backend, rules, tile);
+  backend.bind(exec.tensor_of(0), input);
+  exec.run();
+
+  const int output = g.outputs()[0];
+  EXPECT_TRUE(allclose(backend.read(exec.tensor_of(output)),
+                       reference[static_cast<size_t>(output)], 1e-4))
+      << "rules=" << fusion_rules_name(rules);
+}
+
+TEST(FusedGraph, NoFusionGroupsAreSingletons) {
+  Graph g = conv_relu_chain();
+  WeightStore ws(1);
+  NumericBackend backend(g, ws, 1);
+  FusedGraphExecutor exec(g, backend, FusionRules::kNone);
+  for (const auto& group : exec.groups()) EXPECT_EQ(group.size(), 1u);
+}
+
+TEST(FusedGraph, ConvPointwiseFusesConvRelu) {
+  Graph g = conv_relu_chain();
+  WeightStore ws(1);
+  NumericBackend backend(g, ws, 1);
+  FusedGraphExecutor exec(g, backend, FusionRules::kConvPointwise);
+  // conv+relu pairs fuse; pool and globals stay alone.
+  bool found_pair = false;
+  for (const auto& group : exec.groups()) {
+    if (group.size() == 2) {
+      EXPECT_EQ(g.node(group[0]).kind, OpKind::kConv);
+      EXPECT_EQ(g.node(group[1]).kind, OpKind::kRelu);
+      found_pair = true;
+    }
+  }
+  EXPECT_TRUE(found_pair);
+  // Fusion-interior nodes must not be materialized.
+  EXPECT_THROW(exec.tensor_of(1), Error);  // c1 feeds fused relu
+}
+
+TEST(FusedGraph, CudnnBaselineMatchesReference) {
+  check_fused_matches_reference(conv_relu_chain(), FusionRules::kNone);
+}
+
+TEST(FusedGraph, TorchScriptLikeMatchesReference) {
+  check_fused_matches_reference(conv_relu_chain(), FusionRules::kConvPointwise);
+}
+
+TEST(FusedGraph, XlaLikeMatchesReference) {
+  check_fused_matches_reference(conv_relu_chain(), FusionRules::kAggressive);
+}
+
+TEST(FusedGraph, ResidualGraphAllRules) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 4, 12, 12});
+  const int c1 = g.add_conv(x, "c1", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  const int r1 = g.add_relu(c1, "r1");
+  const int c2 = g.add_conv(r1, "c2", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  const int a = g.add_add(c2, x, "add");
+  g.add_relu(a, "out");
+  for (FusionRules rules : {FusionRules::kNone, FusionRules::kConvPointwise,
+                            FusionRules::kAggressive}) {
+    check_fused_matches_reference(g, rules);
+  }
+}
+
+TEST(FusedGraph, FusionReducesTraffic) {
+  // The fused executor must move strictly less data than the unfused one on
+  // a conv->relu chain (the relu intermediate never materializes).
+  Graph g;
+  int x = g.add_input("x", Shape{1, 8, 32, 32});
+  x = g.add_conv(x, "c", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  x = g.add_relu(x, "r");
+  x = g.add_conv(x, "c2", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+
+  i64 l1_unfused = 0, l1_fused = 0;
+  for (bool fused : {false, true}) {
+    MemoryHierarchySim sim(MachineParams::a100());
+    ModelBackend backend(g, sim);
+    FusedGraphExecutor exec(
+        g, backend, fused ? FusionRules::kConvPointwise : FusionRules::kNone);
+    exec.run();
+    (fused ? l1_fused : l1_unfused) = sim.counters().l1;
+  }
+  EXPECT_LT(l1_fused, l1_unfused);
+}
+
+TEST(VendorTiled, SingleNodeMatchesReference) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 3, 17, 17});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 5, Dims{2, 2}, Dims{1, 1});
+  WeightStore ws(3);
+  const Tensor input = random_input(g);
+  const auto reference = run_graph_reference(g, input, ws);
+
+  NumericBackend backend(g, ws, 2);
+  const TensorId in_id =
+      backend.register_tensor(g.node(x).out_shape, Layout::kCanonical, {}, "in");
+  backend.bind(in_id, input);
+  const TensorId out_id = backend.register_tensor(g.node(c).out_shape,
+                                                  Layout::kCanonical, {}, "out");
+  run_node_tiled(g, g.node(c), backend, {{x, in_id}}, out_id, 4);
+  EXPECT_TRUE(allclose(backend.read(out_id),
+                       reference[static_cast<size_t>(c)], 1e-4));
+}
+
+TEST(VendorTiled, GlobalOpRuns) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 6, 4, 4});
+  const int gap = g.add_global_avg_pool(x, "gap");
+  WeightStore ws(3);
+  const Tensor input = random_input(g);
+  const auto reference = run_graph_reference(g, input, ws);
+
+  NumericBackend backend(g, ws, 1);
+  const TensorId in_id =
+      backend.register_tensor(g.node(x).out_shape, Layout::kCanonical, {}, "in");
+  backend.bind(in_id, input);
+  const TensorId out_id = backend.register_tensor(g.node(gap).out_shape,
+                                                  Layout::kCanonical, {}, "out");
+  run_node_tiled(g, g.node(gap), backend, {{x, in_id}}, out_id);
+  EXPECT_TRUE(allclose(backend.read(out_id),
+                       reference[static_cast<size_t>(gap)], 1e-5));
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "brick/bricked_tensor.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(BrickGrid, CeilDivision) {
+  const BrickGrid grid(Dims{1, 16, 20}, Dims{1, 4, 8});
+  EXPECT_EQ(grid.grid, (Dims{1, 4, 3}));
+  EXPECT_EQ(grid.num_bricks(), 12);
+  EXPECT_EQ(grid.brick_elements(), 32);
+}
+
+TEST(BrickGrid, BrickOfAndOrigin) {
+  const BrickGrid grid(Dims{1, 16, 16}, Dims{1, 4, 4});
+  EXPECT_EQ(grid.brick_of(Dims{0, 5, 11}), (Dims{0, 1, 2}));
+  EXPECT_EQ(grid.brick_origin(Dims{0, 1, 2}), (Dims{0, 4, 8}));
+}
+
+TEST(BrickGrid, ValidExtentClipsBoundary) {
+  const BrickGrid grid(Dims{1, 10, 10}, Dims{1, 4, 4});
+  EXPECT_EQ(grid.valid_extent(Dims{0, 0, 0}), (Dims{1, 4, 4}));
+  EXPECT_EQ(grid.valid_extent(Dims{0, 2, 2}), (Dims{1, 2, 2}));
+}
+
+TEST(BrickMap, IdentityByDefault) {
+  const BrickMap map(Dims{2, 3});
+  for (i64 i = 0; i < 6; ++i) {
+    EXPECT_EQ(map.physical(i), i);
+    EXPECT_EQ(map.logical(i), i);
+  }
+}
+
+TEST(BrickMap, ShuffledIsPermutation) {
+  Rng rng(5);
+  const BrickMap map = BrickMap::shuffled(Dims{4, 4}, rng);
+  std::vector<bool> seen(16, false);
+  for (i64 l = 0; l < 16; ++l) {
+    const i64 p = map.physical(l);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 16);
+    EXPECT_FALSE(seen[static_cast<size_t>(p)]);
+    seen[static_cast<size_t>(p)] = true;
+    EXPECT_EQ(map.logical(p), l);  // inverse consistency
+  }
+}
+
+TEST(BrickInfo, SelfAndNeighbors) {
+  const BrickGrid grid(Dims{1, 4, 4}, Dims{1, 2, 2});  // 1x2x2 brick grid? no: 2x2
+  const BrickMap map(grid.grid);
+  const BrickInfo info(grid, map);
+  EXPECT_EQ(info.num_directions(), 27);  // 3^3 including batch dim
+
+  const Dims zero = Dims::filled(3, 0);
+  const i64 center = grid.grid.linear(Dims{0, 0, 0});
+  EXPECT_EQ(info.neighbor(center, zero), center);
+
+  // Right neighbor of (0,0,0) is (0,0,1).
+  EXPECT_EQ(info.neighbor(center, Dims{0, 0, 1}),
+            grid.grid.linear(Dims{0, 0, 1}));
+  // Out-of-grid neighbors are -1.
+  EXPECT_EQ(info.neighbor(center, Dims{0, -1, 0}), -1);
+  EXPECT_EQ(info.neighbor(center, Dims{-1, 0, 0}), -1);
+}
+
+TEST(BrickInfo, AdjacencyFollowsShuffledMap) {
+  const BrickGrid grid(Dims{1, 8, 8}, Dims{1, 4, 4});
+  Rng rng(11);
+  const BrickMap map = BrickMap::shuffled(grid.grid, rng);
+  const BrickInfo info(grid, map);
+  // For every logical brick, its physical slot's neighbor in +w direction
+  // must be the physical slot of the logically adjacent brick.
+  for (i64 l = 0; l < grid.num_bricks(); ++l) {
+    const Dims g = grid.grid.unlinear(l);
+    if (g[2] + 1 >= grid.grid[2]) continue;
+    Dims right = g;
+    right[2] += 1;
+    EXPECT_EQ(info.neighbor(map.physical(l), Dims{0, 0, 1}),
+              map.physical(grid.grid.linear(right)));
+  }
+}
+
+TEST(BrickInfo, DirectionRoundTrip) {
+  const BrickGrid grid(Dims{1, 4, 4}, Dims{1, 2, 2});
+  const BrickMap map(grid.grid);
+  const BrickInfo info(grid, map);
+  for (int dir = 0; dir < info.num_directions(); ++dir) {
+    EXPECT_EQ(info.direction_of(info.delta_of(dir)), dir);
+  }
+}
+
+TEST(BrickedTensor, RoundTripIdentityMap) {
+  Tensor src(Shape{2, 3, 8, 8});
+  Rng rng(1);
+  src.fill_random(rng);
+  const BrickedTensor bricked =
+      BrickedTensor::from_canonical(src, Dims{1, 4, 4});
+  EXPECT_EQ(bricked.num_bricks(), 2 * 2 * 2);
+  EXPECT_TRUE(allclose(src, bricked.to_canonical(), 0.0));
+}
+
+TEST(BrickedTensor, RoundTripNonMultipleSizesMasked) {
+  Tensor src(Shape{1, 2, 10, 6});
+  Rng rng(2);
+  src.fill_random(rng);
+  const BrickedTensor bricked =
+      BrickedTensor::from_canonical(src, Dims{1, 4, 4});
+  EXPECT_TRUE(allclose(src, bricked.to_canonical(), 0.0));
+  // Masked padding inside boundary bricks must be zero.
+  const BrickGrid& grid = bricked.grid();
+  EXPECT_EQ(grid.grid, (Dims{1, 3, 2}));
+}
+
+TEST(BrickedTensor, RoundTripShuffledMap) {
+  Tensor src(Shape{1, 4, 12, 12});
+  Rng rng(3);
+  src.fill_random(rng);
+  Rng map_rng(17);
+  const BrickGrid grid(Shape(src.dims()).blocked_dims(), Dims{1, 4, 4});
+  const BrickedTensor bricked = BrickedTensor::from_canonical(
+      src, Dims{1, 4, 4}, BrickMap::shuffled(grid.grid, map_rng));
+  EXPECT_TRUE(allclose(src, bricked.to_canonical(), 0.0));
+}
+
+TEST(BrickedTensor, ElementAccessMatchesCanonical) {
+  Tensor src(Shape{1, 3, 9, 7});
+  Rng rng(4);
+  src.fill_random(rng);
+  BrickedTensor bricked = BrickedTensor::from_canonical(src, Dims{1, 4, 4});
+  for (i64 c = 0; c < 3; ++c) {
+    for (i64 h = 0; h < 9; ++h) {
+      for (i64 w = 0; w < 7; ++w) {
+        EXPECT_EQ(bricked.at(Dims{0, c, h, w}), src.at(Dims{0, c, h, w}));
+      }
+    }
+  }
+}
+
+TEST(BrickedTensor, BrickViewAccess) {
+  Tensor src(Shape{1, 2, 8, 8});
+  Rng rng(5);
+  src.fill_random(rng);
+  BrickedTensor bricked = BrickedTensor::from_canonical(src, Dims{1, 4, 4});
+  // Brick at grid (0,1,1) covers blocked [0, 4..8, 4..8].
+  const i64 physical = bricked.map().physical_at(Dims{0, 1, 1});
+  Brick brick = bricked.brick(physical);
+  EXPECT_EQ(brick.channels(), 2);
+  EXPECT_EQ(brick(1, Dims{0, 2, 3}), src.at(Dims{0, 1, 6, 7}));
+}
+
+TEST(BrickedTensor, ReadWindowGathersHaloAcrossBricks) {
+  Tensor src(Shape{1, 1, 8, 8});
+  for (i64 h = 0; h < 8; ++h) {
+    for (i64 w = 0; w < 8; ++w) src.at(Dims{0, 0, h, w}) = h * 8.0f + w;
+  }
+  BrickedTensor bricked = BrickedTensor::from_canonical(src, Dims{1, 4, 4});
+  // A 4x4 window centered on the brick corner spans 4 bricks.
+  std::vector<float> scratch(16);
+  bricked.read_window(Dims{0, 2, 2}, Dims{1, 4, 4}, scratch);
+  for (i64 h = 0; h < 4; ++h) {
+    for (i64 w = 0; w < 4; ++w) {
+      EXPECT_EQ(scratch[static_cast<size_t>(h * 4 + w)],
+                (h + 2) * 8.0f + (w + 2));
+    }
+  }
+}
+
+TEST(BrickedTensor, ReadWindowZeroFillsOutOfBounds) {
+  Tensor src(Shape{1, 1, 4, 4});
+  src.fill(5.0f);
+  BrickedTensor bricked = BrickedTensor::from_canonical(src, Dims{1, 4, 4});
+  std::vector<float> scratch(16);
+  bricked.read_window(Dims{0, -2, -2}, Dims{1, 4, 4}, scratch);
+  // Top-left 2x2 of the window is outside: zeros; rest is 5.
+  for (i64 h = 0; h < 4; ++h) {
+    for (i64 w = 0; w < 4; ++w) {
+      const float expected = (h < 2 || w < 2) ? 0.0f : 5.0f;
+      EXPECT_EQ(scratch[static_cast<size_t>(h * 4 + w)], expected);
+    }
+  }
+}
+
+TEST(BrickedTensor, WriteWindowRoundTrip) {
+  BrickedTensor bricked(Shape{1, 2, 8, 8}, Dims{1, 4, 4});
+  std::vector<float> scratch(2 * 9);
+  for (size_t i = 0; i < scratch.size(); ++i) scratch[i] = static_cast<float>(i);
+  bricked.write_window(Dims{0, 3, 3}, Dims{1, 3, 3}, scratch);
+  std::vector<float> back(2 * 9, -1.0f);
+  bricked.read_window(Dims{0, 3, 3}, Dims{1, 3, 3}, back);
+  for (size_t i = 0; i < scratch.size(); ++i) EXPECT_EQ(back[i], scratch[i]);
+}
+
+TEST(BrickedTensor, WriteWindowIgnoresOutOfBounds) {
+  BrickedTensor bricked(Shape{1, 1, 4, 4}, Dims{1, 4, 4});
+  std::vector<float> scratch(16, 9.0f);
+  bricked.write_window(Dims{0, 2, 2}, Dims{1, 4, 4}, scratch);  // spills past edge
+  Tensor out = bricked.to_canonical();
+  EXPECT_EQ(out.at(Dims{0, 0, 3, 3}), 9.0f);
+  EXPECT_EQ(out.at(Dims{0, 0, 0, 0}), 0.0f);
+}
+
+}  // namespace
+}  // namespace brickdl

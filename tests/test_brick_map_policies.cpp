@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "brick/bricked_tensor.hpp"
+
+namespace brickdl {
+namespace {
+
+void expect_permutation(const BrickMap& map) {
+  const i64 n = map.num_bricks();
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (i64 l = 0; l < n; ++l) {
+    const i64 p = map.physical(l);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, n);
+    EXPECT_FALSE(seen[static_cast<size_t>(p)]);
+    seen[static_cast<size_t>(p)] = true;
+    EXPECT_EQ(map.logical(p), l);
+  }
+}
+
+TEST(ZOrderMap, IsPermutation) {
+  expect_permutation(BrickMap::z_order(Dims{1, 4, 4}));
+  expect_permutation(BrickMap::z_order(Dims{2, 8, 8}));
+  expect_permutation(BrickMap::z_order(Dims{1, 5, 7}));  // non power of two
+  expect_permutation(BrickMap::z_order(Dims{3, 3, 3, 3}));
+}
+
+TEST(ZOrderMap, QuadrantLocality) {
+  // In a power-of-two 2D grid, Z-order keeps each quadrant physically
+  // contiguous: the 4 bricks of each 2x2 block occupy 4 consecutive slots.
+  const Dims grid{1, 4, 4};
+  const BrickMap map = BrickMap::z_order(grid);
+  for (i64 qi = 0; qi < 2; ++qi) {
+    for (i64 qj = 0; qj < 2; ++qj) {
+      std::vector<i64> slots;
+      for (i64 di = 0; di < 2; ++di) {
+        for (i64 dj = 0; dj < 2; ++dj) {
+          slots.push_back(
+              map.physical_at(Dims{0, qi * 2 + di, qj * 2 + dj}));
+        }
+      }
+      std::sort(slots.begin(), slots.end());
+      EXPECT_EQ(slots.back() - slots.front(), 3)
+          << "quadrant (" << qi << "," << qj << ") not contiguous";
+    }
+  }
+}
+
+TEST(ZOrderMap, FirstBrickStaysFirst) {
+  const BrickMap map = BrickMap::z_order(Dims{1, 8, 8});
+  EXPECT_EQ(map.physical(0), 0);
+}
+
+TEST(ZOrderMap, RoundTripThroughBrickedTensor) {
+  Tensor src(Shape{1, 3, 20, 12});
+  Rng rng(8);
+  src.fill_random(rng);
+  const BrickGrid grid(Shape(src.dims()).blocked_dims(), Dims{1, 4, 4});
+  const BrickedTensor bricked = BrickedTensor::from_canonical(
+      src, Dims{1, 4, 4}, BrickMap::z_order(grid.grid));
+  EXPECT_TRUE(allclose(src, bricked.to_canonical(), 0.0));
+
+  // Halo window across brick boundaries still resolves correctly.
+  std::vector<float> window(3 * 25);
+  bricked.read_window(Dims{0, 2, 2}, Dims{1, 5, 5}, window);
+  for (i64 c = 0; c < 3; ++c) {
+    for (i64 i = 0; i < 5; ++i) {
+      for (i64 j = 0; j < 5; ++j) {
+        EXPECT_EQ(window[static_cast<size_t>(c * 25 + i * 5 + j)],
+                  src.at(Dims{0, c, i + 2, j + 2}));
+      }
+    }
+  }
+}
+
+TEST(ZOrderMap, AdjacencyConsistentWithPlacement) {
+  const BrickGrid grid(Dims{1, 8, 8}, Dims{1, 2, 2});
+  const BrickMap map = BrickMap::z_order(grid.grid);
+  const BrickInfo info(grid, map);
+  for (i64 l = 0; l < grid.num_bricks(); ++l) {
+    const Dims g = grid.grid.unlinear(l);
+    if (g[1] + 1 >= grid.grid[1]) continue;
+    Dims down = g;
+    down[1] += 1;
+    EXPECT_EQ(info.neighbor(map.physical(l), Dims{0, 1, 0}),
+              map.physical(grid.grid.linear(down)));
+  }
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/brick_size_model.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(BrickSizeModel, RhoFormula) {
+  const BrickSizeModel model;
+  // ρ = number of bricks over the blocked dims (batch + spatial, §3.3.4),
+  // at per-dim extent min(B, D).
+  EXPECT_NEAR(model.rho(Shape{1, 64, 64, 64}, 8), 64.0 * 64 / 64, 1e-9);
+  // Batch 2 blocks at extent min(8,2)=2: one brick along the sample dim.
+  EXPECT_NEAR(model.rho(Shape{2, 64, 64, 64}, 8), 64.0, 1e-9);
+  // Batch 16 blocks at extent 8: two bricks along the sample dim.
+  EXPECT_NEAR(model.rho(Shape{16, 64, 64, 64}, 8), 2 * 64.0, 1e-9);
+  EXPECT_NEAR(model.rho(Shape{1, 64, 32, 32, 32}, 4), 32768.0 / 64, 1e-9);
+}
+
+TEST(BrickSizeModel, PicksMaxRhoUnderTau) {
+  const BrickSizeModel model;  // tau = 4096
+  // 256x256 layer: rho(4)=4096 <= tau and is the max -> B=4.
+  const BrickSizeChoice c1 = model.choose(Shape{1, 3, 256, 256});
+  EXPECT_EQ(c1.brick_side, 4);
+  EXPECT_FALSE(c1.vendor_fallback);
+
+  // 512x512: rho(4)=16384 > tau, rho(8)=4096 <= tau -> B=8.
+  const BrickSizeChoice c2 = model.choose(Shape{1, 3, 512, 512});
+  EXPECT_EQ(c2.brick_side, 8);
+  EXPECT_NEAR(c2.parallelism, 4096.0, 1e-9);
+}
+
+TEST(BrickSizeModel, LargestBrickWhenAllExceedTau) {
+  BrickSizeModel model;
+  model.tau = 16;  // tiny tau: even B=32 exceeds it for a large layer
+  const BrickSizeChoice c = model.choose(Shape{1, 3, 1024, 1024});
+  EXPECT_EQ(c.brick_side, 32);
+  EXPECT_FALSE(c.vendor_fallback);
+}
+
+TEST(BrickSizeModel, VendorFallbackForTinyLayers) {
+  const BrickSizeModel model;
+  // 7x7 layer: rho(4) = 49/16 ~ 3 < 4^2 -> fallback (§3.3.3).
+  const BrickSizeChoice c = model.choose(Shape{1, 2048, 7, 7});
+  EXPECT_TRUE(c.vendor_fallback);
+}
+
+TEST(BrickSizeModel, MidSizeLayersUseSmallBricks) {
+  const BrickSizeModel model;
+  // 64x64: rho(4)=256 >= 16 -> merged with B=4 (the largest rho <= tau).
+  const BrickSizeChoice c = model.choose(Shape{1, 256, 64, 64});
+  EXPECT_FALSE(c.vendor_fallback);
+  EXPECT_EQ(c.brick_side, 4);
+}
+
+TEST(BrickSizeModel, BrickExtentBlocksBatchToo) {
+  const BrickSizeModel model;
+  const Shape shape{4, 8, 128, 128};
+  const BrickSizeChoice c = model.choose(shape);
+  ASSERT_FALSE(c.vendor_fallback);
+  EXPECT_EQ(c.brick_side, 4);
+  const Dims extent = c.brick_extent(shape);
+  EXPECT_EQ(extent[0], 4);  // sample dim blocked at min(B, batch)
+  EXPECT_EQ(extent[1], 4);
+  EXPECT_EQ(extent[2], 4);
+  // Small dims clip.
+  const Dims clipped = c.brick_extent(Shape{2, 8, 128, 3});
+  EXPECT_EQ(clipped[0], 2);
+  EXPECT_EQ(clipped[2], 3);
+}
+
+TEST(BrickSizeModel, Paper3DExample) {
+  // §3.3.3 applied to the §4.5 proxy: 112^3 with 64 channels.
+  // rho(4) = 112^3/64 = 21952 > tau; rho(8) = 2744 <= tau -> B=8, matching
+  // the paper's 8^3 bricks for the six-layer microbenchmark.
+  const BrickSizeModel model;
+  const BrickSizeChoice c = model.choose(Shape{1, 64, 112, 112, 112});
+  EXPECT_EQ(c.brick_side, 8);
+  EXPECT_FALSE(c.vendor_fallback);
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(Graph, InputNode) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 3, 8, 8});
+  EXPECT_EQ(g.node(x).kind, OpKind::kInput);
+  EXPECT_EQ(g.node(x).out_shape, (Shape{1, 3, 8, 8}));
+  EXPECT_TRUE(g.node(x).inputs.empty());
+}
+
+TEST(Graph, ConvShapeInference) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 3, 32, 32});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 16, Dims{1, 1}, Dims{1, 1});
+  EXPECT_EQ(g.node(c).out_shape, (Shape{1, 16, 32, 32}));
+  EXPECT_EQ(g.node(c).weight_dims, (Dims{16, 3, 3, 3}));
+}
+
+TEST(Graph, StridedConvShape) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 8, 32, 32});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 8, Dims{2, 2}, Dims{1, 1});
+  EXPECT_EQ(g.node(c).out_shape, (Shape{1, 8, 16, 16}));
+}
+
+TEST(Graph, DilatedConvShape) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 8, 32, 32});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 8, Dims{1, 1}, Dims{2, 2},
+                           Dims{2, 2});
+  EXPECT_EQ(g.node(c).out_shape, (Shape{1, 8, 32, 32}));
+}
+
+TEST(Graph, DepthwiseConvShape) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 8, 16, 16});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1}, {},
+                           /*groups=*/8);
+  EXPECT_EQ(g.node(c).out_shape, (Shape{1, 8, 16, 16}));
+  EXPECT_EQ(g.node(c).weight_dims, (Dims{8, 1, 3, 3}));
+}
+
+TEST(Graph, TransposedConvShape) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 8, 16, 16});
+  const int c = g.add_deconv(x, "up", Dims{4, 4}, 4, Dims{2, 2}, Dims{1, 1});
+  EXPECT_EQ(g.node(c).out_shape, (Shape{1, 4, 32, 32}));
+}
+
+TEST(Graph, Conv3DShape) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 4, 16, 16, 16});
+  const int c = g.add_conv(x, "c", Dims{3, 3, 3}, 8, Dims{1, 1, 1},
+                           Dims{0, 0, 0});
+  EXPECT_EQ(g.node(c).out_shape, (Shape{1, 8, 14, 14, 14}));
+}
+
+TEST(Graph, PoolShape) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 8, 32, 32});
+  const int p = g.add_pool(x, "p", PoolKind::kMax, Dims{2, 2}, Dims{2, 2});
+  EXPECT_EQ(g.node(p).out_shape, (Shape{1, 8, 16, 16}));
+}
+
+TEST(Graph, AddRequiresMatchingShapes) {
+  Graph g;
+  const int a = g.add_input("a", Shape{1, 8, 16, 16});
+  const int b = g.add_input("b", Shape{1, 8, 8, 8});
+  EXPECT_THROW(g.add_add(a, b, "sum"), Error);
+}
+
+TEST(Graph, ConcatStacksChannels) {
+  Graph g;
+  const int a = g.add_input("a", Shape{1, 8, 16, 16});
+  const int b = g.add_input("b", Shape{1, 4, 16, 16});
+  const int c = g.add_concat({a, b}, "cat");
+  EXPECT_EQ(g.node(c).out_shape, (Shape{1, 12, 16, 16}));
+}
+
+TEST(Graph, DenseAndGlobalPool) {
+  Graph g;
+  const int x = g.add_input("x", Shape{2, 16, 8, 8});
+  const int gap = g.add_global_avg_pool(x, "gap");
+  EXPECT_EQ(g.node(gap).out_shape, (Shape{2, 16, 1, 1}));
+  const int fc = g.add_dense(gap, "fc", 10);
+  EXPECT_EQ(g.node(fc).out_shape.dims, (Dims{2, 10}));
+  EXPECT_EQ(g.node(fc).weight_dims, (Dims{10, 16}));
+}
+
+TEST(Graph, ConsumersTracked) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 8, 16, 16});
+  const int r1 = g.add_relu(x, "r1");
+  const int r2 = g.add_relu(x, "r2");
+  const int sum = g.add_add(r1, r2, "sum");
+  EXPECT_EQ(g.consumers(x), (std::vector<int>{r1, r2}));
+  EXPECT_EQ(g.consumers(r1), (std::vector<int>{sum}));
+  EXPECT_EQ(g.outputs(), (std::vector<int>{sum}));
+}
+
+TEST(Graph, FlopCounts) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 2, 4, 4});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  // out elems = 4*4*4 = 64; per elem: 2 in-ch * 9 taps * 2 = 36.
+  EXPECT_EQ(flops(g.node(c), g.input_shapes(g.node(c))), 64 * 36);
+  const int r = g.add_relu(c, "r");
+  EXPECT_EQ(flops(g.node(r), g.input_shapes(g.node(r))), 64);
+}
+
+TEST(Graph, RejectsInvalidInputs) {
+  Graph g;
+  EXPECT_THROW(g.add_relu(0, "r"), Error);  // no nodes yet
+  const int x = g.add_input("x", Shape{1, 2, 4, 4});
+  EXPECT_THROW(g.add_conv(x, "c", Dims{3, 3}, 0, Dims{1, 1}, Dims{1, 1}),
+               Error);  // out_channels = 0
+  EXPECT_THROW(g.add_conv(x, "c", Dims{3, 3, 3}, 4, Dims{1, 1, 1},
+                          Dims{0, 0, 0}),
+               Error);  // 3D kernel on 2D input
+}
+
+TEST(Graph, DotContainsNodes) {
+  Graph g("tiny");
+  const int x = g.add_input("x", Shape{1, 2, 4, 4});
+  g.add_relu(x, "act");
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("act"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Graph, NodeIdsAreTopological) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 2, 8, 8});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 2, Dims{1, 1}, Dims{1, 1});
+  const int r = g.add_relu(c, "r");
+  for (const Node& node : g.nodes()) {
+    for (int p : node.inputs) EXPECT_LT(p, node.id);
+  }
+  EXPECT_LT(x, c);
+  EXPECT_LT(c, r);
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "graph/halo.hpp"
+#include "graph/graph.hpp"
+
+namespace brickdl {
+namespace {
+
+Node conv_node(Dims kernel, Dims stride, Dims padding, Dims dilation,
+               bool transposed = false) {
+  Graph g;
+  const int rank = kernel.rank();
+  Dims in_dims{1, 4};
+  for (int d = 0; d < rank; ++d) in_dims.push_back(64);
+  const int x = g.add_input("x", Shape(in_dims));
+  int c;
+  if (transposed) {
+    c = g.add_deconv(x, "c", kernel, 4, stride, padding, {}, dilation);
+  } else {
+    c = g.add_conv(x, "c", kernel, 4, stride, padding, dilation);
+  }
+  return g.node(c);
+}
+
+TEST(Halo, ConvUnitStride) {
+  const Node n = conv_node(Dims{3, 3}, Dims{1, 1}, Dims{1, 1}, Dims{1, 1});
+  // Output window [4, 12) needs input [3, 13): lo*1 - 1, len + 2.
+  const Window1D w = input_window(n, 0, {4, 8});
+  EXPECT_EQ(w, (Window1D{3, 10}));
+  const HaloLaw law = halo_law(n, 0);
+  EXPECT_EQ(law.input_extent(8), 10);
+}
+
+TEST(Halo, ConvStride2) {
+  const Node n = conv_node(Dims{3, 3}, Dims{2, 2}, Dims{1, 1}, Dims{1, 1});
+  const Window1D w = input_window(n, 0, {4, 8});
+  EXPECT_EQ(w.lo, 4 * 2 - 1);
+  EXPECT_EQ(w.len, 7 * 2 + 3);  // (len-1)*s + k
+  EXPECT_EQ(halo_law(n, 0).input_extent(8), 17);
+}
+
+TEST(Halo, ConvDilated) {
+  const Node n = conv_node(Dims{3, 3}, Dims{1, 1}, Dims{2, 2}, Dims{2, 2});
+  const Window1D w = input_window(n, 0, {0, 8});
+  EXPECT_EQ(w.lo, -2);
+  EXPECT_EQ(w.len, 7 + 2 * 2 + 1);  // span = d(k-1)+1 = 5
+}
+
+TEST(Halo, ConvKernel1IsPointwise) {
+  const Node n = conv_node(Dims{1, 1}, Dims{1, 1}, Dims{0, 0}, Dims{1, 1});
+  EXPECT_EQ(input_window(n, 0, {5, 9}), (Window1D{5, 9}));
+  EXPECT_EQ(padding_factor(n, 0), 0);
+}
+
+TEST(Halo, TransposedConvCoversContributors) {
+  const Node n =
+      conv_node(Dims{4, 4}, Dims{2, 2}, Dims{1, 1}, Dims{1, 1}, true);
+  // Every input index i contributes to outputs o = 2i - 1 + t, t in [0,4).
+  // For an output window, the computed input window must contain every
+  // contributing i (checked exhaustively).
+  for (i64 lo = 0; lo < 6; ++lo) {
+    for (i64 len = 1; len <= 6; ++len) {
+      const Window1D w = input_window(n, 0, {lo, len});
+      for (i64 i = -4; i < 12; ++i) {
+        bool contributes = false;
+        for (i64 t = 0; t < 4; ++t) {
+          const i64 o = i * 2 - 1 + t;
+          if (o >= lo && o < lo + len) contributes = true;
+        }
+        if (contributes) {
+          EXPECT_GE(i, w.lo) << "lo=" << lo << " len=" << len << " i=" << i;
+          EXPECT_LT(i, w.lo + w.len) << "lo=" << lo << " len=" << len;
+        }
+      }
+    }
+  }
+}
+
+TEST(Halo, PoolWindow) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 4, 32, 32});
+  const int p = g.add_pool(x, "p", PoolKind::kMax, Dims{3, 3}, Dims{2, 2},
+                           Dims{1, 1});
+  const Node& n = g.node(p);
+  const Window1D w = input_window(n, 0, {2, 4});
+  EXPECT_EQ(w.lo, 2 * 2 - 1);
+  EXPECT_EQ(w.len, 3 * 2 + 3);
+  EXPECT_EQ(padding_factor(n, 0), 1);  // window - stride
+}
+
+TEST(Halo, PointwiseOpsIdentity) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 4, 16, 16});
+  const int r = g.add_relu(x, "r");
+  const int s = g.add_sigmoid(r, "s");
+  const int b = g.add_batchnorm(s, "b");
+  for (int id : {r, s, b}) {
+    const Node& n = g.node(id);
+    EXPECT_EQ(input_window(n, 0, {3, 5}), (Window1D{3, 5}));
+    EXPECT_EQ(padding_factor(n, 0), 0);
+    EXPECT_EQ(halo_law(n, 0).input_extent(5), 5);
+  }
+}
+
+TEST(Halo, PaddingFactorMatchesPaperFormula) {
+  // §3.2.1: p = (X-1)/2 for an X-kernel conv.
+  const Node n3 = conv_node(Dims{3, 3}, Dims{1, 1}, Dims{1, 1}, Dims{1, 1});
+  EXPECT_EQ(padding_factor(n3, 0), 1);
+  const Node n5 = conv_node(Dims{5, 5}, Dims{1, 1}, Dims{2, 2}, Dims{1, 1});
+  EXPECT_EQ(padding_factor(n5, 0), 2);
+  const Node n7 = conv_node(Dims{7, 7}, Dims{1, 1}, Dims{3, 3}, Dims{1, 1});
+  EXPECT_EQ(padding_factor(n7, 0), 3);
+  // Dilated: effective kernel span grows.
+  const Node nd = conv_node(Dims{3, 3}, Dims{1, 1}, Dims{2, 2}, Dims{2, 2});
+  EXPECT_EQ(padding_factor(nd, 0), 2);
+}
+
+TEST(Halo, BlockedWindowKeepsBatchIdentity) {
+  const Node n = conv_node(Dims{3, 3}, Dims{1, 1}, Dims{1, 1}, Dims{1, 1});
+  Dims in_lo, in_extent;
+  input_window_blocked(n, Dims{2, 4, 8}, Dims{1, 8, 8}, &in_lo, &in_extent);
+  EXPECT_EQ(in_lo, (Dims{2, 3, 7}));
+  EXPECT_EQ(in_extent, (Dims{1, 10, 10}));
+}
+
+TEST(Halo, AffineLawMatchesWindowExhaustively) {
+  // Property: halo_law().input_extent must bound input_window().len for a
+  // range of window sizes, for several op configurations.
+  struct Case {
+    Dims kernel, stride, padding, dilation;
+  };
+  const Case cases[] = {
+      {Dims{3, 3}, Dims{1, 1}, Dims{1, 1}, Dims{1, 1}},
+      {Dims{5, 5}, Dims{2, 2}, Dims{2, 2}, Dims{1, 1}},
+      {Dims{3, 3}, Dims{1, 1}, Dims{4, 4}, Dims{4, 4}},
+      {Dims{7, 7}, Dims{3, 3}, Dims{3, 3}, Dims{1, 1}},
+  };
+  for (const Case& c : cases) {
+    const Node n = conv_node(c.kernel, c.stride, c.padding, c.dilation);
+    const HaloLaw law = halo_law(n, 0);
+    for (i64 len = 1; len <= 16; ++len) {
+      EXPECT_EQ(law.input_extent(len), input_window(n, 0, {0, len}).len);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace brickdl

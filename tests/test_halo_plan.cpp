@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/halo_plan.hpp"
+#include "models/models.hpp"
+
+namespace brickdl {
+namespace {
+
+/// Chain of two 3x3 unit-stride convs — the Fig. 4 example.
+struct TwoConv {
+  Graph g;
+  Subgraph sg;
+};
+
+TwoConv two_conv_chain(i64 spatial = 32) {
+  TwoConv t;
+  int x = t.g.add_input("x", Shape{1, 8, spatial, spatial});
+  const int c1 = t.g.add_conv(x, "c1", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  const int c2 = t.g.add_conv(c1, "c2", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  t.sg.nodes = {c1, c2};
+  t.sg.external_inputs = {x};
+  return t;
+}
+
+TEST(SubgraphValidate, AcceptsChain) {
+  TwoConv t = two_conv_chain();
+  EXPECT_NO_THROW(validate_subgraph(t.g, t.sg));
+}
+
+TEST(SubgraphValidate, RejectsExternalConsumerOfInterior) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 4, 16, 16});
+  const int c1 = g.add_conv(x, "c1", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  const int r1 = g.add_relu(c1, "r1");
+  g.add_relu(c1, "external_branch");  // c1 consumed outside too
+  Subgraph sg;
+  sg.nodes = {c1, r1};
+  sg.external_inputs = {x};
+  EXPECT_THROW(validate_subgraph(g, sg), Error);
+}
+
+TEST(SubgraphValidate, RejectsMissingExternalInput) {
+  TwoConv t = two_conv_chain();
+  t.sg.external_inputs.clear();
+  EXPECT_THROW(validate_subgraph(t.g, t.sg), Error);
+}
+
+TEST(HaloPlan, Fig4WindowGrowth) {
+  // Paper Fig. 4: for a Bh x Bw output brick of conv2, conv1 must produce
+  // (Bh + 2px) x (Bw + 2py) and the input gather is (Bh + 4px) x (Bw + 4py),
+  // with px = py = 1 for 3x3 kernels.
+  TwoConv t = two_conv_chain();
+  const HaloPlan plan(t.g, t.sg, Dims{1, 8, 8});
+  const auto windows = plan.windows_for_brick(Dims{0, 1, 1});
+
+  const auto& w_c2 = windows.at(t.sg.nodes[1]);
+  EXPECT_EQ(w_c2.lo, (Dims{0, 8, 8}));
+  EXPECT_EQ(w_c2.extent, (Dims{1, 8, 8}));
+
+  const auto& w_c1 = windows.at(t.sg.nodes[0]);
+  EXPECT_EQ(w_c1.lo, (Dims{0, 7, 7}));
+  EXPECT_EQ(w_c1.extent, (Dims{1, 10, 10}));
+
+  const auto& w_in = windows.at(t.sg.external_inputs[0]);
+  EXPECT_EQ(w_in.lo, (Dims{0, 6, 6}));
+  EXPECT_EQ(w_in.extent, (Dims{1, 12, 12}));
+}
+
+TEST(HaloPlan, TerminalBrickClippedAtBoundary) {
+  TwoConv t = two_conv_chain(20);  // 20 with brick 8 -> last brick extent 4
+  const HaloPlan plan(t.g, t.sg, Dims{1, 8, 8});
+  EXPECT_EQ(plan.terminal_grid(), (Dims{1, 3, 3}));
+  const auto windows = plan.windows_for_brick(Dims{0, 2, 2});
+  EXPECT_EQ(windows.at(t.sg.nodes[1]).extent, (Dims{1, 4, 4}));
+}
+
+TEST(HaloPlan, PointwiseChainHasNoGrowth) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 8, 32, 32});
+  const int r1 = g.add_relu(x, "r1");
+  const int s1 = g.add_sigmoid(r1, "s1");
+  Subgraph sg;
+  sg.nodes = {r1, s1};
+  sg.external_inputs = {x};
+  const HaloPlan plan(g, sg, Dims{1, 8, 8});
+  EXPECT_NEAR(plan.padding_growth(), 0.0, 1e-9);
+  const auto windows = plan.windows_for_brick(Dims{0, 0, 0});
+  EXPECT_EQ(windows.at(r1).extent, (Dims{1, 8, 8}));
+  EXPECT_EQ(windows.at(x).extent, (Dims{1, 8, 8}));
+}
+
+TEST(HaloPlan, DeltaGrowsWithDepthAndShrinkingBricks) {
+  // More layers -> larger Δ; smaller bricks -> larger Δ (§3.3.2's tradeoff).
+  Graph g;
+  int x = g.add_input("x", Shape{1, 8, 64, 64});
+  std::vector<int> chain;
+  int cur = x;
+  for (int i = 0; i < 4; ++i) {
+    cur = g.add_conv(cur, "c" + std::to_string(i), Dims{3, 3}, 8, Dims{1, 1},
+                     Dims{1, 1});
+    chain.push_back(cur);
+  }
+  Subgraph two{{chain[0], chain[1]}, {x}, true};
+  Subgraph four{{chain[0], chain[1], chain[2], chain[3]}, {x}, true};
+  const double delta_two = HaloPlan(g, two, Dims{1, 8, 8}).padding_growth();
+  const double delta_four = HaloPlan(g, four, Dims{1, 8, 8}).padding_growth();
+  EXPECT_GT(delta_four, delta_two);
+  EXPECT_GT(delta_two, 0.0);
+
+  const double delta_small = HaloPlan(g, four, Dims{1, 4, 4}).padding_growth();
+  const double delta_large = HaloPlan(g, four, Dims{1, 16, 16}).padding_growth();
+  EXPECT_GT(delta_small, delta_four);
+  EXPECT_LT(delta_large, delta_four);
+}
+
+TEST(HaloPlan, ResidualBlockUnionWindows) {
+  // x -> conv -> relu -> add(x) : x's window must cover both the conv halo
+  // and the add's identity window.
+  Graph g;
+  int x = g.add_input("x", Shape{1, 8, 32, 32});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  const int r = g.add_relu(c, "r");
+  const int a = g.add_add(r, x, "a");
+  Subgraph sg{{c, r, a}, {x}, true};
+  const HaloPlan plan(g, sg, Dims{1, 8, 8});
+  const auto windows = plan.windows_for_brick(Dims{0, 1, 1});
+  // Union of identity [8,16) and halo [7,17) is [7,17).
+  EXPECT_EQ(windows.at(x).lo, (Dims{0, 7, 7}));
+  EXPECT_EQ(windows.at(x).extent, (Dims{1, 10, 10}));
+}
+
+TEST(HaloPlan, StridedConvScalesWindows) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 8, 64, 64});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 8, Dims{2, 2}, Dims{1, 1});
+  Subgraph sg{{c}, {x}, true};
+  const HaloPlan plan(g, sg, Dims{1, 8, 8});
+  const auto windows = plan.windows_for_brick(Dims{0, 1, 0});
+  // Output rows [8,16) need input rows [15, 15+17).
+  EXPECT_EQ(windows.at(x).lo, (Dims{0, 15, -1}));
+  EXPECT_EQ(windows.at(x).extent, (Dims{1, 17, 17}));
+}
+
+TEST(HaloPlan, MaxExtentsCoverAllNodes) {
+  TwoConv t = two_conv_chain();
+  const HaloPlan plan(t.g, t.sg, Dims{1, 8, 8});
+  EXPECT_EQ(plan.max_extents().size(), 3u);  // c1, c2, input
+  EXPECT_GT(plan.max_scratch_floats(), 0);
+}
+
+}  // namespace
+}  // namespace brickdl

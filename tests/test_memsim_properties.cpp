@@ -1,0 +1,121 @@
+// Property tests on the memory-hierarchy simulator: invariants that must
+// hold for any access stream, checked over randomized workloads.
+#include <gtest/gtest.h>
+
+#include "sim/cost.hpp"
+#include "util/rng.hpp"
+
+namespace brickdl {
+namespace {
+
+MachineParams small_machine() {
+  MachineParams p;
+  p.l1_bytes = 8 * 32;
+  p.l1_ways = 2;
+  p.l2_bytes = 64 * 32;
+  p.l2_ways = 4;
+  p.concurrent_blocks = 4;
+  return p;
+}
+
+class MemSimProperties : public testing::TestWithParam<int> {};
+
+TEST_P(MemSimProperties, HierarchyInvariants) {
+  Rng rng(static_cast<u64>(GetParam()) * 6364136223846793005ULL + 1);
+  MemoryHierarchySim sim(small_machine());
+  const u64 base = sim.allocate("t", 4096 * 32);
+
+  const int ops = 500;
+  for (int i = 0; i < ops; ++i) {
+    const int worker = static_cast<int>(rng.next_below(4));
+    if (rng.next_below(10) == 0) sim.invocation_begin(worker);
+    const u64 addr = base + rng.next_below(4000) * 32;
+    const i64 bytes = 1 + static_cast<i64>(rng.next_below(128));
+    sim.access(worker, addr, bytes, rng.next_below(3) == 0);
+  }
+  const TxnCounters c = sim.counters();
+
+  // Misses cannot exceed accesses at the level above.
+  EXPECT_LE(c.dram_read, c.l2);
+  EXPECT_GE(c.l1, 0);
+  EXPECT_GE(c.l2, 0);
+  // L2 sees L1 misses + L1 writebacks; both are bounded by L1 touches
+  // (every L1 access produces at most one miss and at most one writeback).
+  EXPECT_LE(c.l2, 2 * c.l1);
+
+  // Flushing twice: the second flush must write back nothing new.
+  sim.flush();
+  const i64 writes_after_first = sim.counters().dram_write;
+  sim.flush();
+  EXPECT_EQ(sim.counters().dram_write, writes_after_first);
+}
+
+TEST_P(MemSimProperties, ColdStreamTouchesEveryLineOnce) {
+  Rng rng(static_cast<u64>(GetParam()) + 77);
+  MemoryHierarchySim sim(small_machine());
+  const i64 lines = 256 + static_cast<i64>(rng.next_below(256));
+  const u64 base = sim.allocate("stream", lines * 32);
+  sim.access(0, base, lines * 32, /*write=*/false);
+  const TxnCounters c = sim.counters();
+  EXPECT_EQ(c.l1, lines);
+  // Cold read: every line must come from DRAM exactly once.
+  EXPECT_EQ(c.dram_read, lines);
+  EXPECT_EQ(c.dram_write, 0);
+}
+
+TEST_P(MemSimProperties, WriteReadRoundTripStaysOnChipWhenSmall) {
+  Rng rng(static_cast<u64>(GetParam()) + 123);
+  MemoryHierarchySim sim(small_machine());
+  // Working set smaller than L2 (64 lines): write then read back.
+  const i64 lines = 1 + static_cast<i64>(rng.next_below(32));
+  const u64 base = sim.allocate("hot", lines * 32);
+  sim.access(0, base, lines * 32, /*write=*/true);
+  const i64 dram_after_write = sim.counters().dram_read;
+  sim.invocation_begin(0);  // new invocation: L1 cold, L2 still warm
+  sim.access(0, base, lines * 32, /*write=*/false);
+  // The read-back must be served by L2 without new DRAM reads.
+  EXPECT_EQ(sim.counters().dram_read, dram_after_write);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MemSimProperties, testing::Range(0, 8));
+
+TEST(TxnCounters, Arithmetic) {
+  TxnCounters a;
+  a.l1 = 10;
+  a.l2 = 5;
+  a.dram_read = 2;
+  a.dram_write = 1;
+  a.atomics_compulsory = 4;
+  a.atomics_conflict = 3;
+  TxnCounters b = a;
+  b += a;
+  EXPECT_EQ(b.l1, 20);
+  EXPECT_EQ(b.dram(), 6);
+  EXPECT_EQ(b.atomics(), 14);
+  const TxnCounters d = b - a;
+  EXPECT_EQ(d.l1, a.l1);
+  EXPECT_EQ(d.atomics_conflict, a.atomics_conflict);
+}
+
+TEST(CostModelStretch, PenalizesLowParallelism) {
+  const CostModel cost(MachineParams::a100());
+  EXPECT_EQ(cost.utilization_stretch(0.0), 1.0);      // unknown = saturated
+  EXPECT_EQ(cost.utilization_stretch(10000.0), 1.0);  // plenty of bricks
+  EXPECT_NEAR(cost.utilization_stretch(54.0), 2.0, 1e-9);
+  EXPECT_NEAR(cost.utilization_stretch(27.0), 4.0, 1e-9);
+}
+
+TEST(CostModelStretch, AppliesToComputeOnly) {
+  const CostModel cost(MachineParams::a100());
+  TxnCounters txns;
+  txns.dram_read = 1000;
+  ComputeTally tally;
+  tally.flops = 1e9;
+  const Breakdown full = cost.breakdown(txns, tally, 0.0);
+  const Breakdown starved = cost.breakdown(txns, tally, 27.0);
+  EXPECT_NEAR(starved.compute, full.compute * 4.0, 1e-12);
+  EXPECT_EQ(starved.dram, full.dram);
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/models.hpp"
+#include "ops/dispatch.hpp"
+
+namespace brickdl {
+namespace {
+
+ModelConfig tiny() {
+  ModelConfig c;
+  c.batch = 1;
+  c.spatial = 32;
+  c.width_div = 16;
+  c.classes = 8;
+  return c;
+}
+
+TEST(Models, ZooHasSevenModels) {
+  EXPECT_EQ(model_zoo().size(), 7u);
+}
+
+TEST(Models, AllBuildAtFullScale) {
+  ModelConfig config;
+  config.spatial = 224;
+  for (const auto& [name, builder] : model_zoo()) {
+    SCOPED_TRACE(name);
+    // 3D models cube the resolution; keep them smaller.
+    ModelConfig c = config;
+    if (name == "3D ResNet-34") c.spatial = 64;
+    const Graph g = builder(c);
+    EXPECT_GT(g.num_nodes(), 10) << name;
+    EXPECT_GT(g.total_flops(), 0) << name;
+    EXPECT_EQ(g.outputs().size(), 1u) << name;
+  }
+}
+
+TEST(Models, AllRunNumericallyAtTinyScale) {
+  for (const auto& [name, builder] : model_zoo()) {
+    SCOPED_TRACE(name);
+    const Graph g = builder(tiny());
+    Tensor input(g.node(0).out_shape);
+    Rng rng(1);
+    input.fill_random(rng);
+    WeightStore ws(2);
+    const auto outputs = run_graph_reference(g, input, ws);
+    const Tensor& out = outputs.back();
+    for (i64 i = 0; i < out.elements(); ++i) {
+      ASSERT_TRUE(std::isfinite(out.flat(i))) << name << " output " << i;
+    }
+  }
+}
+
+TEST(Models, ClassifiersProduceDistributions) {
+  for (const auto& [name, builder] : model_zoo()) {
+    if (name == "DeepCAM") continue;  // segmentation head, sigmoid output
+    SCOPED_TRACE(name);
+    const Graph g = builder(tiny());
+    Tensor input(g.node(0).out_shape);
+    Rng rng(4);
+    input.fill_random(rng);
+    WeightStore ws(5);
+    const auto outputs = run_graph_reference(g, input, ws);
+    const Tensor& prob = outputs.back();
+    double sum = 0.0;
+    for (i64 i = 0; i < prob.elements(); ++i) {
+      EXPECT_GE(prob.flat(i), 0.0f);
+      sum += prob.flat(i);
+    }
+    EXPECT_NEAR(sum, static_cast<double>(prob.dims()[0]), 1e-3);
+  }
+}
+
+TEST(Models, DeepCamPreservesResolution) {
+  const Graph g = build_deepcam(tiny());
+  const Node& out = g.node(g.outputs()[0]);
+  EXPECT_EQ(out.out_shape.spatial(0), 32);
+  EXPECT_EQ(out.out_shape.spatial(1), 32);
+}
+
+TEST(Models, ResNet50Structure) {
+  const Graph g = build_resnet50(tiny());
+  int convs = 0, adds = 0;
+  for (const Node& n : g.nodes()) {
+    convs += n.kind == OpKind::kConv ? 1 : 0;
+    adds += n.kind == OpKind::kAdd ? 1 : 0;
+  }
+  // 1 stem + 16 blocks x 3 convs + 4 projections = 53; 16 residual adds.
+  EXPECT_EQ(convs, 53);
+  EXPECT_EQ(adds, 16);
+}
+
+TEST(Models, DarkNet53Structure) {
+  const Graph g = build_darknet53(tiny());
+  int convs = 0;
+  for (const Node& n : g.nodes()) convs += n.kind == OpKind::kConv ? 1 : 0;
+  // 1 + 5 downsamples + 23 blocks x 2 = 52 (the 53rd "layer" is the dense).
+  EXPECT_EQ(convs, 52);
+}
+
+TEST(Models, DrnUsesDilationNotStrideLate) {
+  const Graph g = build_drn26(tiny());
+  bool found_dilated = false;
+  for (const Node& n : g.nodes()) {
+    if (n.kind == OpKind::kConv && n.attrs.dilation.rank() == 2 &&
+        n.attrs.dilation[0] > 1) {
+      found_dilated = true;
+      EXPECT_EQ(n.attrs.stride[0], 1);  // dilation replaces stride
+    }
+  }
+  EXPECT_TRUE(found_dilated);
+}
+
+TEST(Models, DeepCamHasDeconvAndAspp) {
+  const Graph g = build_deepcam(tiny());
+  int deconvs = 0, concats = 0;
+  for (const Node& n : g.nodes()) {
+    deconvs += (n.kind == OpKind::kConv && n.attrs.transposed) ? 1 : 0;
+    concats += n.kind == OpKind::kConcat ? 1 : 0;
+  }
+  EXPECT_EQ(deconvs, 2);
+  EXPECT_EQ(concats, 3);  // ASPP + two decoder skips
+}
+
+TEST(Models, InceptionHasParallelBranches) {
+  const Graph g = build_inception_v4(tiny());
+  int concats = 0;
+  bool asymmetric_kernel = false;
+  for (const Node& n : g.nodes()) {
+    concats += n.kind == OpKind::kConcat ? 1 : 0;
+    if (n.kind == OpKind::kConv && n.attrs.kernel.rank() == 2 &&
+        n.attrs.kernel[0] != n.attrs.kernel[1]) {
+      asymmetric_kernel = true;
+    }
+  }
+  EXPECT_GE(concats, 6);
+  EXPECT_TRUE(asymmetric_kernel);  // the 1x7 / 7x1 factorized convs
+}
+
+TEST(Models, ResNet3dUses3dConvs) {
+  const Graph g = build_resnet34_3d(tiny());
+  for (const Node& n : g.nodes()) {
+    if (n.kind == OpKind::kConv) {
+      EXPECT_EQ(n.attrs.kernel.rank(), 3);
+    }
+  }
+  EXPECT_EQ(g.node(0).out_shape.spatial_rank(), 3);
+}
+
+TEST(Models, ProxyChainShapesShrink) {
+  const Graph g = build_conv_chain_3d(6, 1, 112, 64);
+  // Paper §4.5.1: 112^3 input, each 3^3 valid conv shrinks by 2.
+  const auto outputs = g.outputs();
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(g.node(outputs[0]).out_shape.spatial(0), 112 - 12);
+  EXPECT_EQ(g.node(outputs[0]).out_shape.channels(), 64);
+}
+
+TEST(Models, WidthDivScalesChannels) {
+  ModelConfig full = tiny();
+  full.width_div = 1;
+  ModelConfig slim = tiny();
+  slim.width_div = 8;
+  const Graph gf = build_vgg16(full);
+  const Graph gs = build_vgg16(slim);
+  EXPECT_GT(gf.total_flops(), gs.total_flops());
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/dispatch.hpp"
+#include "util/odometer.hpp"
+
+namespace brickdl {
+namespace {
+
+/// Build a one-op graph and return it plus the op node id.
+struct OneOp {
+  Graph g;
+  int node = -1;
+};
+
+OneOp conv2d(Shape in, Dims kernel, i64 out_ch, Dims stride, Dims padding,
+             Dims dilation = {}, i64 groups = 1, bool transposed = false) {
+  OneOp r;
+  const int x = r.g.add_input("x", in);
+  if (transposed) {
+    r.node = r.g.add_deconv(x, "op", kernel, out_ch, stride, padding, {},
+                            dilation);
+  } else {
+    r.node = r.g.add_conv(x, "op", kernel, out_ch, stride, padding, dilation,
+                          groups);
+  }
+  return r;
+}
+
+/// Reference full-output region compute for a single-input node.
+std::vector<float> full_region(const Graph& g, const Node& node,
+                               const std::vector<float>& in_region,
+                               WeightStore& ws) {
+  const Shape in_shape = g.input_shapes(node)[0];
+  RegionInput ri;
+  ri.data = in_region;
+  ri.lo = Dims::filled(in_shape.blocked_dims().rank(), 0);
+  ri.extent = in_shape.blocked_dims();
+  ri.channels = in_shape.channels();
+  const Dims out_blocked = node.out_shape.blocked_dims();
+  std::vector<float> out(static_cast<size_t>(node.out_shape.elements()));
+  compute_region(node, std::span<const RegionInput>(&ri, 1), ws.weights(node),
+                 Dims::filled(out_blocked.rank(), 0), out_blocked, out);
+  return out;
+}
+
+/// Property: computing the output tile-by-tile (any tiling) must equal the
+/// single full-region result. This is the invariance every executor relies on.
+void check_tiling_invariance(const Graph& g, int node_id, i64 tile) {
+  const Node& node = g.node(node_id);
+  const Shape in_shape = g.input_shapes(node)[0];
+  Tensor input(in_shape);
+  Rng rng(2024);
+  input.fill_random(rng);
+  WeightStore ws(7);
+
+  const std::vector<float> in_region = canonical_to_region(input);
+  const std::vector<float> expected = full_region(g, node, in_region, ws);
+
+  RegionInput ri;
+  ri.data = in_region;
+  ri.lo = Dims::filled(in_shape.blocked_dims().rank(), 0);
+  ri.extent = in_shape.blocked_dims();
+  ri.channels = in_shape.channels();
+
+  const Dims out_blocked = node.out_shape.blocked_dims();
+  const i64 out_ch = node.out_shape.channels();
+  std::vector<float> tiled(static_cast<size_t>(node.out_shape.elements()),
+                           -999.0f);
+
+  Dims grid = out_blocked;
+  Dims tile_extent = out_blocked;
+  for (int d = 0; d < out_blocked.rank(); ++d) {
+    tile_extent[d] = std::min<i64>(d == 0 ? 1 : tile, out_blocked[d]);
+    grid[d] = ceil_div(out_blocked[d], tile_extent[d]);
+  }
+  for_each_index(grid, [&](const Dims& gcoord) {
+    Dims lo = gcoord, extent = tile_extent;
+    for (int d = 0; d < grid.rank(); ++d) {
+      lo[d] = gcoord[d] * tile_extent[d];
+      extent[d] = std::min(tile_extent[d], out_blocked[d] - lo[d]);
+    }
+    std::vector<float> tile_out(
+        static_cast<size_t>(out_ch * extent.product()));
+    compute_region(node, std::span<const RegionInput>(&ri, 1),
+                   ws.weights(node), lo, extent, tile_out);
+    // Scatter into the full output (region layout [C, blocked...]).
+    const i64 points = extent.product();
+    const i64 full_points = out_blocked.product();
+    for_each_index(extent, [&](const Dims& rel) {
+      Dims abs = rel;
+      for (int d = 0; d < rel.rank(); ++d) abs[d] += lo[d];
+      for (i64 c = 0; c < out_ch; ++c) {
+        tiled[static_cast<size_t>(c * full_points + out_blocked.linear(abs))] =
+            tile_out[static_cast<size_t>(c * points + extent.linear(rel))];
+      }
+    });
+  });
+
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(expected[i], tiled[i], 1e-4) << "mismatch at flat " << i;
+  }
+}
+
+TEST(ConvRegion, HandComputed1x1) {
+  // 1x1 conv = per-pixel channel mix; verify one value by hand.
+  OneOp op = conv2d(Shape{1, 2, 2, 2}, Dims{1, 1}, 1, Dims{1, 1}, Dims{0, 0});
+  const Node& node = op.g.node(op.node);
+
+  std::vector<float> in_region = {1, 2, 3, 4,      // channel 0
+                                  10, 20, 30, 40};  // channel 1
+  RegionInput ri{in_region, Dims{0, 0, 0}, Dims{1, 2, 2}, 2};
+  std::vector<float> weights = {0.5f, 2.0f};  // w[m=0][c=0], w[0][1]
+  std::vector<float> out(4);
+  compute_region(node, std::span<const RegionInput>(&ri, 1), weights,
+                 Dims{0, 0, 0}, Dims{1, 2, 2}, out);
+  EXPECT_FLOAT_EQ(out[0], 1 * 0.5f + 10 * 2.0f);
+  EXPECT_FLOAT_EQ(out[3], 4 * 0.5f + 40 * 2.0f);
+}
+
+TEST(ConvRegion, HandComputed3x3Center) {
+  // 3x3 all-ones kernel on a ramp: center output = sum of 3x3 neighborhood.
+  OneOp op = conv2d(Shape{1, 1, 4, 4}, Dims{3, 3}, 1, Dims{1, 1}, Dims{1, 1});
+  const Node& node = op.g.node(op.node);
+  std::vector<float> in_region(16);
+  for (int i = 0; i < 16; ++i) in_region[static_cast<size_t>(i)] = static_cast<float>(i);
+  RegionInput ri{in_region, Dims{0, 0, 0}, Dims{1, 4, 4}, 1};
+  std::vector<float> weights(9, 1.0f);
+  std::vector<float> out(16);
+  compute_region(node, std::span<const RegionInput>(&ri, 1), weights,
+                 Dims{0, 0, 0}, Dims{1, 4, 4}, out);
+  // Output at (1,1): sum of input[0..2][0..2] = 0+1+2+4+5+6+8+9+10 = 45.
+  EXPECT_FLOAT_EQ(out[5], 45.0f);
+  // Corner (0,0) with zero padding: 0+1+4+5 = 10.
+  EXPECT_FLOAT_EQ(out[0], 10.0f);
+}
+
+TEST(ConvRegion, TilingInvariancePlain) {
+  OneOp op = conv2d(Shape{1, 3, 12, 12}, Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  check_tiling_invariance(op.g, op.node, 4);
+}
+
+TEST(ConvRegion, TilingInvarianceStrided) {
+  OneOp op = conv2d(Shape{1, 3, 13, 13}, Dims{3, 3}, 4, Dims{2, 2}, Dims{1, 1});
+  check_tiling_invariance(op.g, op.node, 3);
+}
+
+TEST(ConvRegion, TilingInvarianceDilated) {
+  OneOp op = conv2d(Shape{1, 2, 14, 14}, Dims{3, 3}, 4, Dims{1, 1}, Dims{2, 2},
+                    Dims{2, 2});
+  check_tiling_invariance(op.g, op.node, 5);
+}
+
+TEST(ConvRegion, TilingInvarianceDepthwise) {
+  OneOp op = conv2d(Shape{1, 6, 10, 10}, Dims{3, 3}, 6, Dims{1, 1}, Dims{1, 1},
+                    {}, /*groups=*/6);
+  check_tiling_invariance(op.g, op.node, 4);
+}
+
+TEST(ConvRegion, TilingInvarianceGrouped) {
+  OneOp op = conv2d(Shape{1, 8, 10, 10}, Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1},
+                    {}, /*groups=*/2);
+  check_tiling_invariance(op.g, op.node, 4);
+}
+
+TEST(ConvRegion, TilingInvarianceTransposed) {
+  OneOp op = conv2d(Shape{1, 3, 8, 8}, Dims{4, 4}, 2, Dims{2, 2}, Dims{1, 1},
+                    {}, 1, /*transposed=*/true);
+  check_tiling_invariance(op.g, op.node, 5);
+}
+
+TEST(ConvRegion, TilingInvariance3D) {
+  OneOp r;
+  const int x = r.g.add_input("x", Shape{1, 2, 8, 8, 8});
+  r.node = r.g.add_conv(x, "op", Dims{3, 3, 3}, 3, Dims{1, 1, 1},
+                        Dims{0, 0, 0});
+  check_tiling_invariance(r.g, r.node, 3);
+}
+
+TEST(ConvRegion, TilingInvarianceBatch) {
+  OneOp op = conv2d(Shape{3, 2, 8, 8}, Dims{3, 3}, 2, Dims{1, 1}, Dims{1, 1});
+  check_tiling_invariance(op.g, op.node, 4);
+}
+
+TEST(ConvRegion, FusedReluClamps) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 1, 2, 2});
+  const int c = g.add_conv(x, "op", Dims{1, 1}, 1, Dims{1, 1}, Dims{0, 0}, {},
+                           1, /*fused_relu=*/true);
+  const Node& node = g.node(c);
+  std::vector<float> in_region = {-1, 2, -3, 4};
+  RegionInput ri{in_region, Dims{0, 0, 0}, Dims{1, 2, 2}, 1};
+  std::vector<float> weights = {1.0f};
+  std::vector<float> out(4);
+  compute_region(node, std::span<const RegionInput>(&ri, 1), weights,
+                 Dims{0, 0, 0}, Dims{1, 2, 2}, out);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+  EXPECT_FLOAT_EQ(out[3], 4.0f);
+}
+
+TEST(PoolRegion, TilingInvarianceMax) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 3, 12, 12});
+  const int p = g.add_pool(x, "p", PoolKind::kMax, Dims{3, 3}, Dims{2, 2},
+                           Dims{1, 1});
+  check_tiling_invariance(g, p, 3);
+}
+
+TEST(PoolRegion, TilingInvarianceAvg) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 3, 12, 12});
+  const int p = g.add_pool(x, "p", PoolKind::kAvg, Dims{2, 2}, Dims{2, 2});
+  check_tiling_invariance(g, p, 3);
+}
+
+TEST(PoolRegion, MaxPoolValues) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 1, 4, 4});
+  const int p = g.add_pool(x, "p", PoolKind::kMax, Dims{2, 2}, Dims{2, 2});
+  const Node& node = g.node(p);
+  std::vector<float> in_region(16);
+  for (int i = 0; i < 16; ++i) in_region[static_cast<size_t>(i)] = static_cast<float>(i);
+  RegionInput ri{in_region, Dims{0, 0, 0}, Dims{1, 4, 4}, 1};
+  std::vector<float> out(4);
+  compute_region(node, std::span<const RegionInput>(&ri, 1), {}, Dims{0, 0, 0},
+                 Dims{1, 2, 2}, out);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[3], 15.0f);
+}
+
+TEST(ElementwiseRegions, Values) {
+  std::vector<float> data = {-2.0f, 0.0f, 3.0f};
+  RegionInput ri{data, Dims{0, 0, 0}, Dims{1, 1, 3}, 1};
+  std::vector<float> out(3);
+  relu_region(ri, out);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+  sigmoid_region(ri, out);
+  EXPECT_NEAR(out[1], 0.5f, 1e-6);
+  EXPECT_NEAR(out[2], 1.0f / (1.0f + std::exp(-3.0f)), 1e-6);
+}
+
+TEST(ElementwiseRegions, AddAndConcat) {
+  std::vector<float> a = {1, 2, 3, 4};
+  std::vector<float> b = {10, 20, 30, 40};
+  RegionInput ra{a, Dims{0, 0, 0}, Dims{1, 2, 2}, 1};
+  RegionInput rb{b, Dims{0, 0, 0}, Dims{1, 2, 2}, 1};
+  std::vector<float> sum(4);
+  add_region(ra, rb, sum);
+  EXPECT_FLOAT_EQ(sum[2], 33.0f);
+
+  std::vector<float> cat(8);
+  const RegionInput inputs[] = {ra, rb};
+  concat_region(inputs, cat);
+  EXPECT_FLOAT_EQ(cat[0], 1.0f);
+  EXPECT_FLOAT_EQ(cat[4], 10.0f);
+}
+
+TEST(NormalizeRegions, SoftmaxSumsToOne) {
+  std::vector<float> data = {1.0f, 5.0f, 2.0f, -1.0f, 0.5f, 0.5f};
+  RegionInput ri{data, Dims{0, 0, 0}, Dims{1, 1, 2}, 3};  // 3 channels, 2 pts
+  std::vector<float> out(6);
+  softmax_region(ri, out);
+  for (i64 p = 0; p < 2; ++p) {
+    double sum = 0.0;
+    for (i64 c = 0; c < 3; ++c) sum += out[static_cast<size_t>(c * 2 + p)];
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  // Channel order preserved: larger logit, larger probability.
+  EXPECT_GT(out[2], out[0]);  // logit 5 > 1 at point 0
+}
+
+TEST(NormalizeRegions, BatchNormScaleShift) {
+  std::vector<float> data = {1, 2, 3, 4};
+  RegionInput ri{data, Dims{0, 0, 0}, Dims{1, 1, 2}, 2};
+  std::vector<float> weights = {2.0f, 1.0f,   // channel 0: scale 2 shift 1
+                                0.5f, -1.0f};  // channel 1
+  std::vector<float> out(4);
+  batchnorm_region(ri, weights, out);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  EXPECT_FLOAT_EQ(out[1], 5.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.5f);
+  EXPECT_FLOAT_EQ(out[3], 1.0f);
+}
+
+TEST(MaskRegion, ZeroesOutsideBounds) {
+  std::vector<float> data(2 * 16, 1.0f);
+  // Window [-1..3) x [-1..3) over bounds 2x2 (plus batch dim).
+  mask_region_outside(Dims{0, -1, -1}, Dims{1, 4, 4}, 2, Dims{1, 2, 2}, data);
+  i64 kept = 0;
+  for (float v : data) kept += v == 1.0f ? 1 : 0;
+  EXPECT_EQ(kept, 2 * 4);  // 2 channels x the 2x2 in-bounds positions
+}
+
+TEST(GlobalOps, DenseMatchesManual) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 2, 1, 1});
+  const int fc = g.add_dense(x, "fc", 2);
+  Tensor input(Shape{1, 2, 1, 1});
+  input.flat(0) = 3.0f;
+  input.flat(1) = 4.0f;
+  std::vector<float> weights = {1.0f, 0.0f, 10.0f, 20.0f};
+  const Tensor out = dense_forward(g.node(fc), input, weights);
+  EXPECT_FLOAT_EQ(out.flat(0), 3.0f);
+  EXPECT_FLOAT_EQ(out.flat(1), 110.0f);
+}
+
+TEST(GlobalOps, GlobalAvgPool) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 2, 2, 2});
+  const int gap = g.add_global_avg_pool(x, "gap");
+  Tensor input(Shape{1, 2, 2, 2});
+  for (i64 i = 0; i < 4; ++i) input.flat(i) = static_cast<float>(i);  // ch 0
+  for (i64 i = 4; i < 8; ++i) input.flat(i) = 10.0f;                  // ch 1
+  const Tensor out = global_avg_pool_forward(g.node(gap), input);
+  EXPECT_FLOAT_EQ(out.flat(0), 1.5f);
+  EXPECT_FLOAT_EQ(out.flat(1), 10.0f);
+}
+
+TEST(WeightStore, DeterministicPerNode) {
+  Graph g;
+  const int x = g.add_input("x", Shape{1, 2, 4, 4});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  WeightStore a(42), b(42), c99(99);
+  const auto wa = a.weights(g.node(c));
+  const auto wb = b.weights(g.node(c));
+  const auto wc = c99.weights(g.node(c));
+  ASSERT_EQ(wa.size(), wb.size());
+  for (size_t i = 0; i < wa.size(); ++i) EXPECT_EQ(wa[i], wb[i]);
+  bool differs = false;
+  for (size_t i = 0; i < wa.size(); ++i) differs |= wa[i] != wc[i];
+  EXPECT_TRUE(differs);
+}
+
+TEST(ReferenceExecutor, RunsSmallChain) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 3, 10, 10});
+  x = g.add_conv(x, "c1", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  x = g.add_relu(x, "r1");
+  x = g.add_pool(x, "p", PoolKind::kMax, Dims{2, 2}, Dims{2, 2});
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_dense(x, "fc", 5);
+  g.add_softmax(x, "sm");
+
+  Tensor input(Shape{1, 3, 10, 10});
+  Rng rng(3);
+  input.fill_random(rng);
+  WeightStore ws(1);
+  const auto outputs = run_graph_reference(g, input, ws);
+  ASSERT_EQ(outputs.size(), static_cast<size_t>(g.num_nodes()));
+  const Tensor& prob = outputs.back();
+  double sum = 0.0;
+  for (i64 i = 0; i < prob.elements(); ++i) sum += prob.flat(i);
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "graph/rewrite.hpp"
+#include "models/models.hpp"
+#include "ops/dispatch.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(Rewrite, FusesConvReluPairs) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 3, 16, 16});
+  x = g.add_conv(x, "c1", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  x = g.add_relu(x, "r1");
+  x = g.add_conv(x, "c2", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  g.add_relu(x, "r2");
+
+  const Graph fused = fuse_conv_pointwise(g);
+  EXPECT_EQ(fused.num_nodes(), 3);  // input + 2 fused convs
+  int fused_convs = 0;
+  for (const Node& n : fused.nodes()) {
+    if (n.kind == OpKind::kConv) {
+      EXPECT_TRUE(n.attrs.fused_relu);
+      ++fused_convs;
+    }
+    EXPECT_NE(n.kind, OpKind::kRelu);
+  }
+  EXPECT_EQ(fused_convs, 2);
+}
+
+TEST(Rewrite, KeepsMultiConsumerReluSeparate) {
+  // The relu's output feeds two consumers via the conv... here the CONV has
+  // two consumers, so the pair must not fuse.
+  Graph g;
+  int x = g.add_input("x", Shape{1, 2, 8, 8});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 2, Dims{1, 1}, Dims{1, 1});
+  const int r = g.add_relu(c, "r");
+  const int s = g.add_sigmoid(c, "s");  // second consumer of the conv
+  g.add_add(r, s, "sum");
+
+  const Graph fused = fuse_conv_pointwise(g);
+  int relus = 0;
+  for (const Node& n : fused.nodes()) {
+    relus += n.kind == OpKind::kRelu ? 1 : 0;
+    if (n.kind == OpKind::kConv) {
+      EXPECT_FALSE(n.attrs.fused_relu);
+    }
+  }
+  EXPECT_EQ(relus, 1);
+}
+
+TEST(Rewrite, PreservesNumericsOnModels) {
+  // The rewritten graph must compute exactly what the original does —
+  // WeightStore keys weights by node name, which the rewrite preserves.
+  ModelConfig config;
+  config.batch = 1;
+  config.spatial = 32;
+  config.width_div = 16;
+  config.classes = 8;
+  for (const auto& [name, builder] : model_zoo()) {
+    SCOPED_TRACE(name);
+    const Graph original = builder(config);
+    const Graph fused = fuse_conv_pointwise(original);
+    EXPECT_LT(fused.num_nodes(), original.num_nodes());
+
+    Tensor input(original.node(0).out_shape);
+    Rng rng(17);
+    input.fill_random(rng);
+    WeightStore ws1(5), ws2(5);
+    const auto out1 = run_graph_reference(original, input, ws1);
+    const auto out2 = run_graph_reference(fused, input, ws2);
+    EXPECT_TRUE(allclose(out1.back(), out2.back(), 1e-5));
+  }
+}
+
+TEST(Rewrite, IdempotentOnFusedGraphs) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 2, 8, 8});
+  g.add_conv(x, "c", Dims{3, 3}, 2, Dims{1, 1}, Dims{1, 1}, {}, 1,
+             /*fused_relu=*/true);
+  const Graph once = fuse_conv_pointwise(g);
+  const Graph twice = fuse_conv_pointwise(once);
+  EXPECT_EQ(once.num_nodes(), twice.num_nodes());
+}
+
+TEST(Rewrite, PreservesResidualStructure) {
+  // conv -> relu -> add(x): the relu has a single consumer (add) but is not
+  // consumed by the conv... the conv's single consumer IS the relu -> fuses;
+  // the add and its skip edge must survive with remapped inputs.
+  Graph g;
+  int x = g.add_input("x", Shape{1, 2, 8, 8});
+  const int c = g.add_conv(x, "c", Dims{3, 3}, 2, Dims{1, 1}, Dims{1, 1});
+  const int r = g.add_relu(c, "r");
+  g.add_add(r, x, "sum");
+
+  const Graph fused = fuse_conv_pointwise(g);
+  ASSERT_EQ(fused.num_nodes(), 3);
+  const Node& add = fused.node(2);
+  EXPECT_EQ(add.kind, OpKind::kAdd);
+  EXPECT_EQ(add.inputs.size(), 2u);
+  EXPECT_EQ(fused.node(add.inputs[0]).kind, OpKind::kConv);
+  EXPECT_EQ(fused.node(add.inputs[1]).kind, OpKind::kInput);
+}
+
+}  // namespace
+}  // namespace brickdl

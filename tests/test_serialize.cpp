@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "graph/serialize.hpp"
+#include "models/models.hpp"
+#include "ops/dispatch.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(Serialize, RoundTripSmallGraph) {
+  Graph g("tiny");
+  int x = g.add_input("x", Shape{1, 3, 16, 16});
+  x = g.add_conv(x, "c1", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  x = g.add_relu(x, "r1");
+  x = g.add_pool(x, "p", PoolKind::kMax, Dims{2, 2}, Dims{2, 2});
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_dense(x, "fc", 5);
+  g.add_softmax(x, "sm");
+
+  const Graph parsed = parse_graph(serialize_graph(g), "tiny");
+  ASSERT_EQ(parsed.num_nodes(), g.num_nodes());
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(parsed.node(i).kind, g.node(i).kind);
+    EXPECT_EQ(parsed.node(i).name, g.node(i).name);
+    EXPECT_EQ(parsed.node(i).out_shape, g.node(i).out_shape);
+    EXPECT_EQ(parsed.node(i).inputs, g.node(i).inputs);
+  }
+}
+
+TEST(Serialize, RoundTripAllModels) {
+  ModelConfig config;
+  config.batch = 1;
+  config.spatial = 32;
+  config.width_div = 16;
+  config.classes = 8;
+  for (const auto& [name, builder] : model_zoo()) {
+    SCOPED_TRACE(name);
+    const Graph original = builder(config);
+    const Graph parsed = parse_graph(serialize_graph(original), name);
+    ASSERT_EQ(parsed.num_nodes(), original.num_nodes());
+    // Shapes and weight dims re-derive identically through shape inference.
+    for (int i = 0; i < original.num_nodes(); ++i) {
+      EXPECT_EQ(parsed.node(i).out_shape, original.node(i).out_shape);
+      EXPECT_EQ(parsed.node(i).weight_dims, original.node(i).weight_dims);
+      EXPECT_EQ(parsed.node(i).attrs.fused_relu,
+                original.node(i).attrs.fused_relu);
+    }
+    // Numerics identical (name-keyed weights).
+    Tensor input(original.node(0).out_shape);
+    Rng rng(9);
+    input.fill_random(rng);
+    WeightStore ws1(3), ws2(3);
+    const auto out1 = run_graph_reference(original, input, ws1);
+    const auto out2 = run_graph_reference(parsed, input, ws2);
+    EXPECT_TRUE(allclose(out1.back(), out2.back(), 0.0));
+  }
+}
+
+TEST(Serialize, ParsesHandWrittenText) {
+  const std::string text = R"(
+# a small residual network
+input  x shape=1,4,12,12
+conv   c1 in=x k=3,3 out_ch=4 stride=1,1 pad=1,1
+relu   r1 in=c1
+conv   c2 in=r1 k=3,3 out_ch=4 stride=1,1 pad=1,1 fused_relu
+add    s  in=c2,x
+softmax sm in=s
+)";
+  const Graph g = parse_graph(text, "res");
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_TRUE(g.node(3).attrs.fused_relu);
+  EXPECT_EQ(g.node(4).kind, OpKind::kAdd);
+  EXPECT_EQ(g.outputs().size(), 1u);
+}
+
+TEST(Serialize, TransposedAndDilatedAttrs) {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 4, 8, 8});
+  g.add_deconv(x, "up", Dims{4, 4}, 2, Dims{2, 2}, Dims{1, 1}, Dims{1, 1});
+  g.add_conv(x, "dil", Dims{3, 3}, 4, Dims{1, 1}, Dims{2, 2}, Dims{2, 2}, 4);
+  const Graph parsed = parse_graph(serialize_graph(g));
+  EXPECT_TRUE(parsed.node(1).attrs.transposed);
+  EXPECT_EQ(parsed.node(1).attrs.output_padding, (Dims{1, 1}));
+  EXPECT_EQ(parsed.node(2).attrs.dilation, (Dims{2, 2}));
+  EXPECT_EQ(parsed.node(2).attrs.groups, 4);
+  EXPECT_EQ(parsed.node(1).out_shape, g.node(1).out_shape);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(parse_graph(""), Error);
+  EXPECT_THROW(parse_graph("frobnicate z in=x"), Error);
+  EXPECT_THROW(parse_graph("input x shape=1,3,8,8\nrelu r in=nope"), Error);
+  EXPECT_THROW(parse_graph("input x shape=1,3,8,8\ninput x shape=1,3,8,8"),
+               Error);  // duplicate name
+  EXPECT_THROW(parse_graph("input x shape=1,3,8,8\nconv c in=x k=3,3"),
+               Error);  // missing required attrs
+  EXPECT_THROW(parse_graph("input x shape=1,q,8,8"), Error);  // bad integer
+  EXPECT_THROW(parse_graph("input x shape=1,3,8,8\nadd s in=x"), Error);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const Graph g = parse_graph(
+      "\n# comment only\ninput x shape=1,2,4,4  # trailing\n\nrelu r in=x\n");
+  EXPECT_EQ(g.num_nodes(), 2);
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "tensor/shape.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(Dims, ConstructionAndAccess) {
+  Dims d{2, 3, 4};
+  EXPECT_EQ(d.rank(), 3);
+  EXPECT_EQ(d[0], 2);
+  EXPECT_EQ(d[1], 3);
+  EXPECT_EQ(d[2], 4);
+  EXPECT_EQ(d.product(), 24);
+  EXPECT_EQ(d.str(), "[2x3x4]");
+}
+
+TEST(Dims, Filled) {
+  Dims d = Dims::filled(4, 7);
+  EXPECT_EQ(d.rank(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(d[i], 7);
+}
+
+TEST(Dims, PushBack) {
+  Dims d;
+  EXPECT_EQ(d.rank(), 0);
+  EXPECT_EQ(d.product(), 1);
+  d.push_back(5);
+  d.push_back(6);
+  EXPECT_EQ(d.rank(), 2);
+  EXPECT_EQ(d.product(), 30);
+}
+
+TEST(Dims, MaxRankEnforced) {
+  Dims d = Dims::filled(5, 1);
+  EXPECT_THROW(d.push_back(1), Error);
+}
+
+TEST(Dims, Equality) {
+  EXPECT_EQ((Dims{1, 2}), (Dims{1, 2}));
+  EXPECT_NE((Dims{1, 2}), (Dims{2, 1}));
+  EXPECT_NE((Dims{1, 2}), (Dims{1, 2, 3}));
+}
+
+TEST(Dims, LinearRoundTrip) {
+  const Dims extent{3, 4, 5};
+  for (i64 offset = 0; offset < extent.product(); ++offset) {
+    const Dims index = extent.unlinear(offset);
+    EXPECT_EQ(extent.linear(index), offset);
+  }
+}
+
+TEST(Dims, LinearRowMajorOrder) {
+  const Dims extent{2, 3};
+  EXPECT_EQ(extent.linear(Dims{0, 0}), 0);
+  EXPECT_EQ(extent.linear(Dims{0, 2}), 2);
+  EXPECT_EQ(extent.linear(Dims{1, 0}), 3);
+  EXPECT_EQ(extent.linear(Dims{1, 2}), 5);
+}
+
+TEST(Dims, LinearBoundsChecked) {
+  const Dims extent{2, 2};
+  EXPECT_THROW(extent.linear(Dims{2, 0}), Error);
+  EXPECT_THROW(extent.linear(Dims{0, -1}), Error);
+  EXPECT_THROW(extent.linear(Dims{0}), Error);  // rank mismatch
+}
+
+TEST(Shape, ActivationAccessors) {
+  const Shape s{2, 64, 28, 28};
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s.batch(), 2);
+  EXPECT_EQ(s.channels(), 64);
+  EXPECT_EQ(s.spatial_rank(), 2);
+  EXPECT_EQ(s.spatial(0), 28);
+  EXPECT_EQ(s.spatial(1), 28);
+  EXPECT_EQ(s.elements(), 2 * 64 * 28 * 28);
+  EXPECT_EQ(s.bytes(), s.elements() * 4);
+}
+
+TEST(Shape, BlockedDimsExcludeChannels) {
+  const Shape s{2, 64, 14, 28};
+  EXPECT_EQ(s.blocked_dims(), (Dims{2, 14, 28}));
+  EXPECT_EQ(s.spatial_dims(), (Dims{14, 28}));
+}
+
+TEST(Shape, Rank5For3D) {
+  const Shape s{1, 32, 8, 16, 24};
+  EXPECT_EQ(s.spatial_rank(), 3);
+  EXPECT_EQ(s.blocked_dims(), (Dims{1, 8, 16, 24}));
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 8), 1);
+  EXPECT_EQ(round_up(10, 32), 32);
+  EXPECT_EQ(round_up(32, 32), 32);
+}
+
+}  // namespace
+}  // namespace brickdl

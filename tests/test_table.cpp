@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"a-much-longer-name", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Every rendered line has the same length (alignment).
+  size_t expected = out.find('\n');
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    EXPECT_EQ(end - start, expected);
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, ShortRowsPadEmpty) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  EXPECT_NE(table.render().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 3), "1.235");
+  EXPECT_EQ(TextTable::num(1.0, 1), "1.0");
+  EXPECT_EQ(TextTable::num(-0.5, 2), "-0.50");
+}
+
+TEST(Bars, ScaleToLongestBar) {
+  std::vector<Bar> bars;
+  bars.push_back({"half", {{"x", 0.5, '#'}}});
+  bars.push_back({"full", {{"x", 1.0, '#'}}});
+  const std::string out = render_bars(bars, 20);
+  // The full bar has twice the glyphs of the half bar.
+  const size_t half_count =
+      static_cast<size_t>(std::count(out.begin(), out.begin() +
+                                     static_cast<long>(out.find('\n')), '#'));
+  EXPECT_EQ(half_count, 10u);
+  EXPECT_NE(out.find("####################"), std::string::npos);
+}
+
+TEST(Bars, SegmentsStackInOrder) {
+  std::vector<Bar> bars;
+  bars.push_back({"ab", {{"first", 0.5, 'A'}, {"second", 0.5, 'B'}}});
+  const std::string out = render_bars(bars, 10);
+  EXPECT_NE(out.find("AAAAABBBBB"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("A=first"), std::string::npos);
+}
+
+TEST(Bars, ZeroTotalsDoNotDivideByZero) {
+  std::vector<Bar> bars;
+  bars.push_back({"empty", {{"x", 0.0, '#'}}});
+  EXPECT_NO_THROW(render_bars(bars, 10));
+}
+
+TEST(Bars, UnitSuffixPrinted) {
+  std::vector<Bar> bars;
+  bars.push_back({"b", {{"x", 2.0, '#'}}});
+  const std::string out = render_bars(bars, 10, "ms");
+  EXPECT_NE(out.find("2.000 ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brickdl

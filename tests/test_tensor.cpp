@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{1, 2, 3, 3});
+  for (i64 i = 0; i < t.elements(); ++i) EXPECT_EQ(t.flat(i), 0.0f);
+}
+
+TEST(Tensor, IndexedAccess) {
+  Tensor t(Shape{1, 2, 2, 2});
+  t.at(Dims{0, 1, 1, 0}) = 42.0f;
+  EXPECT_EQ(t.flat(t.dims().linear(Dims{0, 1, 1, 0})), 42.0f);
+}
+
+TEST(Tensor, FillAndCompare) {
+  Tensor a(Shape{1, 3, 4, 4});
+  Tensor b(Shape{1, 3, 4, 4});
+  a.fill(1.5f);
+  b.fill(1.5f);
+  EXPECT_TRUE(allclose(a, b));
+  b.flat(7) = 1.6f;
+  EXPECT_NEAR(max_abs_diff(a, b), 0.1, 1e-6);
+  EXPECT_FALSE(allclose(a, b, 1e-4));
+  EXPECT_TRUE(allclose(a, b, 0.2));
+}
+
+TEST(Tensor, CompareRequiresSameShape) {
+  Tensor a(Shape{1, 1, 2, 2});
+  Tensor b(Shape{1, 1, 4, 4});
+  EXPECT_THROW(max_abs_diff(a, b), Error);
+}
+
+TEST(Tensor, RandomFillDeterministic) {
+  Tensor a(Shape{1, 2, 5, 5});
+  Tensor b(Shape{1, 2, 5, 5});
+  Rng rng1(123), rng2(123);
+  a.fill_random(rng1);
+  b.fill_random(rng2);
+  EXPECT_TRUE(allclose(a, b, 0.0));
+  Rng rng3(124);
+  b.fill_random(rng3);
+  EXPECT_FALSE(allclose(a, b, 1e-6));
+}
+
+TEST(Tensor, RandomFillRange) {
+  Tensor t(Shape{1, 1, 16, 16});
+  Rng rng(7);
+  t.fill_random(rng, -0.5f, 0.5f);
+  for (i64 i = 0; i < t.elements(); ++i) {
+    EXPECT_GE(t.flat(i), -0.5f);
+    EXPECT_LT(t.flat(i), 0.5f);
+  }
+}
+
+TEST(Tensor, RejectsNonPositiveExtent) {
+  EXPECT_THROW(Tensor(Dims{0, 3}), Error);
+  EXPECT_THROW(Tensor(Dims{2, -1}), Error);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+}  // namespace
+}  // namespace brickdl

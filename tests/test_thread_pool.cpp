@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/thread_pool.hpp"
+
+namespace brickdl {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&](int) { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WorkerIndicesInRange) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<int> seen;
+  pool.parallel_for(200, [&](i64, int worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(worker);
+  });
+  for (int w : seen) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 4);
+  }
+  EXPECT_FALSE(seen.empty());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(257, [&](i64 i, int) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](i64, int) { FAIL() << "must not run"; });
+  std::atomic<int> runs{0};
+  pool.parallel_for(1, [&](i64 i, int) {
+    EXPECT_EQ(i, 0);
+    runs.fetch_add(1);
+  });
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> runs{0};
+  pool.parallel_for(3, [&](i64, int) { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 3);
+}
+
+TEST(ThreadPool, SequentialParallelForCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<i64> sum{0};
+    pool.parallel_for(50, [&](i64 i, int) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 49 * 50 / 2);
+  }
+}
+
+TEST(ThreadPool, SubmitFromWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> stage{0};
+  pool.submit([&](int) {
+    stage.fetch_add(1);
+    pool.submit([&](int) { stage.fetch_add(10); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(stage.load(), 11);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), Error);
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "models/models.hpp"
+#include "ops/weights_io.hpp"
+
+namespace brickdl {
+namespace {
+
+Graph small_graph() {
+  Graph g;
+  int x = g.add_input("x", Shape{1, 3, 12, 12});
+  x = g.add_conv(x, "c1", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  x = g.add_batchnorm(x, "bn");
+  x = g.add_global_avg_pool(x, "gap");
+  g.add_dense(x, "fc", 5);
+  return g;
+}
+
+TEST(WeightsIo, RoundTripPreservesValues) {
+  const Graph g = small_graph();
+  WeightStore source(123);
+  std::ostringstream out(std::ios::binary);
+  save_weights(g, source, out);
+
+  WeightStore target(999);  // different seed: random values would differ
+  std::istringstream in(out.str(), std::ios::binary);
+  EXPECT_EQ(load_weights(g, target, in), 3);  // c1, bn, fc
+
+  for (const Node& node : g.nodes()) {
+    if (node.weight_elements() == 0) continue;
+    const auto a = source.weights(node);
+    const auto b = target.weights(node);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << node.name;
+  }
+}
+
+TEST(WeightsIo, RoundTripChangesInference) {
+  // Loading saved weights into a differently-seeded store must reproduce the
+  // source store's inference outputs exactly.
+  const Graph g = small_graph();
+  Tensor input(Shape{1, 3, 12, 12});
+  Rng rng(7);
+  input.fill_random(rng);
+
+  WeightStore source(123);
+  const auto expected = run_graph_reference(g, input, source);
+
+  std::ostringstream out(std::ios::binary);
+  save_weights(g, source, out);
+  WeightStore target(999);
+  std::istringstream in(out.str(), std::ios::binary);
+  load_weights(g, target, in);
+  const auto got = run_graph_reference(g, input, target);
+  EXPECT_TRUE(allclose(expected.back(), got.back(), 0.0));
+}
+
+TEST(WeightsIo, SkipsUnknownEntries) {
+  // Save from a bigger graph, load into a graph missing one node.
+  const Graph big = small_graph();
+  WeightStore source(1);
+  std::ostringstream out(std::ios::binary);
+  save_weights(big, source, out);
+
+  Graph small;
+  int x = small.add_input("x", Shape{1, 3, 12, 12});
+  small.add_conv(x, "c1", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  WeightStore target(2);
+  std::istringstream in(out.str(), std::ios::binary);
+  EXPECT_EQ(load_weights(small, target, in), 1);  // only c1 matches
+}
+
+TEST(WeightsIo, RejectsGarbage) {
+  const Graph g = small_graph();
+  WeightStore store(1);
+  std::istringstream bad("not a weight file at all", std::ios::binary);
+  EXPECT_THROW(load_weights(g, store, bad), Error);
+
+  std::istringstream truncated(std::string("BDLW\x01\x00\x00\x00", 8),
+                               std::ios::binary);
+  EXPECT_THROW(load_weights(g, store, truncated), Error);
+}
+
+TEST(WeightsIo, RejectsShapeMismatch) {
+  // Same node name, different kernel size.
+  Graph a;
+  int x = a.add_input("x", Shape{1, 3, 12, 12});
+  a.add_conv(x, "c1", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  WeightStore source(1);
+  std::ostringstream out(std::ios::binary);
+  save_weights(a, source, out);
+
+  Graph b;
+  x = b.add_input("x", Shape{1, 3, 12, 12});
+  b.add_conv(x, "c1", Dims{5, 5}, 4, Dims{1, 1}, Dims{2, 2});
+  WeightStore target(2);
+  std::istringstream in(out.str(), std::ios::binary);
+  EXPECT_THROW(load_weights(b, target, in), Error);
+}
+
+TEST(WeightsIo, FileRoundTrip) {
+  const Graph g = small_graph();
+  WeightStore source(5);
+  const std::string path = "/tmp/brickdl_weights_test.bdlw";
+  save_weights_file(g, source, path);
+  WeightStore target(6);
+  EXPECT_EQ(load_weights_file(g, target, path), 3);
+  EXPECT_THROW(load_weights_file(g, target, "/nonexistent/dir/w.bdlw"), Error);
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -1,0 +1,197 @@
+// brickdl_cli — inspect and model any zoo network from the command line.
+//
+//   brickdl_cli <model> [options]
+//
+//   models:  resnet50 | drn26 | resnet34_3d | darknet53 | vgg16 | deepcam
+//            | inception_v4 | @<path>  (load a serialized graph file,
+//                                       see graph/serialize.hpp)
+//   options:
+//     --batch N        batch size                (default 8)
+//     --spatial N      input resolution per dim  (default 224; 3D models cube it)
+//     --width-div N    divide channel widths     (default 1)
+//     --system S       cudnn | torchscript | xla | brickdl | all  (default all)
+//     --partition      print the partition plan and exit
+//     --dot            print the graph as Graphviz and exit
+//     --no-fuse        skip the conv+pointwise rewrite for BrickDL
+//
+// Performance numbers come from the simulated A100 (see DESIGN.md §2).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/fused_graph.hpp"
+#include "core/engine.hpp"
+#include "graph/rewrite.hpp"
+#include "graph/serialize.hpp"
+#include "models/models.hpp"
+#include "util/table.hpp"
+
+using namespace brickdl;
+
+namespace {
+
+struct Options {
+  std::string model;
+  ModelConfig config;
+  std::string system = "all";
+  bool partition_only = false;
+  bool dot = false;
+  bool fuse = true;
+};
+
+ModelBuilder find_builder(const std::string& name) {
+  const struct {
+    const char* key;
+    ModelBuilder builder;
+  } table[] = {{"resnet50", &build_resnet50},
+               {"drn26", &build_drn26},
+               {"resnet34_3d", &build_resnet34_3d},
+               {"darknet53", &build_darknet53},
+               {"vgg16", &build_vgg16},
+               {"deepcam", &build_deepcam},
+               {"inception_v4", &build_inception_v4}};
+  for (const auto& entry : table) {
+    if (name == entry.key) return entry.builder;
+  }
+  return nullptr;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: brickdl_cli <model> [--batch N] [--spatial N] "
+               "[--width-div N]\n"
+               "                   [--system cudnn|torchscript|xla|brickdl|all]"
+               " [--partition] [--dot] [--no-fuse]\n"
+               "models: resnet50 drn26 resnet34_3d darknet53 vgg16 deepcam "
+               "inception_v4\n");
+  return 2;
+}
+
+struct Modeled {
+  double dram_ms = 0.0;
+  double compute_ms = 0.0;
+  double total_ms = 0.0;
+  i64 dram_txns = 0;
+};
+
+Modeled run_system(const Graph& graph, const std::string& system) {
+  MemoryHierarchySim sim(MachineParams::a100());
+  ModelBackend backend(graph, sim);
+  if (system == "brickdl") {
+    Engine engine(graph, {});
+    engine.run(backend);
+  } else {
+    const FusionRules rules = system == "torchscript"
+                                  ? FusionRules::kConvPointwise
+                              : system == "xla" ? FusionRules::kAggressive
+                                                : FusionRules::kNone;
+    FusedGraphExecutor exec(graph, backend, rules, 32);
+    exec.run();
+    sim.flush();
+  }
+  const CostModel cost(sim.params());
+  const Breakdown b = cost.breakdown(sim.counters(), backend.tally());
+  Modeled m;
+  m.dram_ms = b.dram * 1e3;
+  m.compute_ms = b.compute_side() * 1e3;
+  m.total_ms = (b.dram + b.compute_side()) * 1e3;
+  m.dram_txns = sim.counters().dram();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Options opts;
+  opts.model = argv[1];
+  opts.config.batch = 8;
+  opts.config.spatial = 224;
+  opts.config.width_div = 1;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--batch") {
+      opts.config.batch = std::atol(next());
+    } else if (arg == "--spatial") {
+      opts.config.spatial = std::atol(next());
+    } else if (arg == "--width-div") {
+      opts.config.width_div = std::atol(next());
+    } else if (arg == "--system") {
+      opts.system = next();
+    } else if (arg == "--partition") {
+      opts.partition_only = true;
+    } else if (arg == "--dot") {
+      opts.dot = true;
+    } else if (arg == "--no-fuse") {
+      opts.fuse = false;
+    } else {
+      return usage();
+    }
+  }
+
+  Graph graph("empty");
+  if (!opts.model.empty() && opts.model[0] == '@') {
+    std::FILE* f = std::fopen(opts.model.c_str() + 1, "rb");
+    if (!f) {
+      std::fprintf(stderr, "cannot open graph file '%s'\n",
+                   opts.model.c_str() + 1);
+      return 1;
+    }
+    std::string text;
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      text.append(buffer, n);
+    }
+    std::fclose(f);
+    graph = parse_graph(text, opts.model.substr(1));
+  } else {
+    const ModelBuilder builder = find_builder(opts.model);
+    if (!builder) return usage();
+    if (opts.model == "resnet34_3d" && opts.config.spatial > 128) {
+      opts.config.spatial = 96;  // cubed volumes; keep the simulation tractable
+    }
+    graph = builder(opts.config);
+  }
+  std::printf("%s: %d nodes, %.2f GFLOP (batch %lld, %lldx%lld input)\n",
+              graph.name().c_str(), graph.num_nodes(),
+              static_cast<double>(graph.total_flops()) / 1e9,
+              static_cast<long long>(opts.config.batch),
+              static_cast<long long>(opts.config.spatial),
+              static_cast<long long>(opts.config.spatial));
+
+  if (opts.dot) {
+    std::printf("%s", graph.to_dot().c_str());
+    return 0;
+  }
+
+  const Graph brickdl_graph =
+      opts.fuse ? fuse_conv_pointwise(graph) : graph;
+  if (opts.partition_only) {
+    Engine engine(brickdl_graph, {});
+    std::printf("\n%s", engine.partition().describe(brickdl_graph).c_str());
+    return 0;
+  }
+
+  TextTable table({"system", "total (ms)", "DRAM (ms)", "compute (ms)",
+                   "DRAM txns", "rel cuDNN"});
+  Modeled base;
+  for (const char* system : {"cudnn", "torchscript", "xla", "brickdl"}) {
+    if (opts.system != "all" && opts.system != system) continue;
+    const Modeled m = run_system(
+        std::string(system) == "brickdl" ? brickdl_graph : graph, system);
+    if (std::string(system) == "cudnn" || base.total_ms == 0.0) base = m;
+    table.add_row({system, TextTable::num(m.total_ms),
+                   TextTable::num(m.dram_ms), TextTable::num(m.compute_ms),
+                   std::to_string(m.dram_txns),
+                   TextTable::num(m.total_ms / base.total_ms)});
+    std::printf("%s: done\n", system);
+    std::fflush(stdout);
+  }
+  std::printf("\n%s", table.render().c_str());
+  return 0;
+}
