@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_brick_map.dir/abl_brick_map.cpp.o"
+  "CMakeFiles/abl_brick_map.dir/abl_brick_map.cpp.o.d"
+  "abl_brick_map"
+  "abl_brick_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_brick_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

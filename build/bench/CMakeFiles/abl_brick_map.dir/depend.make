@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_brick_map.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_delta_threshold.dir/abl_delta_threshold.cpp.o"
+  "CMakeFiles/abl_delta_threshold.dir/abl_delta_threshold.cpp.o.d"
+  "abl_delta_threshold"
+  "abl_delta_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_delta_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

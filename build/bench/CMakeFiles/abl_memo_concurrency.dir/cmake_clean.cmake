@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_memo_concurrency.dir/abl_memo_concurrency.cpp.o"
+  "CMakeFiles/abl_memo_concurrency.dir/abl_memo_concurrency.cpp.o.d"
+  "abl_memo_concurrency"
+  "abl_memo_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_memo_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cal_atomics.dir/cal_atomics.cpp.o"
+  "CMakeFiles/cal_atomics.dir/cal_atomics.cpp.o.d"
+  "cal_atomics"
+  "cal_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cal_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cal_brick_compute.dir/cal_brick_compute.cpp.o"
+  "CMakeFiles/cal_brick_compute.dir/cal_brick_compute.cpp.o.d"
+  "cal_brick_compute"
+  "cal_brick_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cal_brick_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_autotune.dir/ext_autotune.cpp.o"
+  "CMakeFiles/ext_autotune.dir/ext_autotune.cpp.o.d"
+  "ext_autotune"
+  "ext_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_wavefront.dir/ext_wavefront.cpp.o"
+  "CMakeFiles/ext_wavefront.dir/ext_wavefront.cpp.o.d"
+  "ext_wavefront"
+  "ext_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

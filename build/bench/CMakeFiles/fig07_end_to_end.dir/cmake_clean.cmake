@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_end_to_end.dir/fig07_end_to_end.cpp.o"
+  "CMakeFiles/fig07_end_to_end.dir/fig07_end_to_end.cpp.o.d"
+  "fig07_end_to_end"
+  "fig07_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_resnet50_subgraphs.dir/fig08_resnet50_subgraphs.cpp.o"
+  "CMakeFiles/fig08_resnet50_subgraphs.dir/fig08_resnet50_subgraphs.cpp.o.d"
+  "fig08_resnet50_subgraphs"
+  "fig08_resnet50_subgraphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_resnet50_subgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

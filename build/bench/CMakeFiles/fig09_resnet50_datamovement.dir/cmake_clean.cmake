@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_resnet50_datamovement.dir/fig09_resnet50_datamovement.cpp.o"
+  "CMakeFiles/fig09_resnet50_datamovement.dir/fig09_resnet50_datamovement.cpp.o.d"
+  "fig09_resnet50_datamovement"
+  "fig09_resnet50_datamovement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_resnet50_datamovement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

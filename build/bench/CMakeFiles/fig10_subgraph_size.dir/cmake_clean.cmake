@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_subgraph_size.dir/fig10_subgraph_size.cpp.o"
+  "CMakeFiles/fig10_subgraph_size.dir/fig10_subgraph_size.cpp.o.d"
+  "fig10_subgraph_size"
+  "fig10_subgraph_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_subgraph_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

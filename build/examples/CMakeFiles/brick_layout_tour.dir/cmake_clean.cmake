@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brick_layout_tour.dir/brick_layout_tour.cpp.o"
+  "CMakeFiles/brick_layout_tour.dir/brick_layout_tour.cpp.o.d"
+  "brick_layout_tour"
+  "brick_layout_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brick_layout_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_partition_explorer.dir/graph_partition_explorer.cpp.o"
+  "CMakeFiles/graph_partition_explorer.dir/graph_partition_explorer.cpp.o.d"
+  "graph_partition_explorer"
+  "graph_partition_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_partition_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

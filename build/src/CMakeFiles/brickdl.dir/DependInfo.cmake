@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fused_graph.cpp" "src/CMakeFiles/brickdl.dir/baselines/fused_graph.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/baselines/fused_graph.cpp.o.d"
+  "/root/repo/src/baselines/vendor_tiled.cpp" "src/CMakeFiles/brickdl.dir/baselines/vendor_tiled.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/baselines/vendor_tiled.cpp.o.d"
+  "/root/repo/src/brick/brick_grid.cpp" "src/CMakeFiles/brickdl.dir/brick/brick_grid.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/brick/brick_grid.cpp.o.d"
+  "/root/repo/src/brick/brick_info.cpp" "src/CMakeFiles/brickdl.dir/brick/brick_info.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/brick/brick_info.cpp.o.d"
+  "/root/repo/src/brick/brick_map.cpp" "src/CMakeFiles/brickdl.dir/brick/brick_map.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/brick/brick_map.cpp.o.d"
+  "/root/repo/src/brick/bricked_tensor.cpp" "src/CMakeFiles/brickdl.dir/brick/bricked_tensor.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/brick/bricked_tensor.cpp.o.d"
+  "/root/repo/src/core/autotuner.cpp" "src/CMakeFiles/brickdl.dir/core/autotuner.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/autotuner.cpp.o.d"
+  "/root/repo/src/core/backend.cpp" "src/CMakeFiles/brickdl.dir/core/backend.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/backend.cpp.o.d"
+  "/root/repo/src/core/brick_size_model.cpp" "src/CMakeFiles/brickdl.dir/core/brick_size_model.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/brick_size_model.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/brickdl.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/halo_plan.cpp" "src/CMakeFiles/brickdl.dir/core/halo_plan.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/halo_plan.cpp.o.d"
+  "/root/repo/src/core/memoized_executor.cpp" "src/CMakeFiles/brickdl.dir/core/memoized_executor.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/memoized_executor.cpp.o.d"
+  "/root/repo/src/core/model_backend.cpp" "src/CMakeFiles/brickdl.dir/core/model_backend.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/model_backend.cpp.o.d"
+  "/root/repo/src/core/padded_executor.cpp" "src/CMakeFiles/brickdl.dir/core/padded_executor.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/padded_executor.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/CMakeFiles/brickdl.dir/core/partitioner.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/partitioner.cpp.o.d"
+  "/root/repo/src/core/wavefront_executor.cpp" "src/CMakeFiles/brickdl.dir/core/wavefront_executor.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/core/wavefront_executor.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/brickdl.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/brickdl.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/halo.cpp" "src/CMakeFiles/brickdl.dir/graph/halo.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/graph/halo.cpp.o.d"
+  "/root/repo/src/graph/op.cpp" "src/CMakeFiles/brickdl.dir/graph/op.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/graph/op.cpp.o.d"
+  "/root/repo/src/graph/rewrite.cpp" "src/CMakeFiles/brickdl.dir/graph/rewrite.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/graph/rewrite.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/CMakeFiles/brickdl.dir/graph/serialize.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/graph/serialize.cpp.o.d"
+  "/root/repo/src/graph/shape_inference.cpp" "src/CMakeFiles/brickdl.dir/graph/shape_inference.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/graph/shape_inference.cpp.o.d"
+  "/root/repo/src/models/darknet53.cpp" "src/CMakeFiles/brickdl.dir/models/darknet53.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/models/darknet53.cpp.o.d"
+  "/root/repo/src/models/deepcam.cpp" "src/CMakeFiles/brickdl.dir/models/deepcam.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/models/deepcam.cpp.o.d"
+  "/root/repo/src/models/drn26.cpp" "src/CMakeFiles/brickdl.dir/models/drn26.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/models/drn26.cpp.o.d"
+  "/root/repo/src/models/inception_v4.cpp" "src/CMakeFiles/brickdl.dir/models/inception_v4.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/models/inception_v4.cpp.o.d"
+  "/root/repo/src/models/proxy_chains.cpp" "src/CMakeFiles/brickdl.dir/models/proxy_chains.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/models/proxy_chains.cpp.o.d"
+  "/root/repo/src/models/resnet34_3d.cpp" "src/CMakeFiles/brickdl.dir/models/resnet34_3d.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/models/resnet34_3d.cpp.o.d"
+  "/root/repo/src/models/resnet50.cpp" "src/CMakeFiles/brickdl.dir/models/resnet50.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/models/resnet50.cpp.o.d"
+  "/root/repo/src/models/vgg16.cpp" "src/CMakeFiles/brickdl.dir/models/vgg16.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/models/vgg16.cpp.o.d"
+  "/root/repo/src/ops/conv.cpp" "src/CMakeFiles/brickdl.dir/ops/conv.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/ops/conv.cpp.o.d"
+  "/root/repo/src/ops/dense.cpp" "src/CMakeFiles/brickdl.dir/ops/dense.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/ops/dense.cpp.o.d"
+  "/root/repo/src/ops/dispatch.cpp" "src/CMakeFiles/brickdl.dir/ops/dispatch.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/ops/dispatch.cpp.o.d"
+  "/root/repo/src/ops/elementwise.cpp" "src/CMakeFiles/brickdl.dir/ops/elementwise.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/ops/elementwise.cpp.o.d"
+  "/root/repo/src/ops/normalize.cpp" "src/CMakeFiles/brickdl.dir/ops/normalize.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/ops/normalize.cpp.o.d"
+  "/root/repo/src/ops/pool.cpp" "src/CMakeFiles/brickdl.dir/ops/pool.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/ops/pool.cpp.o.d"
+  "/root/repo/src/ops/weights_io.cpp" "src/CMakeFiles/brickdl.dir/ops/weights_io.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/ops/weights_io.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/brickdl.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/cost.cpp" "src/CMakeFiles/brickdl.dir/sim/cost.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/sim/cost.cpp.o.d"
+  "/root/repo/src/sim/memsim.cpp" "src/CMakeFiles/brickdl.dir/sim/memsim.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/sim/memsim.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/brickdl.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/brickdl.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/brickdl.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/brickdl.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/brickdl.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

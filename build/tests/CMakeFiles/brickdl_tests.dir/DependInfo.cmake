@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autotuner.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_autotuner.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_autotuner.cpp.o.d"
+  "/root/repo/tests/test_backend.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_backend.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_backend.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_brick_layout.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_brick_layout.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_brick_layout.cpp.o.d"
+  "/root/repo/tests/test_brick_map_policies.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_brick_map_policies.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_brick_map_policies.cpp.o.d"
+  "/root/repo/tests/test_brick_size_model.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_brick_size_model.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_brick_size_model.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_halo.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_halo.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_halo.cpp.o.d"
+  "/root/repo/tests/test_halo_plan.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_halo_plan.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_halo_plan.cpp.o.d"
+  "/root/repo/tests/test_integration_sweeps.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_integration_sweeps.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_integration_sweeps.cpp.o.d"
+  "/root/repo/tests/test_memoized_executor.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_memoized_executor.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_memoized_executor.cpp.o.d"
+  "/root/repo/tests/test_memsim_properties.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_memsim_properties.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_memsim_properties.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_ops.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_ops.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_ops.cpp.o.d"
+  "/root/repo/tests/test_padded_executor.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_padded_executor.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_padded_executor.cpp.o.d"
+  "/root/repo/tests/test_partitioner.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_partitioner.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_partitioner.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_rewrite.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_rewrite.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_rewrite.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_shape.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_shape.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_shape.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_wavefront_executor.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_wavefront_executor.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_wavefront_executor.cpp.o.d"
+  "/root/repo/tests/test_weights_io.cpp" "tests/CMakeFiles/brickdl_tests.dir/test_weights_io.cpp.o" "gcc" "tests/CMakeFiles/brickdl_tests.dir/test_weights_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/brickdl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

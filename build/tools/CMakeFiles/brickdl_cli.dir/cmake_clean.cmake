@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brickdl_cli.dir/brickdl_cli.cpp.o"
+  "CMakeFiles/brickdl_cli.dir/brickdl_cli.cpp.o.d"
+  "brickdl_cli"
+  "brickdl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brickdl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
