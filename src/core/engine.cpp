@@ -52,7 +52,12 @@ MemoizedExecutor::Stats run_planned_subgraph(
           std::min(options.memo_workers, backend.num_workers());
       MemoizedExecutor exec(graph, sg, planned.brick_extent, backend, full_io,
                             workers);
-      exec.run();
+      if (options.memo_parallel) {
+        ThreadPool pool(workers);
+        exec.run_parallel(pool);
+      } else {
+        exec.run();
+      }
       return exec.stats();
     }
     case Strategy::kWavefront: {

@@ -21,6 +21,10 @@ struct EngineOptions {
   std::optional<Strategy> force_strategy;
   i64 force_brick_side = 0;  ///< 0 = model-chosen
   int memo_workers = 16;     ///< virtual workers for the memoized scheduler
+  /// Drive memoized subgraphs with MemoizedExecutor::run_parallel() on a
+  /// real thread pool of `memo_workers` threads instead of the deterministic
+  /// virtual scheduler. Numeric stress mode (differential tests, TSan).
+  bool memo_parallel = false;
   i64 vendor_tile_side = 32;
 };
 

@@ -244,7 +244,51 @@ void MemoizedExecutor::finish(ThreadPool* /*pool*/) {
     BDL_CHECK_MSG(terminal_states[static_cast<size_t>(b)].load() == kComplete,
                   "terminal brick " << b << " left incomplete");
   }
+  // Exactly-once accounting: the computed tally must equal the number of
+  // Complete tags. A brick computed twice bumps the tally without a second
+  // tag transition; a brick published without being computed does the
+  // reverse. Either way the CAS protocol was violated.
+  i64 complete_tags = 0;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    for (i64 b = 0; b < grid_sizes_[i]; ++b) {
+      if (states_[i][static_cast<size_t>(b)].load() == kComplete) {
+        ++complete_tags;
+      }
+    }
+  }
+  BDL_CHECK_MSG(stats_.bricks_computed == complete_tags,
+                "bricks_computed " << stats_.bricks_computed
+                                   << " != complete tags " << complete_tags
+                                   << " — a brick was computed twice or lost");
   BDL_CHECK(stats_.bricks_computed <= total_bricks());
+}
+
+i64 MemoizedExecutor::reachable_bricks() const {
+  const int terminal_index = static_cast<int>(sg_.nodes.size()) - 1;
+  std::vector<std::vector<char>> seen;
+  seen.reserve(grid_sizes_.size());
+  for (i64 s : grid_sizes_) seen.emplace_back(static_cast<size_t>(s), 0);
+
+  std::vector<std::pair<int, i64>> frontier;
+  for (i64 b = 0; b < grid_sizes_[static_cast<size_t>(terminal_index)]; ++b) {
+    seen[static_cast<size_t>(terminal_index)][static_cast<size_t>(b)] = 1;
+    frontier.emplace_back(terminal_index, b);
+  }
+  i64 count = 0;
+  while (!frontier.empty()) {
+    const auto [index, brick] = frontier.back();
+    frontier.pop_back();
+    ++count;
+    for (const auto& [p_index, p_brick] : make_task(index, brick).deps) {
+      char& mark =
+          seen[static_cast<size_t>(p_index)][static_cast<size_t>(p_brick)];
+      if (!mark) {
+        mark = 1;
+        frontier.emplace_back(p_index, p_brick);
+      }
+    }
+  }
+  return count;
 }
 
 void MemoizedExecutor::run() {

@@ -52,6 +52,12 @@ class MemoizedExecutor {
 
   const Stats& stats() const { return stats_; }
   i64 total_bricks() const;
+  /// Bricks some terminal brick transitively depends on (structural walk of
+  /// the brick dependence graph; no execution state). A correct run computes
+  /// each of these exactly once — `stats().bricks_computed` must equal this.
+  /// total_bricks() minus this counts dead bricks (e.g. columns a strided
+  /// conv never reads), which legitimately stay uncomputed.
+  i64 reachable_bricks() const;
 
  private:
   struct Task {

@@ -1,0 +1,206 @@
+#include "testing/graph_gen.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace brickdl {
+namespace {
+
+/// Stateful helper threading the rng, the graph under construction, and a
+/// unique-name counter through the op samplers. Every sampler returns the new
+/// frontier node id; samplers whose randomly drawn attributes turn out
+/// invalid (shape inference throws, e.g. a collapsed extent) fall back to a
+/// pointwise op so generation always makes progress and the frontier stays a
+/// single open node.
+struct Gen {
+  Graph& g;
+  Rng& rng;
+  const GraphGenOptions& o;
+  int uid = 0;
+
+  std::string name(const char* prefix) {
+    return prefix + std::to_string(uid++);
+  }
+
+  i64 pick(std::initializer_list<i64> values) {
+    return values.begin()[rng.next_below(values.size())];
+  }
+
+  i64 below(i64 n) { return static_cast<i64>(rng.next_below(static_cast<u64>(n))); }
+
+  const Shape& shape_of(int id) { return g.node(id).out_shape; }
+
+  i64 min_spatial(int id) {
+    const Shape& s = shape_of(id);
+    i64 lo = s.spatial(0);
+    for (int d = 1; d < s.spatial_rank(); ++d) lo = std::min(lo, s.spatial(d));
+    return lo;
+  }
+
+  i64 max_spatial(int id) {
+    const Shape& s = shape_of(id);
+    i64 hi = s.spatial(0);
+    for (int d = 1; d < s.spatial_rank(); ++d) hi = std::max(hi, s.spatial(d));
+    return hi;
+  }
+
+  int pointwise(int cur) {
+    switch (below(3)) {
+      case 0:
+        return g.add_relu(cur, name("r"));
+      case 1:
+        return g.add_sigmoid(cur, name("sg"));
+      default:
+        return g.add_batchnorm(cur, name("bn"));
+    }
+  }
+
+  int try_conv(int cur) {
+    const Shape s = shape_of(cur);
+    const int sr = s.spatial_rank();
+    const i64 cin = s.channels();
+
+    const bool transposed = o.allow_transposed && below(6) == 0 &&
+                            max_spatial(cur) * 2 <= 2 * o.max_spatial;
+    try {
+      if (transposed) {
+        const i64 k = pick({2, 3, 4});
+        const i64 stride = pick({1, 2});
+        const i64 pad = below(2);
+        const i64 out_pad = (stride == 2 && below(2) == 0) ? 1 : 0;
+        const i64 out_ch = 1 + below(o.max_channels);
+        return g.add_deconv(cur, name("up"), Dims::filled(sr, k), out_ch,
+                            Dims::filled(sr, stride), Dims::filled(sr, pad),
+                            Dims::filled(sr, out_pad));
+      }
+      const i64 k = pick({1, 2, 3});
+      const i64 dil = (k >= 2 && below(4) == 0) ? 2 : 1;
+      const i64 stride = (min_spatial(cur) >= 8 && below(3) == 0) ? 2 : 1;
+      const i64 pad = below(2) == 0 ? 0 : (dil * (k - 1) + 1) / 2;
+      i64 groups = 1;
+      i64 out_ch = 1 + below(o.max_channels);
+      if (cin > 1 && below(5) == 0) {
+        groups = cin;  // depthwise
+        out_ch = cin;
+      }
+      const bool fused = below(5) == 0;
+      return g.add_conv(cur, name("c"), Dims::filled(sr, k), out_ch,
+                        Dims::filled(sr, stride), Dims::filled(sr, pad),
+                        Dims::filled(sr, dil), groups, fused);
+    } catch (const Error&) {
+      return pointwise(cur);
+    }
+  }
+
+  int try_pool(int cur) {
+    if (min_spatial(cur) < 4) return pointwise(cur);
+    const int sr = shape_of(cur).spatial_rank();
+    const PoolKind kind = below(2) == 0 ? PoolKind::kMax : PoolKind::kAvg;
+    const i64 w = pick({2, 3});
+    const i64 stride = pick({1, 2, w});
+    const i64 pad = below(std::min<i64>(w, 2));
+    try {
+      return g.add_pool(cur, name("p"), kind, Dims::filled(sr, w),
+                        Dims::filled(sr, stride), Dims::filled(sr, pad));
+    } catch (const Error&) {
+      return pointwise(cur);
+    }
+  }
+
+  /// One op preserving the full shape of `cur` (for residual branches).
+  int same_shape_op(int cur) {
+    const Shape& s = shape_of(cur);
+    const int sr = s.spatial_rank();
+    if (below(2) == 0) return pointwise(cur);
+    const i64 groups = (s.channels() > 1 && below(4) == 0) ? s.channels() : 1;
+    return g.add_conv(cur, name("c"), Dims::filled(sr, 3), s.channels(),
+                      Dims::filled(sr, 1), Dims::filled(sr, 1),
+                      Dims::filled(sr, 1), groups, below(4) == 0);
+  }
+
+  /// One op preserving batch+spatial extents (channels free; concat branches).
+  int spatial_preserving_op(int cur) {
+    const Shape& s = shape_of(cur);
+    const int sr = s.spatial_rank();
+    switch (below(4)) {
+      case 0:
+        return pointwise(cur);
+      case 1:  // 1×1 conv
+        return g.add_conv(cur, name("c"), Dims::filled(sr, 1),
+                          1 + below(o.max_channels), Dims::filled(sr, 1),
+                          Dims::filled(sr, 0));
+      case 2:  // 3×3 same-padded conv
+        return g.add_conv(cur, name("c"), Dims::filled(sr, 3),
+                          1 + below(o.max_channels), Dims::filled(sr, 1),
+                          Dims::filled(sr, 1));
+      default:  // 3-window stride-1 pool, same-padded
+        if (min_spatial(cur) < 3) return pointwise(cur);
+        return g.add_pool(cur, name("p"),
+                          below(2) == 0 ? PoolKind::kMax : PoolKind::kAvg,
+                          Dims::filled(sr, 3), Dims::filled(sr, 1),
+                          Dims::filled(sr, 1));
+    }
+  }
+
+  int fork_join(int cur) {
+    if (shape_of(cur).channels() > 12) return pointwise(cur);
+    if (below(2) == 0) {
+      // Residual: add(branch(cur), cur) with a shape-preserving branch.
+      int b = cur;
+      const i64 hops = 1 + below(2);
+      for (i64 i = 0; i < hops; ++i) b = same_shape_op(b);
+      return g.add_add(b, cur, name("res"));
+    }
+    // Inception-style fork: concat of spatially congruent branches.
+    const i64 n_branches = 2 + below(2);
+    std::vector<int> branches;
+    for (i64 i = 0; i < n_branches; ++i) {
+      branches.push_back(spatial_preserving_op(cur));
+    }
+    return g.add_concat(branches, name("cat"));
+  }
+
+  int step(int cur) {
+    const i64 roll = below(100);
+    if (roll < 35) return try_conv(cur);
+    if (roll < 50) return try_pool(cur);
+    if (roll < 72) return pointwise(cur);
+    return fork_join(cur);
+  }
+};
+
+}  // namespace
+
+Graph random_graph(u64 seed, const GraphGenOptions& o) {
+  // Decorrelate from callers that use small consecutive seeds directly.
+  Rng rng(seed ^ 0xb5297a4d3f84d5a9ULL);
+  Graph g("fuzz" + std::to_string(seed));
+  Gen gen{g, rng, o};
+
+  const bool three_d = o.allow_3d && gen.below(5) == 0;
+  const int sr = three_d ? 3 : 2;
+  i64 lo = o.min_spatial, hi = o.max_spatial;
+  if (three_d) {  // keep 3D volumes comparable to the 2D areas
+    lo = std::max<i64>(4, lo / 2);
+    hi = std::max(lo, hi / 2);
+  }
+  Dims dims;
+  dims.push_back(1 + gen.below(o.max_batch));
+  dims.push_back(1 + gen.below(o.max_channels));
+  for (int d = 0; d < sr; ++d) dims.push_back(lo + gen.below(hi - lo + 1));
+
+  int cur = g.add_input("in", Shape(dims));
+  const int n_ops = o.min_ops + static_cast<int>(gen.below(o.max_ops - o.min_ops + 1));
+  for (int i = 0; i < n_ops; ++i) cur = gen.step(cur);
+
+  if (o.allow_classifier_tail && gen.below(3) == 0) {
+    cur = g.add_global_avg_pool(cur, gen.name("gap"));
+    cur = g.add_dense(cur, gen.name("fc"), 2 + gen.below(6));
+    if (gen.below(2) == 0) g.add_softmax(cur, gen.name("sm"));
+  }
+  return g;
+}
+
+}  // namespace brickdl

@@ -1,0 +1,33 @@
+// Seeded random model-graph generator for differential testing.
+//
+// Emits valid single-input / single-output DAGs mixing every mergeable
+// operator family — strided/dilated/depthwise/transposed convolutions,
+// max/avg pooling with padding, pointwise ops, residual adds, Inception-style
+// concat forks — plus optional global classifier tails (gap → dense →
+// softmax), in 2D or 3D. Shapes are kept tiny so a full strategy × brick-size
+// × worker-count differential sweep over dozens of graphs stays fast.
+//
+// Generation is deterministic from the seed (util/rng.hpp), so any failure
+// found by the fuzz driver replays from `--seed N --graph-idx K` alone.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace brickdl {
+
+struct GraphGenOptions {
+  int min_ops = 3;        ///< operator insertions before the optional tail
+  int max_ops = 8;
+  i64 max_batch = 2;
+  i64 max_channels = 5;   ///< channel budget for fresh conv outputs
+  i64 min_spatial = 8;    ///< input spatial extent range (2D)
+  i64 max_spatial = 18;
+  bool allow_3d = true;          ///< ~1 in 5 graphs are NCDHW (smaller extents)
+  bool allow_transposed = true;
+  bool allow_classifier_tail = true;  ///< gap → dense → softmax suffix
+};
+
+/// Deterministically generate one random graph from `seed`.
+Graph random_graph(u64 seed, const GraphGenOptions& options = {});
+
+}  // namespace brickdl

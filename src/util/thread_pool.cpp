@@ -39,6 +39,8 @@ void ThreadPool::parallel_for(i64 n,
   struct State {
     std::atomic<i64> next{0};
     std::atomic<i64> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  ///< first exception; written once under mu
     std::mutex mu;
     std::condition_variable cv;
   };
@@ -47,15 +49,25 @@ void ThreadPool::parallel_for(i64 n,
   const int fanout = size();
   for (int w = 0; w < fanout; ++w) {
     submit([state, n, &f](int worker) {
-      i64 completed = 0;
+      i64 resolved = 0;
       for (i64 i = state->next.fetch_add(1); i < n;
            i = state->next.fetch_add(1)) {
-        f(i, worker);
-        ++completed;
+        // After a failure, keep claiming indices (so `done` still reaches n
+        // and the waiter wakes) but stop running user work.
+        if (!state->failed.load(std::memory_order_acquire)) {
+          try {
+            f(i, worker);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(state->mu);
+            if (!state->error) state->error = std::current_exception();
+            state->failed.store(true, std::memory_order_release);
+          }
+        }
+        ++resolved;
       }
-      // Note: `f` is only dereferenced for indices < n, all of which finish
+      // Note: `f` is only dereferenced for indices < n, all of which resolve
       // before `done` reaches n and the caller is released.
-      if (state->done.fetch_add(completed) + completed == n) {
+      if (state->done.fetch_add(resolved) + resolved == n) {
         std::lock_guard<std::mutex> lock(state->mu);
         state->cv.notify_all();
       }
@@ -63,6 +75,11 @@ void ThreadPool::parallel_for(i64 n,
   }
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] { return state->done.load() == n; });
+  if (state->failed.load()) {
+    std::exception_ptr error = state->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::wait_idle() {

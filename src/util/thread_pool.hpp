@@ -31,7 +31,9 @@ class ThreadPool {
   void submit(Task task);
 
   /// Run `n` index tasks f(0..n-1) across the pool and wait for all of them.
-  /// Must be called from outside the pool.
+  /// Must be called from outside the pool. If a task throws, the remaining
+  /// unclaimed indices are abandoned and the first exception is rethrown
+  /// here once every worker has drained (no task is left running).
   void parallel_for(i64 n, const std::function<void(i64 index, int worker)>& f);
 
   /// Block until the queue is empty and all workers are idle.

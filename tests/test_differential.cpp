@@ -1,0 +1,126 @@
+// Differential suite (CTest label `differential`).
+//
+// Sweeps ≥50 seeded random graphs through every executor variant — kernel
+// reference, vendor fallback, the three fused-baseline rule sets, and the
+// Engine with padded / wavefront / memoized (virtual run() and real-thread
+// run_parallel()) forced across brick sides {4,8,16,32} × memo worker counts
+// {1,4,16} — asserting exact elementwise agreement with the independent
+// eager oracle. Failures print a replay command for tools/brickdl_fuzz.
+//
+// The sweep is sharded so one bad graph fails one test with its replay line
+// instead of hiding the remaining graphs.
+#include <gtest/gtest.h>
+
+#include "graph/serialize.hpp"
+#include "testing/differential.hpp"
+
+namespace brickdl {
+namespace {
+
+constexpr u64 kSweepSeed = 1;
+
+void expect_graphs_agree(int lo, int hi) {
+  const DiffOptions options;  // defaults: full cross-product, tolerance 0
+  for (int idx = lo; idx < hi; ++idx) {
+    const std::vector<DiffFailure> failures =
+        run_differential(kSweepSeed, idx, options);
+    for (const DiffFailure& f : failures) {
+      ADD_FAILURE() << "graph " << idx << " variant " << f.variant << ": "
+                    << f.detail << "\n  replay: brickdl_fuzz " << f.replay;
+    }
+  }
+}
+
+TEST(Differential, Graphs00To09) { expect_graphs_agree(0, 10); }
+TEST(Differential, Graphs10To19) { expect_graphs_agree(10, 20); }
+TEST(Differential, Graphs20To29) { expect_graphs_agree(20, 30); }
+TEST(Differential, Graphs30To39) { expect_graphs_agree(30, 40); }
+TEST(Differential, Graphs40To49) { expect_graphs_agree(40, 50); }
+
+void expect_graph_agrees(Graph g, const std::string& label) {
+  const std::vector<DiffFailure> failures =
+      run_differential_graph(std::move(g), /*data_seed=*/3, "(" + label + ")");
+  for (const DiffFailure& f : failures) {
+    ADD_FAILURE() << label << " variant " << f.variant << ": " << f.detail;
+  }
+}
+
+// The three smallest tricky shape classes the fuzz sweeps exercised, pinned
+// as named regressions so a future executor change that mishandles them
+// fails here with a readable name instead of deep inside a sweep shard.
+
+// Extent-1 spatial dimensions meet stride-2 windows: the brick grid along
+// the degenerate axis is a single partial brick at every brick side.
+TEST(DifferentialRegression, ExtentOneSpatialStridedConv) {
+  Graph g("extent1_strided");
+  int x = g.add_input("in", Shape{1, 1, 1, 5});
+  x = g.add_conv(x, "c0", Dims{2, 2}, 2, Dims{2, 2}, Dims{1, 1});
+  g.add_relu(x, "r0");
+  expect_graph_agrees(std::move(g), "extent1-strided-conv");
+}
+
+// Transposed conv with output_padding: the stride-divisibility test in the
+// scatter must agree between full-tensor and per-brick windows, including
+// the out_pad-only last row/column.
+TEST(DifferentialRegression, TransposedConvOutputPaddingAcrossBricks) {
+  Graph g("deconv_outpad");
+  int x = g.add_input("in", Shape{1, 2, 3, 3});
+  x = g.add_deconv(x, "up0", Dims{3, 3}, 2, Dims{2, 2}, Dims{1, 1},
+                   Dims{1, 1});
+  g.add_conv(x, "c1", Dims{3, 3}, 2, Dims{1, 1}, Dims{1, 1});
+  expect_graph_agrees(std::move(g), "deconv-outpad");
+}
+
+// Depthwise + dilated halos over odd extents that no brick side divides:
+// every brick boundary needs a dilation-widened, group-preserving halo.
+TEST(DifferentialRegression, DepthwiseDilatedOddExtents) {
+  Graph g("depthwise_dilated");
+  int x = g.add_input("in", Shape{1, 3, 5, 7});
+  x = g.add_conv(x, "dw0", Dims{3, 3}, 3, Dims{1, 1}, Dims{2, 2}, Dims{2, 2},
+                 /*groups=*/3);
+  x = g.add_pool(x, "p0", PoolKind::kAvg, Dims{2, 2}, Dims{1, 1}, Dims{1, 1});
+  g.add_sigmoid(x, "s0");
+  expect_graph_agrees(std::move(g), "depthwise-dilated");
+}
+
+TEST(Differential, GeneratorIsDeterministic) {
+  for (int idx : {0, 7, 23}) {
+    const u64 s = graph_seed(kSweepSeed, idx);
+    EXPECT_EQ(serialize_graph(random_graph(s)),
+              serialize_graph(random_graph(s)));
+  }
+}
+
+TEST(Differential, GeneratorCoversOpFamilies) {
+  // Over a modest sweep the generator must exercise every mergeable family
+  // plus join structure; otherwise the differential pass is vacuous.
+  bool saw[16] = {};
+  bool saw_transposed = false, saw_strided = false, saw_grouped = false,
+       saw_3d = false;
+  for (int idx = 0; idx < 50; ++idx) {
+    const Graph g = random_graph(graph_seed(kSweepSeed, idx));
+    if (g.node(0).out_shape.spatial_rank() == 3) saw_3d = true;
+    for (const Node& n : g.nodes()) {
+      saw[static_cast<int>(n.kind)] = true;
+      if (n.kind == OpKind::kConv) {
+        if (n.attrs.transposed) saw_transposed = true;
+        if (n.attrs.stride.product() > 1) saw_strided = true;
+        if (n.attrs.groups > 1) saw_grouped = true;
+      }
+    }
+  }
+  for (OpKind kind : {OpKind::kConv, OpKind::kPool, OpKind::kRelu,
+                      OpKind::kSigmoid, OpKind::kBatchNorm, OpKind::kAdd,
+                      OpKind::kConcat, OpKind::kGlobalAvgPool, OpKind::kDense,
+                      OpKind::kSoftmax}) {
+    EXPECT_TRUE(saw[static_cast<int>(kind)])
+        << "op kind " << static_cast<int>(kind) << " never generated";
+  }
+  EXPECT_TRUE(saw_transposed);
+  EXPECT_TRUE(saw_strided);
+  EXPECT_TRUE(saw_grouped);
+  EXPECT_TRUE(saw_3d);
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -109,6 +109,70 @@ TEST(MemoizedExecutor, StridedChainLeavesDeadBricksUncomputed) {
   check_memoized_matches_reference(g, all_non_input_nodes(g), Dims{1, 4, 4});
 }
 
+TEST(MemoizedExecutor, ExactlyOncePerReachableBrickAcrossWorkerCounts) {
+  // Stats invariant: every brick some terminal brick transitively needs is
+  // computed exactly once per run — no duplicate work under contention, no
+  // dead brick touched — for both the virtual scheduler and real threads.
+  // The strided chain drops input columns, so dead bricks exist and the
+  // invariant must count reachable bricks, not total bricks.
+  // Dead interior bricks need a strided layer *after* a memoized layer with
+  // stride larger than the brick extent: a stride-4 1×1 conv over 2×2 bricks
+  // reads columns {0,4,8,...}, leaving every {4k+2, 4k+3} brick column of
+  // the first layer's memo buffer unread.
+  Graph plain = build_conv_chain_2d(3, 1, 18, 3);
+  Graph strided;
+  {
+    int x = strided.add_input("x", Shape{1, 2, 17, 17});
+    x = strided.add_conv(x, "c1", Dims{3, 3}, 3, Dims{1, 1}, Dims{1, 1});
+    strided.add_conv(x, "s4", Dims{1, 1}, 3, Dims{4, 4}, Dims{0, 0});
+  }
+  for (const Graph* gp : {&plain, &strided}) {
+    const Graph& g = *gp;
+    const Subgraph sg = all_non_input_nodes(g);
+    const Dims brick_extent = gp == &strided ? Dims{1, 2, 2} : Dims{1, 4, 4};
+    WeightStore ws(5);
+    Tensor input(g.node(sg.external_inputs[0]).out_shape);
+    Rng rng(77);
+    input.fill_random(rng);
+    const auto reference = run_graph_reference(g, input, ws);
+
+    for (int workers : {1, 2, 4, 16}) {
+      for (bool parallel : {false, true}) {
+        SCOPED_TRACE((gp == &plain ? "plain" : "strided") +
+                     std::string(parallel ? " parallel" : " virtual") +
+                     " workers=" + std::to_string(workers));
+        NumericBackend backend(g, ws, workers);
+        std::unordered_map<int, TensorId> io;
+        for (int ext : sg.external_inputs) {
+          const TensorId id = backend.register_tensor(
+              g.node(ext).out_shape, Layout::kCanonical, {}, "ext");
+          backend.bind(id, reference[static_cast<size_t>(ext)]);
+          io[ext] = id;
+        }
+        const TensorId out =
+            backend.register_tensor(g.node(sg.terminal()).out_shape,
+                                    Layout::kBricked, brick_extent, "out");
+        io[sg.terminal()] = out;
+
+        MemoizedExecutor exec(g, sg, brick_extent, backend, io, workers);
+        if (parallel) {
+          ThreadPool pool(workers);
+          exec.run_parallel(pool);
+        } else {
+          exec.run();
+        }
+        EXPECT_EQ(exec.stats().bricks_computed, exec.reachable_bricks());
+        if (gp == &strided) {
+          EXPECT_LT(exec.reachable_bricks(), exec.total_bricks());
+        }
+        EXPECT_TRUE(allclose(backend.read(out),
+                             reference[static_cast<size_t>(sg.terminal())],
+                             1e-4));
+      }
+    }
+  }
+}
+
 TEST(MemoizedExecutor, InceptionStyleFork) {
   Graph g;
   int x = g.add_input("x", Shape{1, 4, 12, 12});

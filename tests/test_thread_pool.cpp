@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "util/thread_pool.hpp"
 
@@ -82,6 +83,44 @@ TEST(ThreadPool, SubmitFromWorker) {
 
 TEST(ThreadPool, RejectsZeroWorkers) {
   EXPECT_THROW(ThreadPool(0), Error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> runs{0};
+  bool caught = false;
+  try {
+    pool.parallel_for(100, [&](i64 i, int) {
+      if (i == 13) throw std::runtime_error("boom at 13");
+      runs.fetch_add(1);
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "boom at 13");
+  }
+  EXPECT_TRUE(caught);
+  // The failing index doesn't count; later unclaimed indices may be skipped.
+  EXPECT_LE(runs.load(), 99);
+}
+
+TEST(ThreadPool, ParallelForThrowingEveryIndexStillTerminates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(50, [&](i64, int) { throw Error("always"); }), Error);
+}
+
+TEST(ThreadPool, PoolUsableAfterParallelForException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for(40,
+                                   [&](i64 i, int) {
+                                     if (i == 0) throw Error("round failure");
+                                   }),
+                 Error);
+    std::atomic<i64> sum{0};
+    pool.parallel_for(50, [&](i64 i, int) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 49 * 50 / 2);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Sanitizer matrix for the concurrency-sensitive and fuzzed code paths.
+#
+#   1. ThreadSanitizer:   memoized executor (run_parallel CAS protocol),
+#                         wavefront executor, thread pool.
+#   2. ASan + UBSan:      the differential fuzz suite (random graphs through
+#                         every executor variant).
+#
+# Usage: tools/ci_sanitize.sh [source-dir]
+# Build trees land in <source-dir>/build-tsan and <source-dir>/build-asan.
+# Also registered as CTest test `sanitize_suite` (label `sanitize`) when the
+# tree is configured with -DBRICKDL_SANITIZE_CI=ON.
+set -euo pipefail
+
+SRC_DIR=$(cd "${1:-$(dirname "$0")/..}" && pwd)
+JOBS=${JOBS:-$(nproc)}
+
+echo "== [1/2] ThreadSanitizer: memoized / wavefront / thread-pool tests =="
+cmake -B "$SRC_DIR/build-tsan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=thread
+cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" --target brickdl_tests
+ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure \
+      -R 'MemoizedExecutor|Wavefront|ThreadPool'
+
+echo "== [2/2] ASan+UBSan: differential fuzz suite =="
+cmake -B "$SRC_DIR/build-asan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=address,undefined
+cmake --build "$SRC_DIR/build-asan" -j "$JOBS" --target brickdl_differential_tests
+ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure -L differential
+
+echo "sanitizer matrix passed"
