@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "core/fault_hooks.hpp"
 #include "util/odometer.hpp"
+#include "util/status.hpp"
 
 namespace brickdl {
 namespace {
@@ -204,6 +206,13 @@ SlotId NumericBackend::compute(int worker, int node_id,
                                const Dims& out_lo, const Dims& out_extent,
                                bool mask_to_bounds) {
   const Node& node = graph_.node(node_id);
+  if (FaultHooks* hooks = fault_hooks()) {
+    if (!hooks->on_kernel(node_id, worker)) {
+      throw StatusError(Status(StatusCode::kKernelFailure,
+                               "injected kernel failure in '" + node.name +
+                                   "'"));
+    }
+  }
   const std::vector<Shape> in_shapes = graph_.input_shapes(node);
   BDL_CHECK(inputs.size() == node.inputs.size());
 
@@ -248,13 +257,24 @@ SlotId NumericBackend::compute(int worker, int node_id,
     mask_region_outside(out_lo, out_extent, out.channels,
                         node.out_shape.blocked_dims(), out.data);
   }
+  if (FaultHooks* hooks = fault_hooks()) {
+    hooks->on_kernel_output(node_id, worker, out.data.data(),
+                            static_cast<i64>(out.data.size()));
+  }
   return out_id;
 }
 
-void NumericBackend::execute_global(int /*worker*/, int node_id,
+void NumericBackend::execute_global(int worker, int node_id,
                                     const std::vector<TensorId>& inputs,
                                     TensorId out) {
   const Node& node = graph_.node(node_id);
+  if (FaultHooks* hooks = fault_hooks()) {
+    if (!hooks->on_kernel(node_id, worker)) {
+      throw StatusError(Status(StatusCode::kKernelFailure,
+                               "injected kernel failure in '" + node.name +
+                                   "'"));
+    }
+  }
   std::vector<Tensor> in_tensors;
   std::vector<const Tensor*> in_ptrs;
   in_tensors.reserve(inputs.size());

@@ -1,14 +1,68 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <sstream>
 
 #include "core/halo_plan.hpp"
 #include "core/wavefront_executor.hpp"
 
 namespace brickdl {
+namespace {
+
+/// Strategies to try for a subgraph planned as `planned`, most aggressive
+/// first. Each step trades performance for a smaller trust surface: padded
+/// bricks need no inter-worker protocol, vendor needs no merging at all.
+std::vector<Strategy> fallback_chain(Strategy planned, bool graceful) {
+  if (!graceful) return {planned};
+  switch (planned) {
+    case Strategy::kMemoized:
+      return {Strategy::kMemoized, Strategy::kPadded, Strategy::kVendor};
+    case Strategy::kWavefront:
+      return {Strategy::kWavefront, Strategy::kPadded, Strategy::kVendor};
+    case Strategy::kPadded:
+      return {Strategy::kPadded, Strategy::kVendor};
+    case Strategy::kVendor:
+      return {Strategy::kVendor};
+  }
+  return {planned};
+}
+
+}  // namespace
+
+Status validate_engine_options(const EngineOptions& options) {
+  if (options.memo_workers < 1) {
+    return Status(StatusCode::kInvalidOptions,
+                  "memo_workers must be >= 1, got " +
+                      std::to_string(options.memo_workers));
+  }
+  if (options.vendor_tile_side <= 0) {
+    return Status(StatusCode::kInvalidOptions,
+                  "vendor_tile_side must be positive, got " +
+                      std::to_string(options.vendor_tile_side));
+  }
+  const i64 side = options.force_brick_side;
+  if (side != 0 && side != 4 && side != 8 && side != 16 && side != 32) {
+    return Status(StatusCode::kInvalidOptions,
+                  "force_brick_side must be one of {0, 4, 8, 16, 32}, got " +
+                      std::to_string(side));
+  }
+  if (options.memo_watchdog.poll_limit < 1) {
+    return Status(StatusCode::kInvalidOptions,
+                  "memo_watchdog.poll_limit must be >= 1");
+  }
+  if (options.memo_watchdog.timeout_ms < 0) {
+    return Status(StatusCode::kInvalidOptions,
+                  "memo_watchdog.timeout_ms must be >= 0");
+  }
+  return Status();
+}
 
 Engine::Engine(const Graph& graph, EngineOptions options)
     : graph_(graph), options_(std::move(options)) {
+  preflight_ = validate_engine_options(options_);
+  if (!preflight_.ok()) return;  // validate()/run_checked() report it
   partition_ = partition_graph(graph, options_.partition);
   // Apply bench overrides by re-planning merged subgraphs.
   if (options_.force_brick_side > 0 || options_.force_strategy) {
@@ -32,62 +86,226 @@ Engine::Engine(const Graph& graph, EngineOptions options)
   }
 }
 
+Status Engine::validate() const {
+  BDL_RETURN_IF_ERROR(preflight_);
+
+  // Graph soundness. Node ids are appended in topological order, so a
+  // backward-only input check rules out both cycles and dangling references.
+  if (graph_.num_nodes() == 0) {
+    return Status(StatusCode::kInvalidGraph, "graph has no nodes");
+  }
+  for (const Node& node : graph_.nodes()) {
+    for (int p : node.inputs) {
+      if (p < 0 || p >= node.id) {
+        return Status(StatusCode::kInvalidGraph,
+                      "node '" + node.name + "' (id " +
+                          std::to_string(node.id) +
+                          ") references input node " + std::to_string(p) +
+                          " outside topological order");
+      }
+    }
+    if (node.kind != OpKind::kInput && node.inputs.empty()) {
+      return Status(StatusCode::kInvalidGraph,
+                    "non-input node '" + node.name + "' has no inputs");
+    }
+  }
+  const auto outputs = graph_.outputs();
+  if (outputs.size() != 1) {
+    return Status(StatusCode::kInvalidGraph,
+                  "engine expects a single graph output, got " +
+                      std::to_string(outputs.size()));
+  }
+
+  // Shape-inference agreement: every node's recorded shape must match what
+  // inference derives from its inputs (catches hand-built or deserialized
+  // graphs whose shapes were tampered with).
+  for (const Node& node : graph_.nodes()) {
+    if (node.kind == OpKind::kInput) continue;
+    try {
+      Dims weight_dims;
+      const Shape inferred = infer_shape(node.kind, graph_.input_shapes(node),
+                                         node.attrs, &weight_dims);
+      if (!(inferred.dims == node.out_shape.dims)) {
+        return Status(StatusCode::kShapeMismatch,
+                      "node '" + node.name + "' records shape " +
+                          node.out_shape.dims.str() +
+                          " but inference derives " +
+                          inferred.dims.str());
+      }
+    } catch (const std::exception& e) {
+      return Status(StatusCode::kShapeMismatch,
+                    "shape inference failed for node '" + node.name +
+                        "': " + e.what());
+    }
+  }
+
+  // Partition io-completeness: executing subgraphs in order, every external
+  // input must already have a producer (a graph input or an earlier
+  // terminal), and every out-of-subgraph producer must be declared external.
+  std::vector<bool> produced(static_cast<size_t>(graph_.num_nodes()), false);
+  for (const Node& node : graph_.nodes()) {
+    if (node.kind == OpKind::kInput) produced[static_cast<size_t>(node.id)] = true;
+  }
+  for (const PlannedSubgraph& planned : partition_.subgraphs) {
+    const Subgraph& sg = planned.sg;
+    for (int ext : sg.external_inputs) {
+      if (!produced[static_cast<size_t>(ext)]) {
+        return Status(StatusCode::kBadIoMap,
+                      "subgraph terminating at '" +
+                          graph_.node(sg.terminal()).name +
+                          "' consumes node " + std::to_string(ext) + " ('" +
+                          graph_.node(ext).name +
+                          "') before any subgraph produces it");
+      }
+    }
+    for (int nid : sg.nodes) {
+      for (int p : graph_.node(nid).inputs) {
+        if (sg.contains(p)) continue;
+        if (std::find(sg.external_inputs.begin(), sg.external_inputs.end(),
+                      p) == sg.external_inputs.end()) {
+          return Status(StatusCode::kBadIoMap,
+                        "subgraph terminating at '" +
+                            graph_.node(sg.terminal()).name +
+                            "' consumes node " + std::to_string(p) + " ('" +
+                            graph_.node(p).name +
+                            "') without declaring it an external input");
+        }
+      }
+    }
+    produced[static_cast<size_t>(sg.terminal())] = true;
+  }
+
+  // Footprint vs budget — skipped when a bench override deliberately forces
+  // plans past the model (brick-side sweeps chart the over-budget region).
+  if (options_.force_brick_side == 0 && !options_.force_strategy) {
+    for (const PlannedSubgraph& planned : partition_.subgraphs) {
+      if (planned.strategy == Strategy::kVendor) continue;
+      if (planned.footprint_bytes > options_.partition.l2_budget) {
+        return Status(StatusCode::kBudgetExceeded,
+                      "subgraph terminating at '" +
+                          graph_.node(planned.sg.terminal()).name +
+                          "' plans a footprint of " +
+                          std::to_string(planned.footprint_bytes) +
+                          " bytes against an L2 budget of " +
+                          std::to_string(options_.partition.l2_budget));
+      }
+    }
+  }
+  return Status();
+}
+
+Status run_planned_subgraph_checked(
+    const Graph& graph, const PlannedSubgraph& planned, Backend& backend,
+    const std::unordered_map<int, TensorId>& io, TensorId out,
+    const EngineOptions& options, MemoizedExecutor::Stats* stats_out) {
+  if (stats_out) *stats_out = {};
+  BDL_RETURN_IF_ERROR(validate_engine_options(options));
+  const Subgraph& sg = planned.sg;
+  if (out < 0) {
+    return Status(StatusCode::kBadIoMap, "invalid terminal output tensor id");
+  }
+  // The io map must cover every producer outside the subgraph; a silent miss
+  // here used to surface as an unordered_map::at throw deep in an executor.
+  for (int ext : sg.external_inputs) {
+    if (!io.count(ext)) {
+      return Status(StatusCode::kBadIoMap,
+                    "io map missing external input node " +
+                        std::to_string(ext) + " ('" + graph.node(ext).name +
+                        "')");
+    }
+  }
+  for (int nid : sg.nodes) {
+    for (int p : graph.node(nid).inputs) {
+      if (!sg.contains(p) && !io.count(p)) {
+        return Status(StatusCode::kBadIoMap,
+                      "io map missing producer node " + std::to_string(p) +
+                          " ('" + graph.node(p).name + "') consumed by '" +
+                          graph.node(nid).name + "'");
+      }
+    }
+  }
+
+  std::unordered_map<int, TensorId> full_io = io;
+  full_io[sg.terminal()] = out;
+  std::vector<TensorId> vendor_interior;
+
+  try {
+    switch (planned.strategy) {
+      case Strategy::kPadded: {
+        const HaloPlan plan(graph, sg, planned.brick_extent);
+        PaddedExecutor exec(graph, sg, plan, backend, full_io);
+        return exec.run_checked();
+      }
+      case Strategy::kMemoized: {
+        const int workers =
+            std::min(options.memo_workers, backend.num_workers());
+        MemoizedExecutor exec(graph, sg, planned.brick_extent, backend,
+                              full_io, workers, options.memo_watchdog);
+        Status status;
+        if (options.memo_parallel) {
+          ThreadPool pool(workers);
+          status = exec.run_parallel_checked(pool);
+        } else {
+          status = exec.run_checked();
+        }
+        if (stats_out) *stats_out = exec.stats();
+        return status;
+      }
+      case Strategy::kWavefront: {
+        WavefrontExecutor exec(graph, sg, planned.brick_extent, backend,
+                               full_io);
+        return exec.run_checked();
+      }
+      case Strategy::kVendor: {
+        // Per-layer tiled vendor calls; interiors materialize canonically.
+        std::unordered_map<int, TensorId> local = full_io;
+        for (int nid : sg.nodes) {
+          const Node& node = graph.node(nid);
+          TensorId dst;
+          if (nid == sg.terminal()) {
+            dst = out;
+          } else {
+            dst = backend.register_tensor(node.out_shape, Layout::kCanonical,
+                                          {}, "vendor:" + node.name);
+            local[nid] = dst;
+            vendor_interior.push_back(dst);
+          }
+          run_node_tiled(graph, node, backend, local, dst,
+                         options.vendor_tile_side);
+        }
+        return Status();
+      }
+    }
+  } catch (const StatusError& e) {
+    for (TensorId id : vendor_interior) backend.discard_tensor(id);
+    return e.status();
+  } catch (const Error& e) {
+    // A BDL_CHECK tripping below here means the plan and graph disagree
+    // (e.g. an executor rejected the subgraph's structure).
+    for (TensorId id : vendor_interior) backend.discard_tensor(id);
+    return Status(StatusCode::kInvalidGraph, e.what());
+  } catch (const std::exception& e) {
+    for (TensorId id : vendor_interior) backend.discard_tensor(id);
+    return Status(StatusCode::kKernelFailure, e.what());
+  }
+  return Status();
+}
+
 MemoizedExecutor::Stats run_planned_subgraph(
     const Graph& graph, const PlannedSubgraph& planned, Backend& backend,
     const std::unordered_map<int, TensorId>& io, TensorId out,
     const EngineOptions& options) {
-  const Subgraph& sg = planned.sg;
-  std::unordered_map<int, TensorId> full_io = io;
-  full_io[sg.terminal()] = out;
-
-  switch (planned.strategy) {
-    case Strategy::kPadded: {
-      const HaloPlan plan(graph, sg, planned.brick_extent);
-      PaddedExecutor exec(graph, sg, plan, backend, full_io);
-      exec.run();
-      return {};
-    }
-    case Strategy::kMemoized: {
-      const int workers =
-          std::min(options.memo_workers, backend.num_workers());
-      MemoizedExecutor exec(graph, sg, planned.brick_extent, backend, full_io,
-                            workers);
-      if (options.memo_parallel) {
-        ThreadPool pool(workers);
-        exec.run_parallel(pool);
-      } else {
-        exec.run();
-      }
-      return exec.stats();
-    }
-    case Strategy::kWavefront: {
-      WavefrontExecutor exec(graph, sg, planned.brick_extent, backend, full_io);
-      exec.run();
-      return {};
-    }
-    case Strategy::kVendor: {
-      // Per-layer tiled vendor calls; interiors materialize canonically.
-      std::unordered_map<int, TensorId> local = full_io;
-      for (int nid : sg.nodes) {
-        const Node& node = graph.node(nid);
-        TensorId dst;
-        if (nid == sg.terminal()) {
-          dst = out;
-        } else {
-          dst = backend.register_tensor(node.out_shape, Layout::kCanonical, {},
-                                        "vendor:" + node.name);
-          local[nid] = dst;
-        }
-        run_node_tiled(graph, node, backend, local, dst,
-                       options.vendor_tile_side);
-      }
-      return {};
-    }
-  }
-  return {};
+  MemoizedExecutor::Stats stats;
+  run_planned_subgraph_checked(graph, planned, backend, io, out, options,
+                               &stats)
+      .throw_if_error();
+  return stats;
 }
 
-EngineResult Engine::run(Backend& backend, const Tensor* input) {
+Result<EngineResult> Engine::run_checked(Backend& backend,
+                                         const Tensor* input) {
+  BDL_RETURN_IF_ERROR(validate());
+
   EngineResult result;
   auto* numeric = dynamic_cast<NumericBackend*>(&backend);
   auto* model = dynamic_cast<ModelBackend*>(&backend);
@@ -100,8 +318,12 @@ EngineResult Engine::run(Backend& backend, const Tensor* input) {
                                                 "input:" + node.name);
     boundary.emplace(node.id, id);
     if (numeric && input) {
-      BDL_CHECK_MSG(node.out_shape.dims == input->dims(),
-                    "bound input shape mismatch");
+      if (!(node.out_shape.dims == input->dims())) {
+        return Status(StatusCode::kShapeMismatch,
+                      "bound input has dims " + input->dims().str() +
+                          " but input node '" + node.name + "' expects " +
+                          node.out_shape.dims.str());
+      }
       numeric->bind(id, *input);
     }
   }
@@ -109,12 +331,6 @@ EngineResult Engine::run(Backend& backend, const Tensor* input) {
   for (const PlannedSubgraph& planned : partition_.subgraphs) {
     const Subgraph& sg = planned.sg;
     const Node& terminal = graph_.node(sg.terminal());
-
-    const bool merged = planned.strategy != Strategy::kVendor;
-    const TensorId out_id = backend.register_tensor(
-        terminal.out_shape, merged ? Layout::kBricked : Layout::kCanonical,
-        merged ? planned.brick_extent : Dims{}, "out:" + terminal.name);
-    boundary.emplace(terminal.id, out_id);
 
     std::unordered_map<int, TensorId> io;
     for (int p : sg.external_inputs) io.emplace(p, boundary.at(p));
@@ -128,8 +344,71 @@ EngineResult Engine::run(Backend& backend, const Tensor* input) {
 
     SubgraphReport report;
     report.plan = planned;
-    report.memo =
-        run_planned_subgraph(graph_, planned, backend, io, out_id, options_);
+
+    const auto chain =
+        fallback_chain(planned.strategy, options_.graceful_fallback);
+    bool succeeded = false;
+    for (Strategy strategy : chain) {
+      PlannedSubgraph attempt = planned;
+      attempt.strategy = strategy;
+      const bool merged = strategy != Strategy::kVendor;
+      const bool retry = !report.attempts.empty();
+      const TensorId out_id = backend.register_tensor(
+          terminal.out_shape, merged ? Layout::kBricked : Layout::kCanonical,
+          merged ? planned.brick_extent : Dims{},
+          "out:" + terminal.name + (retry ? ":retry" : ""));
+
+      MemoizedExecutor::Stats stats;
+      Status status = run_planned_subgraph_checked(graph_, attempt, backend,
+                                                   io, out_id, options_,
+                                                   &stats);
+      if (status.ok() && options_.verify_finite && numeric) {
+        const Tensor t = numeric->read(out_id);
+        for (i64 i = 0; i < t.elements(); ++i) {
+          if (!std::isfinite(t.flat(i))) {
+            status = Status(StatusCode::kKernelFailure,
+                            "non-finite value in output of '" +
+                                terminal.name + "' (flat index " +
+                                std::to_string(i) + ")");
+            break;
+          }
+        }
+      }
+      report.attempts.push_back({strategy, status});
+      if (status.ok()) {
+        report.executed = strategy;
+        report.memo = stats;
+        boundary[terminal.id] = out_id;
+        succeeded = true;
+        break;
+      }
+      backend.discard_tensor(out_id);  // failed attempt's output is garbage
+    }
+
+    if (!succeeded) {
+      // Every rung of the chain failed: emit a replay line so the failure
+      // can be reproduced outside the engine, then fail the run with the
+      // final (most conservative) strategy's classification.
+      const Status& last = report.attempts.back().status;
+      std::ostringstream oss;
+      oss << "brickdl: unrecoverable failure in graph '" << graph_.name()
+          << "', subgraph terminating at '" << terminal.name << "':";
+      for (const StrategyAttempt& a : report.attempts) {
+        oss << " [" << strategy_name(a.strategy) << ": " << a.status.to_string()
+            << "]";
+      }
+      oss << "\nbrickdl: replay: run_planned_subgraph_checked on '"
+          << terminal.name << "' with force_brick_side="
+          << planned.brick_side << " memo_workers=" << options_.memo_workers
+          << " memo_parallel=" << (options_.memo_parallel ? 1 : 0)
+          << " (cf. brickdl_fuzz --seed/--graph-idx for fuzzer-found graphs)";
+      std::cerr << oss.str() << std::endl;
+      return Status(last.code(),
+                    "subgraph terminating at '" + terminal.name +
+                        "' failed after " +
+                        std::to_string(report.attempts.size()) +
+                        " strategies; last: " + last.to_string());
+    }
 
     if (model) {
       report.txns = model->sim().counters() - before;

@@ -4,6 +4,13 @@
 // (§3.3.2–3), the merged executors (§3.2), and the vendor fallback for tiny
 // layers (§3.3.3). Runs against either backend: numerically for correctness,
 // against the simulator for the paper's performance methodology.
+//
+// Resilience (DESIGN.md §7): `validate()` runs a pre-flight pass over the
+// graph, options, and partition; `run_checked()` executes each subgraph
+// through a graceful-degradation chain (memoized → padded → vendor), so a
+// contained failure in an aggressive merged strategy degrades performance
+// instead of killing the run. Every attempt and its classifying Status is
+// recorded in the subgraph's report.
 #pragma once
 
 #include <optional>
@@ -12,6 +19,7 @@
 #include "core/memoized_executor.hpp"
 #include "core/padded_executor.hpp"
 #include "core/partitioner.hpp"
+#include "util/status.hpp"
 
 namespace brickdl {
 
@@ -26,6 +34,24 @@ struct EngineOptions {
   /// virtual scheduler. Numeric stress mode (differential tests, TSan).
   bool memo_parallel = false;
   i64 vendor_tile_side = 32;
+  /// Stall-watchdog tuning for memoized subgraphs (DESIGN.md §7).
+  MemoizedExecutor::WatchdogOptions memo_watchdog;
+  /// On a NumericBackend, scan every subgraph output for NaN/Inf and treat
+  /// corruption as a kKernelFailure (triggering the fallback chain).
+  bool verify_finite = false;
+  /// Retry a failed subgraph with progressively safer strategies
+  /// (memoized → padded → vendor). Off: the first failure is final.
+  bool graceful_fallback = true;
+};
+
+/// kInvalidOptions unless every knob is in range (memo_workers ≥ 1,
+/// vendor_tile_side > 0, force_brick_side ∈ {0, 4, 8, 16, 32}, watchdog sane).
+Status validate_engine_options(const EngineOptions& options);
+
+/// One executed (or attempted) strategy for a subgraph.
+struct StrategyAttempt {
+  Strategy strategy = Strategy::kVendor;
+  Status status;  ///< ok() for the attempt that ran to completion
 };
 
 struct SubgraphReport {
@@ -33,6 +59,8 @@ struct SubgraphReport {
   TxnCounters txns;    ///< model backend only (zeros numerically)
   ComputeTally tally;  ///< model backend only
   MemoizedExecutor::Stats memo;
+  Strategy executed = Strategy::kVendor;  ///< strategy that actually ran
+  std::vector<StrategyAttempt> attempts;  ///< degradation chain, in order
 };
 
 struct EngineResult {
@@ -48,20 +76,46 @@ class Engine {
 
   const Partition& partition() const { return partition_; }
 
+  /// Pre-flight pass, run before any kernel: options in range, graph
+  /// topologically sound with a single output (kInvalidGraph), node shapes
+  /// agreeing with shape inference (kShapeMismatch), partition io-complete
+  /// (kBadIoMap), and — unless a bench override forces plans past the model —
+  /// every merged footprint within the L2 budget (kBudgetExceeded).
+  Status validate() const;
+
   /// Execute the whole graph. With a NumericBackend, `input` (if given) is
   /// bound to the graph's single kInput node and `result.output` can be
   /// read back. With a ModelBackend, per-subgraph counter deltas and cost
-  /// tallies are collected into the reports.
-  EngineResult run(Backend& backend, const Tensor* input = nullptr);
+  /// tallies are collected into the reports. Failures are classified, never
+  /// fatal: a subgraph whose strategy faults is retried down the degradation
+  /// chain, and only an unrecoverable subgraph fails the run (after printing
+  /// a replay line to stderr).
+  Result<EngineResult> run_checked(Backend& backend,
+                                   const Tensor* input = nullptr);
+  /// Throwing wrapper (legacy call sites).
+  EngineResult run(Backend& backend, const Tensor* input = nullptr) {
+    return run_checked(backend, input).take();
+  }
 
  private:
   const Graph& graph_;
   EngineOptions options_;
   Partition partition_;
+  Status preflight_;  ///< options validation, captured at construction
 };
 
 /// Execute one planned subgraph on `backend` with explicit io tensors.
 /// Exposed for the microbenchmark harnesses that force partitions.
+/// The io map must cover every producer outside the subgraph (kBadIoMap
+/// names the offending node otherwise). On success `*stats_out` (if given)
+/// holds the memoized protocol counters (zeros for other strategies).
+Status run_planned_subgraph_checked(
+    const Graph& graph, const PlannedSubgraph& planned, Backend& backend,
+    const std::unordered_map<int, TensorId>& io, TensorId out,
+    const EngineOptions& options,
+    MemoizedExecutor::Stats* stats_out = nullptr);
+
+/// Throwing wrapper (legacy call sites).
 MemoizedExecutor::Stats run_planned_subgraph(
     const Graph& graph, const PlannedSubgraph& planned, Backend& backend,
     const std::unordered_map<int, TensorId>& io, TensorId out,

@@ -1,0 +1,19 @@
+#include "core/fault_hooks.hpp"
+
+#include <atomic>
+
+namespace brickdl {
+
+namespace {
+std::atomic<FaultHooks*> g_fault_hooks{nullptr};
+}  // namespace
+
+FaultHooks* fault_hooks() noexcept {
+  return g_fault_hooks.load(std::memory_order_acquire);
+}
+
+void install_fault_hooks(FaultHooks* hooks) noexcept {
+  g_fault_hooks.store(hooks, std::memory_order_release);
+}
+
+}  // namespace brickdl

@@ -1,0 +1,69 @@
+// Process-global fault-injection hook points.
+//
+// The core execution path (backends + executors) consults these hooks at the
+// moments where a real deployment can fail: a kernel launch, a kernel's
+// output buffer, a memoized worker's publish CAS, and a worker's liveness.
+// Core only defines the interface and the (atomic) installation point;
+// src/testing/fault_injection.{hpp,cpp} provides the standard seeded
+// implementation used by the resilience test suite. With no hooks installed
+// every call site is a single relaxed atomic load — negligible against the
+// kernel work it guards.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace brickdl {
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// Consulted before a kernel invocation for `node_id` runs on `worker`.
+  /// Returning false simulates a kernel fault (the backend raises a
+  /// classified kKernelFailure instead of computing).
+  virtual bool on_kernel(int node_id, int worker) {
+    (void)node_id;
+    (void)worker;
+    return true;
+  }
+
+  /// Called with the kernel's freshly computed output buffer; may corrupt
+  /// it in place (e.g. NaN poison) to model silent data corruption.
+  virtual void on_kernel_output(int node_id, int worker, float* data, i64 n) {
+    (void)node_id;
+    (void)worker;
+    (void)data;
+    (void)n;
+  }
+
+  /// Consulted before a memoized worker publishes brick `brick` of
+  /// `node_id`. Returning false simulates the worker dying between claim
+  /// and publish: the result is lost and the tag stays InProgress until
+  /// another worker's watchdog reclaims it.
+  virtual bool on_publish(int node_id, i64 brick, int worker) {
+    (void)node_id;
+    (void)brick;
+    (void)worker;
+    return true;
+  }
+
+  /// Consulted when a memoized worker is about to compute a brick.
+  /// Returning true parks the worker permanently (a simulated dead worker):
+  /// every tag on its stack is left InProgress for the stall watchdog.
+  virtual bool on_worker_stall(int node_id, i64 brick, int worker) {
+    (void)node_id;
+    (void)brick;
+    (void)worker;
+    return false;
+  }
+};
+
+/// Currently installed hooks, or nullptr. Thread-safe to call anywhere.
+FaultHooks* fault_hooks() noexcept;
+
+/// Install (or clear, with nullptr) the process-global hooks. The caller
+/// keeps ownership and must keep the object alive until uninstalled; no
+/// executor may be mid-run during the swap.
+void install_fault_hooks(FaultHooks* hooks) noexcept;
+
+}  // namespace brickdl

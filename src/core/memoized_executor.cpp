@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/fault_hooks.hpp"
 #include "graph/halo.hpp"
 
 namespace brickdl {
@@ -10,15 +11,18 @@ namespace brickdl {
 MemoizedExecutor::MemoizedExecutor(const Graph& graph, const Subgraph& sg,
                                    const Dims& brick_extent, Backend& backend,
                                    const std::unordered_map<int, TensorId>& io,
-                                   int num_workers)
+                                   int num_workers, WatchdogOptions watchdog)
     : graph_(graph),
       sg_(sg),
       brick_extent_(brick_extent),
       backend_(backend),
       io_(io),
-      num_workers_(num_workers) {
+      num_workers_(num_workers),
+      watchdog_(watchdog) {
   validate_subgraph(graph, sg);
   BDL_CHECK(num_workers >= 1 && num_workers <= backend.num_workers());
+  BDL_CHECK_MSG(watchdog_.poll_limit > 0 && watchdog_.timeout_ms >= 0,
+                "watchdog poll_limit must be positive, timeout non-negative");
   BDL_CHECK_MSG(io_.count(sg.terminal()),
                 "io map must provide the terminal output tensor");
   for (int ext : sg.external_inputs) {
@@ -39,7 +43,7 @@ MemoizedExecutor::MemoizedExecutor(const Graph& graph, const Subgraph& sg,
     }
     grids_.emplace_back(bounds, extent);
     grid_sizes_.push_back(grids_.back().num_bricks());
-    states_.push_back(std::make_unique<std::atomic<u8>[]>(
+    states_.push_back(std::make_unique<std::atomic<u32>[]>(
         static_cast<size_t>(grids_.back().num_bricks())));
     for (i64 b = 0; b < grids_.back().num_bricks(); ++b) {
       states_.back()[static_cast<size_t>(b)].store(kNotStarted,
@@ -71,7 +75,7 @@ i64 MemoizedExecutor::total_bricks() const {
   return total;
 }
 
-std::atomic<u8>& MemoizedExecutor::state(int sg_index, i64 brick) {
+std::atomic<u32>& MemoizedExecutor::state(int sg_index, i64 brick) {
   return states_[static_cast<size_t>(sg_index)][static_cast<size_t>(brick)];
 }
 
@@ -124,75 +128,113 @@ MemoizedExecutor::Task MemoizedExecutor::make_task(int sg_index,
   return task;
 }
 
-void MemoizedExecutor::compute_brick(int worker_index, const Task& task) {
+Status MemoizedExecutor::compute_brick(int worker_index, const Task& task,
+                                       SlotId* out_slot, Dims* lo,
+                                       Dims* extent) {
   const int node_id = sg_.nodes[static_cast<size_t>(task.sg_index)];
   const Node& node = graph_.node(node_id);
   const BrickGrid& grid = grids_[static_cast<size_t>(task.sg_index)];
   const Dims g = grid.grid.unlinear(task.brick);
-  const Dims lo = grid.brick_origin(g);
-  const Dims extent = grid.valid_extent(g);
+  *lo = grid.brick_origin(g);
+  *extent = grid.valid_extent(g);
 
-  backend_.invocation_begin(worker_index);
-  Dims need_lo, need_extent;
-  input_window_blocked(node, lo, extent, &need_lo, &need_extent);
-  std::vector<SlotId> inputs;
-  inputs.reserve(node.inputs.size());
-  for (int p : node.inputs) {
-    TensorId src;
-    auto it = std::find(sg_.nodes.begin(), sg_.nodes.end(), p);
-    if (it == sg_.nodes.end()) {
-      src = io_.at(p);
-    } else {
-      src = memo_[static_cast<size_t>(it - sg_.nodes.begin())];
+  try {
+    backend_.invocation_begin(worker_index);
+    Dims need_lo, need_extent;
+    input_window_blocked(node, *lo, *extent, &need_lo, &need_extent);
+    std::vector<SlotId> inputs;
+    inputs.reserve(node.inputs.size());
+    for (int p : node.inputs) {
+      TensorId src;
+      auto it = std::find(sg_.nodes.begin(), sg_.nodes.end(), p);
+      if (it == sg_.nodes.end()) {
+        src = io_.at(p);
+      } else {
+        src = memo_[static_cast<size_t>(it - sg_.nodes.begin())];
+      }
+      inputs.push_back(backend_.load_window(worker_index, src, need_lo,
+                                            need_extent));
     }
-    inputs.push_back(backend_.load_window(worker_index, src, need_lo,
-                                          need_extent));
+    // Memoized bricks are stored clipped to the layer bounds, so no masking
+    // is needed: out-of-bounds halo reads zero-fill, matching zero padding.
+    // The result stays in the worker-private slot; the caller copies it into
+    // the shared memo buffer only after winning the publish election.
+    *out_slot = backend_.compute(worker_index, node_id, inputs, *lo, *extent,
+                                 /*mask_to_bounds=*/false);
+    for (SlotId s : inputs) backend_.free_slot(worker_index, s);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kKernelFailure,
+                  "node '" + node.name + "': " + e.what());
   }
-  // Memoized bricks are stored clipped to the layer bounds, so no masking is
-  // needed: out-of-bounds halo reads zero-fill, matching zero padding.
-  const SlotId out = backend_.compute(worker_index, node_id, inputs, lo, extent,
-                                      /*mask_to_bounds=*/false);
-  for (SlotId s : inputs) backend_.free_slot(worker_index, s);
-  backend_.store_window(worker_index, out, memo_[static_cast<size_t>(task.sg_index)],
-                        lo, extent);
+  return Status();
+}
+
+bool MemoizedExecutor::watchdog_expired(
+    i64 polls, std::chrono::steady_clock::time_point since,
+    bool spin_wait) const {
+  if (polls <= watchdog_.poll_limit) return false;
+  if (!spin_wait) return true;  // virtual time: polls are the only clock
+  const auto elapsed = std::chrono::steady_clock::now() - since;
+  return elapsed >= std::chrono::milliseconds(watchdog_.timeout_ms);
+}
+
+void MemoizedExecutor::set_failure(Status status) {
+  {
+    const std::lock_guard<std::mutex> lock(failure_mu_);
+    if (failure_.ok()) failure_ = std::move(status);
+  }
+  failed_.store(true, std::memory_order_release);
 }
 
 bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
   Worker& w = workers_[static_cast<size_t>(worker_index)];
-  if (w.done) return false;
+  if (w.done || w.stalled) return false;
+  if (failed_.load(std::memory_order_acquire)) {
+    // Another worker hit a kernel fault: abandon cleanly.
+    w.done = true;
+    return false;
+  }
 
   if (w.stack.empty()) {
-    if (w.next_brick >= w.end_brick) {
-      w.done = true;
-      return false;
-    }
     const int terminal_index = static_cast<int>(sg_.nodes.size()) - 1;
-    const i64 brick = w.next_brick++;
-    u8 expected = kNotStarted;
-    if (state(terminal_index, brick)
-            .compare_exchange_strong(expected, kInProgress)) {
-      ++w.local.compulsory_atomics;  // acquire
-      w.stack.push_back(make_task(terminal_index, brick));
+    while (w.next_brick < w.end_brick) {
+      const i64 brick = w.next_brick++;
+      std::atomic<u32>& tag = state(terminal_index, brick);
+      u32 expected = tag.load(std::memory_order_acquire);
+      while (tag_state(expected) == kNotStarted) {
+        if (tag.compare_exchange_weak(expected, expected | kInProgress)) {
+          ++w.local.compulsory_atomics;  // acquire
+          Task task = make_task(terminal_index, brick);
+          task.token = expected | kInProgress;
+          w.stack.push_back(std::move(task));
+          return true;
+        }
+      }
+      // Already claimed — a stealing worker adopted it (or a reclaimed tag
+      // was re-claimed); skip to the next assigned brick.
     }
-    // Terminal bricks are partitioned, so the CAS only fails if another
-    // executor shares the state (it cannot); treat failure as skip.
-    return true;
+    return steal_advance(w, spin_wait);
   }
 
   Task& task = w.stack.back();
   while (task.dep_cursor < task.deps.size()) {
     const auto [p_index, p_brick] = task.deps[task.dep_cursor];
-    std::atomic<u8>& tag = state(p_index, p_brick);
-    u8 observed = tag.load(std::memory_order_acquire);
-    if (observed == kComplete) {
+    std::atomic<u32>& tag = state(p_index, p_brick);
+    u32 observed = tag.load(std::memory_order_acquire);
+    if (tag_state(observed) == kComplete) {
       ++task.dep_cursor;
+      task.polls = 0;
       continue;
     }
-    if (observed == kNotStarted) {
-      u8 expected = kNotStarted;
-      if (tag.compare_exchange_strong(expected, kInProgress)) {
+    if (tag_state(observed) == kNotStarted) {
+      if (tag.compare_exchange_strong(observed, observed | kInProgress)) {
         ++w.local.compulsory_atomics;  // acquire
-        w.stack.push_back(make_task(p_index, p_brick));
+        task.polls = 0;
+        Task dep = make_task(p_index, p_brick);
+        dep.token = observed | kInProgress;
+        w.stack.push_back(std::move(dep));
         return true;  // recurse: compute the dependent brick first
       }
       // Lost the race: another worker just claimed it.
@@ -203,28 +245,149 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
     }
     // In progress on another worker: yield; every poll is a conflicting
     // atomic (§3.2.2: stall by issuing CAS until the tag turns Complete).
+    // The stall watchdog bounds the wait: a tag stuck past the poll budget
+    // (and deadline, on real threads) belongs to a presumed-dead worker —
+    // repair it to NotStarted with the epoch bumped, so the normal claim
+    // path above recomputes the brick and the stale owner (if merely slow,
+    // not dead) loses its publish election instead of racing the recompute.
+    if (task.polls == 0) task.poll_start = std::chrono::steady_clock::now();
+    ++task.polls;
     ++w.local.conflict_atomics;
     ++w.local.defers;
+    if (watchdog_expired(task.polls, task.poll_start, spin_wait)) {
+      // Publishing tags are never reclaimed: the electee already proved it is
+      // alive by winning the election, and its memo store is in flight.
+      if (tag_state(observed) == kInProgress &&
+          tag.compare_exchange_strong(observed, tag_reclaimed(observed))) {
+        ++w.local.reclaims;
+      }
+      task.polls = 0;
+    }
     if (spin_wait) std::this_thread::yield();
     return true;
   }
 
   // All dependencies complete: compute, publish, pop.
-  compute_brick(worker_index, task);
-  state(task.sg_index, task.brick).store(kComplete, std::memory_order_release);
-  ++w.local.compulsory_atomics;  // release/publish
-  ++w.local.bricks_computed;
+  const int node_id = sg_.nodes[static_cast<size_t>(task.sg_index)];
+  if (FaultHooks* hooks = fault_hooks()) {
+    if (hooks->on_worker_stall(node_id, task.brick, worker_index)) {
+      // Simulated dead worker: park for good, leaving every tag on this
+      // stack InProgress for the other workers' watchdogs.
+      w.stalled = true;
+      ++w.local.stalled_workers;
+      return false;
+    }
+    if (!hooks->on_publish(node_id, task.brick, worker_index)) {
+      // Simulated crash between claim and publish: the brick's result (data
+      // and release CAS alike) is lost; the tag stays InProgress until the
+      // watchdog reclaims it and another worker recomputes.
+      ++w.local.lost_publishes;
+      w.stack.pop_back();
+      return true;
+    }
+  }
+  SlotId out_slot = -1;
+  Dims lo, extent;
+  Status computed = compute_brick(worker_index, task, &out_slot, &lo, &extent);
+  if (!computed.ok()) {
+    set_failure(std::move(computed));
+    w.done = true;
+    return false;
+  }
+  // Publish by election, not a blind store: CAS our claim token (epoch +
+  // InProgress) to Publishing. If the watchdog repaired this tag from under
+  // us (we were presumed dead), its epoch moved on and the CAS fails — the
+  // reclaimer owns the brick and will recompute it, so we must not touch the
+  // shared memo buffer (a racing same-value store) and we drop our
+  // accounting so the exactly-once bookkeeping still matches the tags.
+  std::atomic<u32>& tag = state(task.sg_index, task.brick);
+  u32 expected = task.token;
+  if (tag.compare_exchange_strong(expected, (task.token & ~kStateMask) |
+                                                kPublishing)) {
+    ++w.local.compulsory_atomics;  // release/publish election
+    try {
+      backend_.store_window(worker_index, out_slot,
+                            memo_[static_cast<size_t>(task.sg_index)], lo,
+                            extent);
+    } catch (const std::exception& e) {
+      // Leave no abandoned Publishing tag behind a failed store: fail the
+      // whole run, every worker aborts on failed_.
+      set_failure(Status(StatusCode::kKernelFailure, e.what()));
+      w.done = true;
+      return false;
+    }
+    tag.store((task.token & ~kStateMask) | kComplete,
+              std::memory_order_release);
+    ++w.local.bricks_computed;
+  } else {
+    ++w.local.lost_publishes;
+  }
   w.stack.pop_back();
   return true;
 }
 
-void MemoizedExecutor::finish(ThreadPool* /*pool*/) {
+bool MemoizedExecutor::steal_advance(Worker& w, bool spin_wait) {
+  const int terminal_index = static_cast<int>(sg_.nodes.size()) - 1;
+  const i64 total = grid_sizes_[static_cast<size_t>(terminal_index)];
+  i64 first_in_progress = -1;
+  u32 first_in_progress_value = 0;
+  for (i64 b = 0; b < total; ++b) {
+    std::atomic<u32>& tag = state(terminal_index, b);
+    u32 observed = tag.load(std::memory_order_acquire);
+    if (tag_state(observed) == kComplete) continue;
+    if (tag_state(observed) == kNotStarted) {
+      if (tag.compare_exchange_strong(observed, observed | kInProgress)) {
+        ++w.local.compulsory_atomics;  // acquire
+        ++w.local.stolen_bricks;
+        w.steal_polls = 0;
+        Task task = make_task(terminal_index, b);
+        task.token = observed | kInProgress;
+        w.stack.push_back(std::move(task));
+        return true;
+      }
+      ++w.local.conflict_atomics;  // lost the claim race to another thief
+    }
+    if (first_in_progress < 0) {
+      first_in_progress = b;
+      first_in_progress_value = observed;
+    }
+  }
+  if (first_in_progress < 0) {
+    w.done = true;  // every terminal brick is Complete
+    return false;
+  }
+  // Leftover terminal bricks are all InProgress elsewhere: poll them under
+  // the same watchdog so a stalled worker's claim is eventually reclaimed.
+  // As in advance(), a Publishing tag is live by definition and never
+  // reclaimed — its electee completes it on its own.
+  if (w.steal_polls == 0) w.steal_start = std::chrono::steady_clock::now();
+  ++w.steal_polls;
+  ++w.local.conflict_atomics;
+  ++w.local.defers;
+  if (watchdog_expired(w.steal_polls, w.steal_start, spin_wait)) {
+    if (tag_state(first_in_progress_value) == kInProgress &&
+        state(terminal_index, first_in_progress)
+            .compare_exchange_strong(first_in_progress_value,
+                                     tag_reclaimed(first_in_progress_value))) {
+      ++w.local.reclaims;
+    }
+    w.steal_polls = 0;
+  }
+  if (spin_wait) std::this_thread::yield();
+  return true;
+}
+
+Status MemoizedExecutor::finish() {
   stats_ = Stats{};
   for (const Worker& w : workers_) {
     stats_.compulsory_atomics += w.local.compulsory_atomics;
     stats_.conflict_atomics += w.local.conflict_atomics;
     stats_.defers += w.local.defers;
     stats_.bricks_computed += w.local.bricks_computed;
+    stats_.reclaims += w.local.reclaims;
+    stats_.stolen_bricks += w.local.stolen_bricks;
+    stats_.stalled_workers += w.local.stalled_workers;
+    stats_.lost_publishes += w.local.lost_publishes;
   }
   backend_.count_atomics(stats_.compulsory_atomics, stats_.conflict_atomics);
   backend_.tally_defer(stats_.defers);
@@ -236,22 +399,34 @@ void MemoizedExecutor::finish(ThreadPool* /*pool*/) {
       backend_.discard_tensor(memo_[i]);
     }
   }
+
+  if (!failure_.ok()) return failure_;  // workers aborted on a kernel fault
+
   // Every terminal brick must be complete; interior bricks that no terminal
   // brick transitively needs (e.g. columns dropped by a strided conv) may
-  // legitimately stay uncomputed.
+  // legitimately stay uncomputed. An incomplete terminal here means every
+  // surviving worker exhausted its watchdog without finding a reclaimable
+  // path — all workers stalled.
   const auto& terminal_states = states_[static_cast<size_t>(terminal_index)];
   for (i64 b = 0; b < grid_sizes_[static_cast<size_t>(terminal_index)]; ++b) {
-    BDL_CHECK_MSG(terminal_states[static_cast<size_t>(b)].load() == kComplete,
-                  "terminal brick " << b << " left incomplete");
+    if (tag_state(terminal_states[static_cast<size_t>(b)].load()) !=
+        kComplete) {
+      std::ostringstream os;
+      os << "terminal brick " << b << " left incomplete ("
+         << stats_.stalled_workers << " of " << num_workers_
+         << " workers stalled, " << stats_.reclaims << " tags reclaimed)";
+      return Status(StatusCode::kExecutorStall, os.str());
+    }
   }
   // Exactly-once accounting: the computed tally must equal the number of
   // Complete tags. A brick computed twice bumps the tally without a second
   // tag transition; a brick published without being computed does the
-  // reverse. Either way the CAS protocol was violated.
+  // reverse. Either way the CAS protocol was violated. (This is an internal
+  // invariant — a violation is a library bug, so it stays a hard check.)
   i64 complete_tags = 0;
   for (size_t i = 0; i < states_.size(); ++i) {
     for (i64 b = 0; b < grid_sizes_[i]; ++b) {
-      if (states_[i][static_cast<size_t>(b)].load() == kComplete) {
+      if (tag_state(states_[i][static_cast<size_t>(b)].load()) == kComplete) {
         ++complete_tags;
       }
     }
@@ -261,6 +436,7 @@ void MemoizedExecutor::finish(ThreadPool* /*pool*/) {
                                    << " != complete tags " << complete_tags
                                    << " — a brick was computed twice or lost");
   BDL_CHECK(stats_.bricks_computed <= total_bricks());
+  return Status();
 }
 
 i64 MemoizedExecutor::reachable_bricks() const {
@@ -291,7 +467,7 @@ i64 MemoizedExecutor::reachable_bricks() const {
   return count;
 }
 
-void MemoizedExecutor::run() {
+Status MemoizedExecutor::run_checked() {
   bool progress = true;
   while (progress) {
     progress = false;
@@ -299,17 +475,17 @@ void MemoizedExecutor::run() {
       progress |= advance(w, /*spin_wait=*/false);
     }
   }
-  finish(nullptr);
+  return finish();
 }
 
-void MemoizedExecutor::run_parallel(ThreadPool& pool) {
+Status MemoizedExecutor::run_parallel_checked(ThreadPool& pool) {
   BDL_CHECK_MSG(pool.size() == num_workers_,
                 "pool size must equal the executor's worker count");
   pool.parallel_for(num_workers_, [this](i64 w, int /*pool_worker*/) {
     while (advance(static_cast<int>(w), /*spin_wait=*/true)) {
     }
   });
-  finish(&pool);
+  return finish();
 }
 
 }  // namespace brickdl

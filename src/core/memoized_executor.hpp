@@ -16,17 +16,47 @@
 //                     counts are reproducible; used by the model benches.
 //  * run_parallel() — one OS thread per worker (numeric stress mode): the
 //                     protocol must be linearizable, and the tests hammer it.
+//
+// Resilience (DESIGN.md §7): the paper's protocol assumes every worker
+// eventually publishes. This implementation does not — a stall watchdog
+// bounds every poll loop. A tag stuck InProgress past the watchdog budget is
+// presumed abandoned (dead worker), repaired to NotStarted with CAS, and
+// recomputed by the detecting worker. Because a tag guards its brick's whole
+// dependence subtree, a *live* but slow worker can outlast the budget too, so
+// repair must be safe against it: each tag carries a reclaim epoch (bumped by
+// every repair), and a worker publishes by first CAS-electing its own
+// claim-epoch tag into a transient Publishing state, storing the memo bytes
+// only if it won, then releasing the tag to Complete. A worker whose claim
+// was reclaimed from under it loses the election, never touches the memo
+// buffer (no racing stores), and discards its accounting into
+// `lost_publishes` instead of corrupting the exactly-once bookkeeping.
+// Workers whose own terminal range is done steal leftover terminal bricks,
+// so a parked worker's range still completes. Kernel faults abort the run
+// with a classified Status.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/backend.hpp"
 #include "core/subgraph.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace brickdl {
+
+/// Stall-watchdog tuning. A dependence (or leftover terminal brick) stuck
+/// InProgress is reclaimed after `poll_limit` consecutive failed polls —
+/// and, on real threads, only once `timeout_ms` has also elapsed, so a
+/// merely slow worker is not mistaken for a dead one. The deadline is the
+/// standard watchdog contract: it must exceed the worst-case kernel time.
+struct MemoWatchdogOptions {
+  i64 poll_limit = i64{1} << 17;
+  i64 timeout_ms = 5000;
+};
 
 class MemoizedExecutor {
  public:
@@ -35,7 +65,14 @@ class MemoizedExecutor {
     i64 conflict_atomics = 0;
     i64 defers = 0;
     i64 bricks_computed = 0;
+    // Resilience counters (all zero on a fault-free run):
+    i64 reclaims = 0;         ///< watchdog tag repairs (InProgress→NotStarted)
+    i64 stolen_bricks = 0;    ///< terminal bricks adopted from another range
+    i64 stalled_workers = 0;  ///< workers parked by fault injection
+    i64 lost_publishes = 0;   ///< computes whose publish never landed
   };
+
+  using WatchdogOptions = MemoWatchdogOptions;
 
   /// `io` maps external-input node ids and the terminal node id to backend
   /// tensors. `brick_extent` is over blocked dims and is shared by every
@@ -43,12 +80,21 @@ class MemoizedExecutor {
   MemoizedExecutor(const Graph& graph, const Subgraph& sg,
                    const Dims& brick_extent, Backend& backend,
                    const std::unordered_map<int, TensorId>& io,
-                   int num_workers);
+                   int num_workers,
+                   WatchdogOptions watchdog = WatchdogOptions());
 
   /// Deterministic virtual-time execution (single caller thread).
-  void run();
+  /// Returns kKernelFailure if a kernel faulted, kExecutorStall if workers
+  /// stopped before every terminal brick completed.
+  Status run_checked();
   /// Real-thread execution; pool must have exactly num_workers threads.
-  void run_parallel(ThreadPool& pool);
+  Status run_parallel_checked(ThreadPool& pool);
+
+  /// Throwing wrappers around the checked drivers (legacy call sites).
+  void run() { run_checked().throw_if_error(); }
+  void run_parallel(ThreadPool& pool) {
+    run_parallel_checked(pool).throw_if_error();
+  }
 
   const Stats& stats() const { return stats_; }
   i64 total_bricks() const;
@@ -63,8 +109,11 @@ class MemoizedExecutor {
   struct Task {
     int sg_index = -1;
     i64 brick = -1;
+    u32 token = 0;  ///< tag value we claimed ((epoch << 2) | kInProgress)
     std::vector<std::pair<int, i64>> deps;  ///< (sg_index, brick) in-subgraph
     size_t dep_cursor = 0;                  ///< deps below this are Complete
+    i64 polls = 0;  ///< consecutive failed polls of the current dependence
+    std::chrono::steady_clock::time_point poll_start{};
   };
 
   struct Worker {
@@ -73,18 +122,45 @@ class MemoizedExecutor {
     i64 end_brick = 0;
     Stats local;
     bool done = false;
+    bool stalled = false;  ///< parked by fault injection (simulated death)
+    i64 steal_polls = 0;
+    std::chrono::steady_clock::time_point steal_start{};
   };
 
-  enum : u8 { kNotStarted = 0, kInProgress = 1, kComplete = 2 };
+  /// Tag encoding: low 2 bits = state, high bits = reclaim epoch. A watchdog
+  /// repair bumps the epoch, so a stale owner's election CAS (which names its
+  /// claim epoch) can never succeed against a repaired-and-reclaimed tag.
+  enum : u32 {
+    kNotStarted = 0,
+    kInProgress = 1,
+    kComplete = 2,
+    kPublishing = 3,  ///< election won; memo store in flight
+    kStateMask = 3,
+  };
+  static u32 tag_state(u32 v) { return v & kStateMask; }
+  /// Repaired value for an abandoned tag: next epoch, NotStarted.
+  static u32 tag_reclaimed(u32 v) { return ((v >> 2) + 1) << 2; }
 
   /// One protocol step; returns false when the worker has finished.
   /// `spin_wait` selects the behaviour on a busy dependence: virtual mode
   /// returns (the round-robin advances others), parallel mode yields.
   bool advance(int worker_index, bool spin_wait);
-  void compute_brick(int worker_index, const Task& task);
+  /// Own terminal range exhausted: adopt leftover terminal bricks so a
+  /// stalled worker's range still completes.
+  bool steal_advance(Worker& w, bool spin_wait);
+  /// True once a stuck InProgress tag should be presumed abandoned.
+  bool watchdog_expired(i64 polls,
+                        std::chrono::steady_clock::time_point since,
+                        bool spin_wait) const;
+  /// Compute the brick into a per-worker slot without touching the shared
+  /// memo buffer; the caller stores it only after winning the publish
+  /// election. `lo`/`extent` report the brick window for that store.
+  Status compute_brick(int worker_index, const Task& task, SlotId* out_slot,
+                       Dims* lo, Dims* extent);
   Task make_task(int sg_index, i64 brick) const;
-  std::atomic<u8>& state(int sg_index, i64 brick);
-  void finish(ThreadPool* pool);
+  std::atomic<u32>& state(int sg_index, i64 brick);
+  void set_failure(Status status);
+  Status finish();
 
   const Graph& graph_;
   const Subgraph& sg_;
@@ -92,13 +168,18 @@ class MemoizedExecutor {
   Backend& backend_;
   std::unordered_map<int, TensorId> io_;
   int num_workers_;
+  WatchdogOptions watchdog_;
 
   std::vector<BrickGrid> grids_;              // per sg node
   std::vector<TensorId> memo_;                // per sg node (terminal = io)
-  std::vector<std::unique_ptr<std::atomic<u8>[]>> states_;  // per sg node
+  std::vector<std::unique_ptr<std::atomic<u32>[]>> states_;  // per sg node
   std::vector<i64> grid_sizes_;
   std::vector<Worker> workers_;
   Stats stats_;
+
+  std::mutex failure_mu_;
+  Status failure_;                    // first kernel failure, under failure_mu_
+  std::atomic<bool> failed_{false};   // fast abort flag for the other workers
 };
 
 }  // namespace brickdl

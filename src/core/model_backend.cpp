@@ -1,7 +1,9 @@
 #include <algorithm>
 
 #include "core/backend.hpp"
+#include "core/fault_hooks.hpp"
 #include "util/odometer.hpp"
+#include "util/status.hpp"
 
 namespace brickdl {
 namespace {
@@ -247,6 +249,13 @@ SlotId ModelBackend::compute(int worker, int node_id,
                              const Dims& out_lo, const Dims& out_extent,
                              bool /*mask_to_bounds*/) {
   const Node& node = graph_.node(node_id);
+  if (FaultHooks* hooks = fault_hooks()) {
+    if (!hooks->on_kernel(node_id, worker)) {
+      throw StatusError(Status(StatusCode::kKernelFailure,
+                               "injected kernel failure in '" + node.name +
+                                   "'"));
+    }
+  }
   BDL_CHECK(inputs.size() == node.inputs.size());
   for (SlotId s : inputs) {
     BDL_CHECK_MSG(slot_ref(worker, s).live, "computing from a freed slot");

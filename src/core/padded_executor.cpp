@@ -68,26 +68,37 @@ void PaddedExecutor::run_brick(i64 brick_index, int worker) {
   }
 }
 
-void PaddedExecutor::run(ThreadPool* pool) {
-  const i64 n = plan_.num_bricks();
+Status PaddedExecutor::run_checked(ThreadPool* pool) {
   const int workers = backend_.num_workers();
-  if (pool) {
-    BDL_CHECK_MSG(pool->size() <= workers,
+  if (pool && pool->size() > workers) {
+    return Status(StatusCode::kInvalidOptions,
                   "thread pool larger than backend worker count");
-    pool->parallel_for(n, [this](i64 i, int worker) { run_brick(i, worker); });
-  } else {
-    // Contiguous brick ranges per worker, like GPU block scheduling.
-    for (i64 i = 0; i < n; ++i) {
-      const int worker = static_cast<int>(i * workers / n);
-      run_brick(i, worker);
-    }
   }
-  bricks_executed_ += n;
-  backend_.tally_reduce(n);
-  // Intermediate windows are dead: drop them without writeback.
+  Status status;
+  try {
+    const i64 n = plan_.num_bricks();
+    if (pool) {
+      pool->parallel_for(n,
+                         [this](i64 i, int worker) { run_brick(i, worker); });
+    } else {
+      // Contiguous brick ranges per worker, like GPU block scheduling.
+      for (i64 i = 0; i < n; ++i) {
+        const int worker = static_cast<int>(i * workers / n);
+        run_brick(i, worker);
+      }
+    }
+    bricks_executed_ += n;
+    backend_.tally_reduce(n);
+  } catch (const StatusError& e) {
+    status = e.status();
+  } catch (const std::exception& e) {
+    status = Status(StatusCode::kKernelFailure, e.what());
+  }
+  // Intermediate windows are dead (success or abort): drop without writeback.
   for (auto& [node, per_worker] : scratch_) {
     for (TensorId id : per_worker) backend_.discard_tensor(id);
   }
+  return status;
 }
 
 }  // namespace brickdl

@@ -13,6 +13,7 @@
 
 #include "core/backend.hpp"
 #include "core/halo_plan.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace brickdl {
@@ -28,8 +29,11 @@ class PaddedExecutor {
   /// Execute all terminal bricks. With `pool`, bricks run concurrently on
   /// real threads (numeric stress mode); otherwise a deterministic serial
   /// sweep assigns contiguous brick ranges to backend workers, mirroring GPU
-  /// block scheduling.
-  void run(ThreadPool* pool = nullptr);
+  /// block scheduling. A faulting kernel aborts the sweep and returns a
+  /// classified kKernelFailure; scratch is discarded either way.
+  Status run_checked(ThreadPool* pool = nullptr);
+  /// Throwing wrapper (legacy call sites).
+  void run(ThreadPool* pool = nullptr) { run_checked(pool).throw_if_error(); }
 
   i64 bricks_executed() const { return bricks_executed_; }
 

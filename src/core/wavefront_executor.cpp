@@ -120,37 +120,45 @@ void WavefrontExecutor::compute_brick(int worker, int sg_index, i64 brick) {
                         memo_[static_cast<size_t>(sg_index)], lo, extent);
 }
 
-void WavefrontExecutor::run() {
-  // Bucket every brick of every layer into its wave.
-  std::map<i64, std::vector<BrickRef>> waves;
-  for (size_t t = 0; t < sg_.nodes.size(); ++t) {
-    const BrickGrid& grid = grids_[t];
-    for (i64 b = 0; b < grid.num_bricks(); ++b) {
-      const Dims g = grid.grid.unlinear(b);
-      waves[wave_of(static_cast<int>(t), g)].push_back(
-          {static_cast<int>(t), b});
+Status WavefrontExecutor::run_checked() {
+  Status status;
+  try {
+    // Bucket every brick of every layer into its wave.
+    std::map<i64, std::vector<BrickRef>> waves;
+    for (size_t t = 0; t < sg_.nodes.size(); ++t) {
+      const BrickGrid& grid = grids_[t];
+      for (i64 b = 0; b < grid.num_bricks(); ++b) {
+        const Dims g = grid.grid.unlinear(b);
+        waves[wave_of(static_cast<int>(t), g)].push_back(
+            {static_cast<int>(t), b});
+      }
     }
-  }
 
-  const int workers = backend_.num_workers();
-  for (const auto& [wave, bricks] : waves) {
-    (void)wave;
-    int worker = 0;
-    for (const BrickRef& ref : bricks) {
-      compute_brick(worker, ref.sg_index, ref.brick);
-      worker = (worker + 1) % workers;
+    const int workers = backend_.num_workers();
+    for (const auto& [wave, bricks] : waves) {
+      (void)wave;
+      int worker = 0;
+      for (const BrickRef& ref : bricks) {
+        compute_brick(worker, ref.sg_index, ref.brick);
+        worker = (worker + 1) % workers;
+      }
+      backend_.tally_sync(1);
+      ++stats_.waves;
+      stats_.max_wave_width =
+          std::max(stats_.max_wave_width, static_cast<i64>(bricks.size()));
+      stats_.bricks_computed += static_cast<i64>(bricks.size());
     }
-    backend_.tally_sync(1);
-    ++stats_.waves;
-    stats_.max_wave_width =
-        std::max(stats_.max_wave_width, static_cast<i64>(bricks.size()));
-    stats_.bricks_computed += static_cast<i64>(bricks.size());
+    backend_.tally_reduce(stats_.bricks_computed);
+  } catch (const StatusError& e) {
+    status = e.status();
+  } catch (const std::exception& e) {
+    status = Status(StatusCode::kKernelFailure, e.what());
   }
-  backend_.tally_reduce(stats_.bricks_computed);
-  // Interior buffers are dead once the subgraph finishes.
+  // Interior buffers are dead once the subgraph finishes (or aborts).
   for (size_t i = 0; i < memo_.size(); ++i) {
     if (sg_.nodes[i] != sg_.terminal()) backend_.discard_tensor(memo_[i]);
   }
+  return status;
 }
 
 }  // namespace brickdl

@@ -20,6 +20,7 @@
 
 #include "core/backend.hpp"
 #include "core/subgraph.hpp"
+#include "util/status.hpp"
 
 namespace brickdl {
 
@@ -39,8 +40,12 @@ class WavefrontExecutor {
                     const std::unordered_map<int, TensorId>& io);
 
   /// Execute wave by wave. Deterministic; bricks within a wave are spread
-  /// across backend workers round-robin.
-  void run();
+  /// across backend workers round-robin. A faulting kernel aborts the sweep
+  /// and returns a classified kKernelFailure; interior memo buffers are
+  /// discarded either way.
+  Status run_checked();
+  /// Throwing wrapper (legacy call sites).
+  void run() { run_checked().throw_if_error(); }
 
   const Stats& stats() const { return stats_; }
 

@@ -58,6 +58,27 @@ struct TokenBag {
   i64 integer(const std::string& key) const {
     return parse_dims_csv(get(key), line_no)[0];
   }
+
+  /// dims(key) with a floor on every component. Strides, kernels, and shapes
+  /// must be >= 1 (a zero stride is a division by zero in shape inference and
+  /// halo analysis — SIGFPE, which no handler can turn into a Status);
+  /// paddings must be >= 0.
+  Dims dims_min(const std::string& key, i64 min) const {
+    const Dims d = dims(key);
+    for (int i = 0; i < d.rank(); ++i) {
+      BDL_CHECK_MSG(d[i] >= min, "line " << line_no << ": '" << key
+                                         << "' component must be >= " << min
+                                         << ", got " << d[i]);
+    }
+    return d;
+  }
+  i64 integer_min(const std::string& key, i64 min) const {
+    const i64 v = integer(key);
+    BDL_CHECK_MSG(v >= min, "line " << line_no << ": '" << key
+                                    << "' must be >= " << min << ", got "
+                                    << v);
+    return v;
+  }
 };
 
 }  // namespace
@@ -135,7 +156,9 @@ std::string serialize_graph(const Graph& graph) {
   return os.str();
 }
 
-Graph parse_graph(const std::string& text, const std::string& name) {
+namespace {
+
+Graph parse_graph_or_throw(const std::string& text, const std::string& name) {
   Graph graph(name);
   std::unordered_map<std::string, int> by_name;
 
@@ -188,20 +211,24 @@ Graph parse_graph(const std::string& text, const std::string& name) {
     int id = -1;
     if (op == "input") {
       BDL_CHECK_MSG(inputs.empty(), "line " << line_no << ": input has no in=");
-      id = graph.add_input(node_name, Shape(bag.dims("shape")));
+      id = graph.add_input(node_name, Shape(bag.dims_min("shape", 1)));
     } else if (op == "conv") {
-      const Dims kernel = bag.dims("k");
-      const Dims dil = bag.has("dil") ? bag.dims("dil") : Dims{};
+      const Dims kernel = bag.dims_min("k", 1);
+      const Dims dil = bag.has("dil") ? bag.dims_min("dil", 1) : Dims{};
       if (bag.flag("transposed")) {
-        const Dims out_pad = bag.has("out_pad") ? bag.dims("out_pad") : Dims{};
+        const Dims out_pad =
+            bag.has("out_pad") ? bag.dims_min("out_pad", 0) : Dims{};
         id = graph.add_deconv(one_input(), node_name, kernel,
-                              bag.integer("out_ch"), bag.dims("stride"),
-                              bag.dims("pad"), out_pad, dil);
+                              bag.integer_min("out_ch", 1),
+                              bag.dims_min("stride", 1),
+                              bag.dims_min("pad", 0), out_pad, dil);
       } else {
         id = graph.add_conv(one_input(), node_name, kernel,
-                            bag.integer("out_ch"), bag.dims("stride"),
-                            bag.dims("pad"), dil,
-                            bag.has("groups") ? bag.integer("groups") : 1,
+                            bag.integer_min("out_ch", 1),
+                            bag.dims_min("stride", 1), bag.dims_min("pad", 0),
+                            dil,
+                            bag.has("groups") ? bag.integer_min("groups", 1)
+                                              : 1,
                             bag.flag("fused_relu"));
       }
     } else if (op == "pool") {
@@ -210,8 +237,8 @@ Graph parse_graph(const std::string& text, const std::string& name) {
                     "line " << line_no << ": pool kind must be max|avg");
       id = graph.add_pool(one_input(), node_name,
                           kind == "max" ? PoolKind::kMax : PoolKind::kAvg,
-                          bag.dims("w"), bag.dims("stride"),
-                          bag.has("pad") ? bag.dims("pad") : Dims{});
+                          bag.dims_min("w", 1), bag.dims_min("stride", 1),
+                          bag.has("pad") ? bag.dims_min("pad", 0) : Dims{});
     } else if (op == "relu") {
       id = graph.add_relu(one_input(), node_name);
     } else if (op == "sigmoid") {
@@ -231,7 +258,7 @@ Graph parse_graph(const std::string& text, const std::string& name) {
     } else if (op == "gap") {
       id = graph.add_global_avg_pool(one_input(), node_name);
     } else if (op == "dense") {
-      id = graph.add_dense(one_input(), node_name, bag.integer("out"));
+      id = graph.add_dense(one_input(), node_name, bag.integer_min("out", 1));
     } else {
       BDL_CHECK_MSG(false, "line " << line_no << ": unknown op '" << op << "'");
     }
@@ -239,6 +266,24 @@ Graph parse_graph(const std::string& text, const std::string& name) {
   }
   BDL_CHECK_MSG(graph.num_nodes() > 0, "empty graph text");
   return graph;
+}
+
+}  // namespace
+
+Result<Graph> parse_graph_checked(const std::string& text,
+                                  const std::string& name) {
+  try {
+    return parse_graph_or_throw(text, name);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    // BDL_CHECK failures (Error) and anything add_node/infer_shape rejects.
+    return Status(StatusCode::kInvalidGraph, e.what());
+  }
+}
+
+Graph parse_graph(const std::string& text, const std::string& name) {
+  return parse_graph_checked(text, name).take();
 }
 
 }  // namespace brickdl

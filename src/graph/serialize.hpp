@@ -18,6 +18,7 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "util/status.hpp"
 
 namespace brickdl {
 
@@ -25,8 +26,16 @@ namespace brickdl {
 /// parse_graph; shape inference re-derives output shapes on load).
 std::string serialize_graph(const Graph& graph);
 
-/// Parse the text format. Throws Error with a line number on malformed
-/// input, unknown ops, undefined references, or duplicate names.
+/// Parse the text format. Never throws and never crashes on untrusted input:
+/// malformed text of any kind — bad tokens, unknown ops, undefined
+/// references, duplicate names, non-positive dims, over-rank shapes,
+/// inference-rejected attributes — returns kInvalidGraph with a line number
+/// in the message (tests/fixtures/malformed/ is the regression corpus).
+Result<Graph> parse_graph_checked(const std::string& text,
+                                  const std::string& name = "graph");
+
+/// Throwing wrapper (legacy call sites): throws StatusError (an Error) on
+/// malformed input.
 Graph parse_graph(const std::string& text, const std::string& name = "graph");
 
 }  // namespace brickdl

@@ -1,0 +1,77 @@
+#include "testing/fault_injection.hpp"
+
+#include <limits>
+
+namespace brickdl {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKernelFailure:
+      return "kernel-failure";
+    case FaultKind::kNaNPoison:
+      return "nan-poison";
+    case FaultKind::kWorkerStall:
+      return "worker-stall";
+    case FaultKind::kDropPublish:
+      return "drop-publish";
+  }
+  return "?";
+}
+
+void FaultInjector::arm(const FaultSpec& spec) {
+  auto armed = std::make_unique<Armed>();
+  armed->spec = spec;
+  armed_.push_back(std::move(armed));
+}
+
+i64 FaultInjector::fires(FaultKind kind) const {
+  return fired_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+}
+
+i64 FaultInjector::total_fires() const {
+  i64 total = 0;
+  for (const auto& f : fired_) total += f.load(std::memory_order_relaxed);
+  return total;
+}
+
+bool FaultInjector::should_fire(FaultKind kind, int node_id) {
+  bool fire = false;
+  for (const auto& armed : armed_) {
+    const FaultSpec& spec = armed->spec;
+    if (spec.kind != kind) continue;
+    if (spec.node_id >= 0 && spec.node_id != node_id) continue;
+    const i64 seen = armed->seen.fetch_add(1, std::memory_order_relaxed);
+    if (seen < spec.skip) continue;
+    if (spec.max_fires >= 0 && seen - spec.skip >= spec.max_fires) continue;
+    fire = true;
+  }
+  if (fire) {
+    fired_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+bool FaultInjector::on_kernel(int node_id, int /*worker*/) {
+  return !should_fire(FaultKind::kKernelFailure, node_id);
+}
+
+void FaultInjector::on_kernel_output(int node_id, int /*worker*/, float* data,
+                                     i64 n) {
+  if (n <= 0 || !should_fire(FaultKind::kNaNPoison, node_id)) return;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // A seeded position plus the endpoints: corruption that survives masking.
+  data[0] = nan;
+  data[static_cast<size_t>(n - 1)] = nan;
+  data[static_cast<size_t>(seed_ % static_cast<u64>(n))] = nan;
+}
+
+bool FaultInjector::on_publish(int node_id, i64 /*brick*/, int /*worker*/) {
+  return !should_fire(FaultKind::kDropPublish, node_id);
+}
+
+bool FaultInjector::on_worker_stall(int node_id, i64 /*brick*/,
+                                    int /*worker*/) {
+  return should_fire(FaultKind::kWorkerStall, node_id);
+}
+
+}  // namespace brickdl

@@ -1,0 +1,87 @@
+// Seeded fault-injection framework (standard FaultHooks implementation).
+//
+// A FaultInjector is armed with FaultSpecs — "after `skip` matching events,
+// fire on the next `max_fires`" — and installed process-globally via
+// ScopedFaultInjection. It can fail a backend kernel, poison a kernel
+// output with NaNs, stall a memoized worker mid-InProgress, or drop a CAS
+// publish, in both the deterministic virtual scheduler and run_parallel().
+// The resilience suite (tests/test_resilience.cpp) drives the matrix of
+// fault kinds × execution modes and asserts the engine contains every one.
+//
+// Counting is atomic, so a spec fires exactly `max_fires` times even when
+// many worker threads race through the same hook.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/fault_hooks.hpp"
+
+namespace brickdl {
+
+enum class FaultKind {
+  kKernelFailure,  ///< backend kernel faults (classified kKernelFailure)
+  kNaNPoison,      ///< kernel output silently corrupted with NaNs
+  kWorkerStall,    ///< memoized worker parks mid-InProgress (dead worker)
+  kDropPublish,    ///< memoized publish CAS lost (crash before publish)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kKernelFailure;
+  int node_id = -1;   ///< restrict to one graph node (-1 = any node)
+  i64 skip = 0;       ///< let this many matching events pass unharmed first
+  i64 max_fires = 1;  ///< then fire on up to this many events (-1 = unlimited)
+};
+
+class FaultInjector : public FaultHooks {
+ public:
+  explicit FaultInjector(u64 seed = 1) : seed_(seed) {}
+
+  /// Arm one spec. Call before installing / running; not thread-safe
+  /// against concurrent hook evaluation.
+  void arm(const FaultSpec& spec);
+
+  /// Total times any spec of `kind` fired (thread-safe).
+  i64 fires(FaultKind kind) const;
+  i64 total_fires() const;
+
+  // FaultHooks:
+  bool on_kernel(int node_id, int worker) override;
+  void on_kernel_output(int node_id, int worker, float* data, i64 n) override;
+  bool on_publish(int node_id, i64 brick, int worker) override;
+  bool on_worker_stall(int node_id, i64 brick, int worker) override;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::atomic<i64> seen{0};
+  };
+
+  bool should_fire(FaultKind kind, int node_id);
+
+  u64 seed_;
+  std::vector<std::unique_ptr<Armed>> armed_;
+  std::atomic<i64> fired_[4] = {};
+};
+
+/// RAII installation of an injector as the process-global FaultHooks.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(u64 seed = 1) : injector_(seed) {
+    install_fault_hooks(&injector_);
+  }
+  ~ScopedFaultInjection() { install_fault_hooks(nullptr); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+}  // namespace brickdl

@@ -2,9 +2,11 @@
 # Sanitizer matrix for the concurrency-sensitive and fuzzed code paths.
 #
 #   1. ThreadSanitizer:   memoized executor (run_parallel CAS protocol),
-#                         wavefront executor, thread pool.
+#                         wavefront executor, thread pool, and the resilience
+#                         suite (stall watchdog, tag repair, fault injection).
 #   2. ASan + UBSan:      the differential fuzz suite (random graphs through
-#                         every executor variant).
+#                         every executor variant) plus the resilience suite
+#                         (includes the malformed-parse corpus).
 #
 # Usage: tools/ci_sanitize.sh [source-dir]
 # Build trees land in <source-dir>/build-tsan and <source-dir>/build-asan.
@@ -15,15 +17,18 @@ set -euo pipefail
 SRC_DIR=$(cd "${1:-$(dirname "$0")/..}" && pwd)
 JOBS=${JOBS:-$(nproc)}
 
-echo "== [1/2] ThreadSanitizer: memoized / wavefront / thread-pool tests =="
+echo "== [1/2] ThreadSanitizer: memoized / wavefront / thread-pool / resilience =="
 cmake -B "$SRC_DIR/build-tsan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=thread
-cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" --target brickdl_tests
-ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure \
-      -R 'MemoizedExecutor|Wavefront|ThreadPool'
+cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" \
+      --target brickdl_tests --target brickdl_resilience_tests
+ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure --timeout 600 \
+      -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience'
 
-echo "== [2/2] ASan+UBSan: differential fuzz suite =="
+echo "== [2/2] ASan+UBSan: differential fuzz + resilience suites =="
 cmake -B "$SRC_DIR/build-asan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=address,undefined
-cmake --build "$SRC_DIR/build-asan" -j "$JOBS" --target brickdl_differential_tests
-ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure -L differential
+cmake --build "$SRC_DIR/build-asan" -j "$JOBS" \
+      --target brickdl_differential_tests --target brickdl_resilience_tests
+ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure --timeout 600 \
+      -L 'differential|resilience'
 
 echo "sanitizer matrix passed"
