@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/engine.hpp"
 #include "graph/rewrite.hpp"
 #include "models/models.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cost.hpp"
 #include "util/table.hpp"
 
@@ -200,6 +202,34 @@ inline void add_breakdown_bars(std::vector<Bar>* bars, const std::string& label,
                                const Breakdown& b, double scale) {
   bars->push_back(b.memory_bar(label + " [M]", scale));
   bars->push_back(b.compute_bar(label + " [C]", scale));
+}
+
+/// Structured observability output (DESIGN.md §8): when the environment
+/// variable BRICKDL_BENCH_REPORT names a file, write a JSON document with the
+/// bench name and a snapshot of the global metrics registry there ("-" =
+/// stdout). Harnesses call this once at the end of main(), so a CI sweep can
+/// collect machine-readable counters (engine.*, memo.*, padded.*, ...)
+/// without parsing the human-facing tables.
+inline void emit_bench_report(const std::string& bench_name) {
+  const char* path = std::getenv("BRICKDL_BENCH_REPORT");
+  if (!path || !*path) return;
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", "brickdl-bench-metrics-v1");
+  doc.set("bench", bench_name);
+  doc.set("metrics", obs::metrics().to_json());
+  const std::string text = doc.dump(1) + "\n";
+  if (std::string(path) == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path, "wb");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write BRICKDL_BENCH_REPORT file %s\n",
+                 path);
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
 }
 
 }  // namespace brickdl::bench

@@ -119,6 +119,7 @@ int run(bool quick) {
   std::printf("Execution time split, normalized to each model's cuDNN "
               "baseline:\n%s\n",
               render_bars(bars, 60, "x cuDNN").c_str());
+  emit_bench_report("fig07_end_to_end");
   return 0;
 }
 

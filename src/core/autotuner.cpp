@@ -4,11 +4,16 @@
 #include <optional>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace brickdl {
 namespace {
 
 TuneCandidate evaluate(const Graph& graph, EngineOptions options,
                        std::string label) {
+  obs::TraceSpan span("tune", "candidate:" + label);
+  obs::metrics().counter("tune.candidates").add(1);
   MemoryHierarchySim sim(MachineParams::a100());
   ModelBackend backend(graph, sim);
   Engine engine(graph, options);

@@ -1,12 +1,15 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <sstream>
 
 #include "core/halo_plan.hpp"
 #include "core/wavefront_executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace brickdl {
 namespace {
@@ -270,6 +273,8 @@ Status run_planned_subgraph_checked(
             local[nid] = dst;
             vendor_interior.push_back(dst);
           }
+          obs::TraceSpan layer_span("layer", node.name, {{"node", nid}},
+                                    options.trace);
           run_node_tiled(graph, node, backend, local, dst,
                          options.vendor_tile_side);
         }
@@ -306,6 +311,8 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
                                          const Tensor* input) {
   BDL_RETURN_IF_ERROR(validate());
 
+  obs::TraceSpan run_span("engine", "run:" + graph_.name(), options_.trace);
+  if (options_.metrics) obs::metrics().counter("engine.runs").add(1);
   EngineResult result;
   auto* numeric = dynamic_cast<NumericBackend*>(&backend);
   auto* model = dynamic_cast<ModelBackend*>(&backend);
@@ -328,9 +335,16 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
     }
   }
 
+  i64 subgraph_index = 0;
   for (const PlannedSubgraph& planned : partition_.subgraphs) {
     const Subgraph& sg = planned.sg;
     const Node& terminal = graph_.node(sg.terminal());
+    obs::TraceSpan sg_span("engine", "subgraph:" + terminal.name,
+                           {{"subgraph", subgraph_index},
+                            {"layers", static_cast<i64>(sg.nodes.size())},
+                            {"brick_side", planned.brick_side}},
+                           options_.trace);
+    ++subgraph_index;
 
     std::unordered_map<int, TensorId> io;
     for (int p : sg.external_inputs) io.emplace(p, boundary.at(p));
@@ -344,6 +358,10 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
 
     SubgraphReport report;
     report.plan = planned;
+    if (options_.profile) {
+      report.predicted =
+          obs::predict_subgraph(graph_, planned, options_.partition.machine);
+    }
 
     const auto chain =
         fallback_chain(planned.strategy, options_.graceful_fallback);
@@ -359,9 +377,20 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
           "out:" + terminal.name + (retry ? ":retry" : ""));
 
       MemoizedExecutor::Stats stats;
-      Status status = run_planned_subgraph_checked(graph_, attempt, backend,
-                                                   io, out_id, options_,
-                                                   &stats);
+      Status status;
+      double attempt_seconds = 0.0;
+      {
+        obs::TraceSpan attempt_span(
+            "engine", std::string("attempt:") + strategy_name(strategy),
+            {{"subgraph", subgraph_index - 1}, {"retry", retry ? 1 : 0}},
+            options_.trace);
+        const auto t0 = std::chrono::steady_clock::now();
+        status = run_planned_subgraph_checked(graph_, attempt, backend, io,
+                                              out_id, options_, &stats);
+        attempt_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      }
       if (status.ok() && options_.verify_finite && numeric) {
         const Tensor t = numeric->read(out_id);
         for (i64 i = 0; i < t.elements(); ++i) {
@@ -374,10 +403,11 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
           }
         }
       }
-      report.attempts.push_back({strategy, status});
+      report.attempts.push_back({strategy, status, attempt_seconds});
       if (status.ok()) {
         report.executed = strategy;
         report.memo = stats;
+        report.wall_seconds = attempt_seconds;
         boundary[terminal.id] = out_id;
         succeeded = true;
         break;
@@ -403,6 +433,7 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
           << " memo_parallel=" << (options_.memo_parallel ? 1 : 0)
           << " (cf. brickdl_fuzz --seed/--graph-idx for fuzzer-found graphs)";
       std::cerr << oss.str() << std::endl;
+      if (options_.metrics) obs::metrics().counter("engine.failures").add(1);
       return Status(last.code(),
                     "subgraph terminating at '" + terminal.name +
                         "' failed after " +
@@ -411,6 +442,12 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
     }
 
     if (model) {
+      // Profiling wants per-subgraph byte attribution: flush the simulator
+      // so this subgraph's buffered writebacks land in its own delta instead
+      // of the end-of-run flush. (Costs extra modeled txns at subgraph
+      // granularity, which is exactly the compulsory-writeback semantics the
+      // predictor assumes.)
+      if (options_.profile) model->sim().flush();
       report.txns = model->sim().counters() - before;
       ComputeTally after = model->tally();
       report.tally.invocations = after.invocations - tally_before.invocations;
@@ -419,6 +456,15 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
       report.tally.defers = after.defers - tally_before.defers;
       report.tally.bricks_reduced =
           after.bricks_reduced - tally_before.bricks_reduced;
+    }
+    if (options_.metrics) {
+      obs::metrics().counter("engine.subgraphs").add(1);
+      if (report.attempts.size() > 1) {
+        obs::metrics().counter("engine.fallbacks").add(1);
+      }
+      obs::metrics()
+          .histogram("engine.subgraph_us")
+          .observe(static_cast<i64>(report.wall_seconds * 1e6));
     }
     result.reports.push_back(std::move(report));
   }

@@ -19,6 +19,7 @@
 #include "core/memoized_executor.hpp"
 #include "core/padded_executor.hpp"
 #include "core/partitioner.hpp"
+#include "obs/profile.hpp"
 #include "util/status.hpp"
 
 namespace brickdl {
@@ -42,6 +43,19 @@ struct EngineOptions {
   /// Retry a failed subgraph with progressively safer strategies
   /// (memoized → padded → vendor). Off: the first failure is final.
   bool graceful_fallback = true;
+
+  // ---- observability (DESIGN.md §8) ----
+  /// Emit engine-level spans (run / subgraph / attempt / vendor layer) when
+  /// the tracer is runtime-enabled. Executor and pool spans gate only on the
+  /// tracer switch, so they still record when the engine is bypassed.
+  bool trace = true;
+  /// Publish engine.* counters/histograms on the shared metrics registry.
+  bool metrics = true;
+  /// Run the §4 cost model alongside execution: fill every report's
+  /// `predicted`, and (on a ModelBackend) flush the simulator after each
+  /// subgraph so buffered writebacks attribute to the subgraph that produced
+  /// them instead of the end-of-run flush.
+  bool profile = false;
 };
 
 /// kInvalidOptions unless every knob is in range (memo_workers ≥ 1,
@@ -52,6 +66,7 @@ Status validate_engine_options(const EngineOptions& options);
 struct StrategyAttempt {
   Strategy strategy = Strategy::kVendor;
   Status status;  ///< ok() for the attempt that ran to completion
+  double wall_seconds = 0.0;  ///< host wall-clock time of this attempt
 };
 
 struct SubgraphReport {
@@ -61,6 +76,10 @@ struct SubgraphReport {
   MemoizedExecutor::Stats memo;
   Strategy executed = Strategy::kVendor;  ///< strategy that actually ran
   std::vector<StrategyAttempt> attempts;  ///< degradation chain, in order
+  /// Cost-model prediction for the planned strategy (EngineOptions::profile;
+  /// `predicted.modeled` is false otherwise). Compare against txns/tally.
+  obs::SubgraphPrediction predicted;
+  double wall_seconds = 0.0;  ///< wall-clock time of the successful attempt
 };
 
 struct EngineResult {

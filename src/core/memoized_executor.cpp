@@ -5,6 +5,8 @@
 
 #include "core/fault_hooks.hpp"
 #include "graph/halo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace brickdl {
 
@@ -62,10 +64,11 @@ MemoizedExecutor::MemoizedExecutor(const Graph& graph, const Subgraph& sg,
   // assignment keeps neighboring bricks on neighboring workers, which is what
   // produces halo contention).
   const i64 total = grids_.back().num_bricks();
-  workers_.resize(static_cast<size_t>(num_workers_));
+  workers_.reserve(static_cast<size_t>(num_workers_));
   for (int w = 0; w < num_workers_; ++w) {
-    workers_[static_cast<size_t>(w)].next_brick = total * w / num_workers_;
-    workers_[static_cast<size_t>(w)].end_brick = total * (w + 1) / num_workers_;
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->next_brick = total * w / num_workers_;
+    workers_.back()->end_brick = total * (w + 1) / num_workers_;
   }
 }
 
@@ -139,6 +142,10 @@ Status MemoizedExecutor::compute_brick(int worker_index, const Task& task,
   *extent = grid.valid_extent(g);
 
   try {
+    obs::TraceSpan layer_span("layer", node.name,
+                              {{"node", node_id},
+                               {"brick", task.brick},
+                               {"worker", worker_index}});
     backend_.invocation_begin(worker_index);
     Dims need_lo, need_extent;
     input_window_blocked(node, *lo, *extent, &need_lo, &need_extent);
@@ -159,8 +166,11 @@ Status MemoizedExecutor::compute_brick(int worker_index, const Task& task,
     // is needed: out-of-bounds halo reads zero-fill, matching zero padding.
     // The result stays in the worker-private slot; the caller copies it into
     // the shared memo buffer only after winning the publish election.
-    *out_slot = backend_.compute(worker_index, node_id, inputs, *lo, *extent,
-                                 /*mask_to_bounds=*/false);
+    {
+      obs::TraceSpan brick_span("brick", node.name, {{"brick", task.brick}});
+      *out_slot = backend_.compute(worker_index, node_id, inputs, *lo, *extent,
+                                   /*mask_to_bounds=*/false);
+    }
     for (SlotId s : inputs) backend_.free_slot(worker_index, s);
   } catch (const StatusError& e) {
     return e.status();
@@ -189,7 +199,7 @@ void MemoizedExecutor::set_failure(Status status) {
 }
 
 bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
-  Worker& w = workers_[static_cast<size_t>(worker_index)];
+  Worker& w = *workers_[static_cast<size_t>(worker_index)];
   if (w.done || w.stalled) return false;
   if (failed_.load(std::memory_order_acquire)) {
     // Another worker hit a kernel fault: abandon cleanly.
@@ -205,7 +215,7 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
       u32 expected = tag.load(std::memory_order_acquire);
       while (tag_state(expected) == kNotStarted) {
         if (tag.compare_exchange_weak(expected, expected | kInProgress)) {
-          ++w.local.compulsory_atomics;  // acquire
+          bump(w.local.compulsory_atomics);  // acquire
           Task task = make_task(terminal_index, brick);
           task.token = expected | kInProgress;
           w.stack.push_back(std::move(task));
@@ -230,7 +240,7 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
     }
     if (tag_state(observed) == kNotStarted) {
       if (tag.compare_exchange_strong(observed, observed | kInProgress)) {
-        ++w.local.compulsory_atomics;  // acquire
+        bump(w.local.compulsory_atomics);  // acquire
         task.polls = 0;
         Task dep = make_task(p_index, p_brick);
         dep.token = observed | kInProgress;
@@ -238,8 +248,8 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
         return true;  // recurse: compute the dependent brick first
       }
       // Lost the race: another worker just claimed it.
-      ++w.local.conflict_atomics;
-      ++w.local.defers;
+      bump(w.local.conflict_atomics);
+      bump(w.local.defers);
       if (spin_wait) std::this_thread::yield();
       return true;
     }
@@ -252,14 +262,14 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
     // not dead) loses its publish election instead of racing the recompute.
     if (task.polls == 0) task.poll_start = std::chrono::steady_clock::now();
     ++task.polls;
-    ++w.local.conflict_atomics;
-    ++w.local.defers;
+    bump(w.local.conflict_atomics);
+    bump(w.local.defers);
     if (watchdog_expired(task.polls, task.poll_start, spin_wait)) {
       // Publishing tags are never reclaimed: the electee already proved it is
       // alive by winning the election, and its memo store is in flight.
       if (tag_state(observed) == kInProgress &&
           tag.compare_exchange_strong(observed, tag_reclaimed(observed))) {
-        ++w.local.reclaims;
+        bump(w.local.reclaims);
       }
       task.polls = 0;
     }
@@ -274,14 +284,14 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
       // Simulated dead worker: park for good, leaving every tag on this
       // stack InProgress for the other workers' watchdogs.
       w.stalled = true;
-      ++w.local.stalled_workers;
+      bump(w.local.stalled_workers);
       return false;
     }
     if (!hooks->on_publish(node_id, task.brick, worker_index)) {
       // Simulated crash between claim and publish: the brick's result (data
       // and release CAS alike) is lost; the tag stays InProgress until the
       // watchdog reclaims it and another worker recomputes.
-      ++w.local.lost_publishes;
+      bump(w.local.lost_publishes);
       w.stack.pop_back();
       return true;
     }
@@ -304,7 +314,7 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
   u32 expected = task.token;
   if (tag.compare_exchange_strong(expected, (task.token & ~kStateMask) |
                                                 kPublishing)) {
-    ++w.local.compulsory_atomics;  // release/publish election
+    bump(w.local.compulsory_atomics);  // release/publish election
     try {
       backend_.store_window(worker_index, out_slot,
                             memo_[static_cast<size_t>(task.sg_index)], lo,
@@ -318,9 +328,9 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
     }
     tag.store((task.token & ~kStateMask) | kComplete,
               std::memory_order_release);
-    ++w.local.bricks_computed;
+    bump(w.local.bricks_computed);
   } else {
-    ++w.local.lost_publishes;
+    bump(w.local.lost_publishes);
   }
   w.stack.pop_back();
   return true;
@@ -337,15 +347,15 @@ bool MemoizedExecutor::steal_advance(Worker& w, bool spin_wait) {
     if (tag_state(observed) == kComplete) continue;
     if (tag_state(observed) == kNotStarted) {
       if (tag.compare_exchange_strong(observed, observed | kInProgress)) {
-        ++w.local.compulsory_atomics;  // acquire
-        ++w.local.stolen_bricks;
+        bump(w.local.compulsory_atomics);  // acquire
+        bump(w.local.stolen_bricks);
         w.steal_polls = 0;
         Task task = make_task(terminal_index, b);
         task.token = observed | kInProgress;
         w.stack.push_back(std::move(task));
         return true;
       }
-      ++w.local.conflict_atomics;  // lost the claim race to another thief
+      bump(w.local.conflict_atomics);  // lost the claim race to another thief
     }
     if (first_in_progress < 0) {
       first_in_progress = b;
@@ -362,14 +372,14 @@ bool MemoizedExecutor::steal_advance(Worker& w, bool spin_wait) {
   // reclaimed — its electee completes it on its own.
   if (w.steal_polls == 0) w.steal_start = std::chrono::steady_clock::now();
   ++w.steal_polls;
-  ++w.local.conflict_atomics;
-  ++w.local.defers;
+  bump(w.local.conflict_atomics);
+  bump(w.local.defers);
   if (watchdog_expired(w.steal_polls, w.steal_start, spin_wait)) {
     if (tag_state(first_in_progress_value) == kInProgress &&
         state(terminal_index, first_in_progress)
             .compare_exchange_strong(first_in_progress_value,
                                      tag_reclaimed(first_in_progress_value))) {
-      ++w.local.reclaims;
+      bump(w.local.reclaims);
     }
     w.steal_polls = 0;
   }
@@ -377,17 +387,40 @@ bool MemoizedExecutor::steal_advance(Worker& w, bool spin_wait) {
   return true;
 }
 
+MemoizedExecutor::Stats MemoizedExecutor::stats_snapshot() const {
+  Stats total;
+  for (const auto& w : workers_) {
+    const WorkerStats& s = w->local;
+    const auto get = [](const std::atomic<i64>& f) {
+      return f.load(std::memory_order_relaxed);
+    };
+    total.compulsory_atomics += get(s.compulsory_atomics);
+    total.conflict_atomics += get(s.conflict_atomics);
+    total.defers += get(s.defers);
+    total.bricks_computed += get(s.bricks_computed);
+    total.reclaims += get(s.reclaims);
+    total.stolen_bricks += get(s.stolen_bricks);
+    total.stalled_workers += get(s.stalled_workers);
+    total.lost_publishes += get(s.lost_publishes);
+  }
+  return total;
+}
+
 Status MemoizedExecutor::finish() {
-  stats_ = Stats{};
-  for (const Worker& w : workers_) {
-    stats_.compulsory_atomics += w.local.compulsory_atomics;
-    stats_.conflict_atomics += w.local.conflict_atomics;
-    stats_.defers += w.local.defers;
-    stats_.bricks_computed += w.local.bricks_computed;
-    stats_.reclaims += w.local.reclaims;
-    stats_.stolen_bricks += w.local.stolen_bricks;
-    stats_.stalled_workers += w.local.stalled_workers;
-    stats_.lost_publishes += w.local.lost_publishes;
+  stats_ = stats_snapshot();
+  {
+    // Publish the run's protocol counters on the shared metrics registry —
+    // the former ad-hoc counters (reclaims, stolen_bricks, ...) included.
+    auto& m = obs::metrics();
+    m.counter("memo.runs").add(1);
+    m.counter("memo.bricks_computed").add(stats_.bricks_computed);
+    m.counter("memo.compulsory_atomics").add(stats_.compulsory_atomics);
+    m.counter("memo.conflict_atomics").add(stats_.conflict_atomics);
+    m.counter("memo.defers").add(stats_.defers);
+    m.counter("memo.reclaims").add(stats_.reclaims);
+    m.counter("memo.stolen_bricks").add(stats_.stolen_bricks);
+    m.counter("memo.stalled_workers").add(stats_.stalled_workers);
+    m.counter("memo.lost_publishes").add(stats_.lost_publishes);
   }
   backend_.count_atomics(stats_.compulsory_atomics, stats_.conflict_atomics);
   backend_.tally_defer(stats_.defers);

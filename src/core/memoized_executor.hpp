@@ -97,6 +97,13 @@ class MemoizedExecutor {
   }
 
   const Stats& stats() const { return stats_; }
+  /// Consistent-enough mid-run snapshot of the protocol counters: each
+  /// worker's counters are relaxed atomics (single writer, the worker
+  /// itself), so this sums a recent value of every field without racing the
+  /// run. Counts are monotonic; a snapshot taken concurrently with the run
+  /// may lag the true totals but never invents events. finish() uses the
+  /// same aggregation once the workers are quiescent.
+  Stats stats_snapshot() const;
   i64 total_bricks() const;
   /// Bricks some terminal brick transitively depends on (structural walk of
   /// the brick dependence graph; no execution state). A correct run computes
@@ -116,11 +123,29 @@ class MemoizedExecutor {
     std::chrono::steady_clock::time_point poll_start{};
   };
 
+  /// Per-worker protocol counters. Each field has exactly one writer (its
+  /// worker, via bump()) and is read concurrently by stats_snapshot(), so
+  /// the fields are relaxed atomics — same cost as plain increments on x86,
+  /// and the snapshot API stays TSan-clean.
+  struct WorkerStats {
+    std::atomic<i64> compulsory_atomics{0};
+    std::atomic<i64> conflict_atomics{0};
+    std::atomic<i64> defers{0};
+    std::atomic<i64> bricks_computed{0};
+    std::atomic<i64> reclaims{0};
+    std::atomic<i64> stolen_bricks{0};
+    std::atomic<i64> stalled_workers{0};
+    std::atomic<i64> lost_publishes{0};
+  };
+  static void bump(std::atomic<i64>& field) {
+    field.fetch_add(1, std::memory_order_relaxed);
+  }
+
   struct Worker {
     std::vector<Task> stack;
     i64 next_brick = 0;  ///< next assigned terminal brick
     i64 end_brick = 0;
-    Stats local;
+    WorkerStats local;
     bool done = false;
     bool stalled = false;  ///< parked by fault injection (simulated death)
     i64 steal_polls = 0;
@@ -174,7 +199,8 @@ class MemoizedExecutor {
   std::vector<TensorId> memo_;                // per sg node (terminal = io)
   std::vector<std::unique_ptr<std::atomic<u32>[]>> states_;  // per sg node
   std::vector<i64> grid_sizes_;
-  std::vector<Worker> workers_;
+  // unique_ptr: Worker holds atomics and cannot be moved by vector growth.
+  std::vector<std::unique_ptr<Worker>> workers_;
   Stats stats_;
 
   std::mutex failure_mu_;

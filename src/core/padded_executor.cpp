@@ -1,5 +1,8 @@
 #include "core/padded_executor.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace brickdl {
 
 PaddedExecutor::PaddedExecutor(const Graph& graph, const Subgraph& sg,
@@ -38,6 +41,10 @@ void PaddedExecutor::run_brick(i64 brick_index, int worker) {
   for (int node_id : sg_.nodes) {
     const Node& node = graph_.node(node_id);
     const BlockedWindow& out_w = windows.at(node_id);
+    obs::TraceSpan layer_span("layer", node.name,
+                              {{"node", node_id},
+                               {"brick", brick_index},
+                               {"worker", worker}});
     backend_.invocation_begin(worker);
 
     // Every invocation gathers exactly the window it consumes: from the
@@ -56,9 +63,13 @@ void PaddedExecutor::run_brick(i64 brick_index, int worker) {
     }
 
     const bool is_terminal = node_id == sg_.terminal();
-    const SlotId out = backend_.compute(worker, node_id, input_slots, out_w.lo,
-                                        out_w.extent,
-                                        /*mask_to_bounds=*/!is_terminal);
+    SlotId out;
+    {
+      obs::TraceSpan brick_span("brick", node.name, {{"brick", brick_index}});
+      out = backend_.compute(worker, node_id, input_slots, out_w.lo,
+                             out_w.extent,
+                             /*mask_to_bounds=*/!is_terminal);
+    }
     for (SlotId s : input_slots) backend_.free_slot(worker, s);
 
     const TensorId dst = is_terminal
@@ -88,6 +99,10 @@ Status PaddedExecutor::run_checked(ThreadPool* pool) {
       }
     }
     bricks_executed_ += n;
+    obs::metrics().counter("padded.runs").add(1);
+    obs::metrics().counter("padded.bricks").add(n);
+    obs::metrics().counter("padded.invocations")
+        .add(n * static_cast<i64>(sg_.nodes.size()));
     backend_.tally_reduce(n);
   } catch (const StatusError& e) {
     status = e.status();

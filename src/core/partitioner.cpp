@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/halo_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace brickdl {
 
@@ -263,6 +265,7 @@ PlannedSubgraph plan_subgraph(const Graph& graph, Subgraph sg,
 }
 
 Partition partition_graph(const Graph& graph, const PartitionOptions& options) {
+  obs::TraceSpan span("engine", "partition:" + graph.name());
   Partition partition;
   const int n_nodes = graph.num_nodes();
   int i = 0;
@@ -311,6 +314,12 @@ Partition partition_graph(const Graph& graph, const PartitionOptions& options) {
     partition.subgraphs.push_back(std::move(best_plan));
     i += static_cast<int>(best_len);
   }
+  span.arg("subgraphs", static_cast<i64>(partition.subgraphs.size()));
+  span.arg("merged", partition.merged_subgraphs());
+  obs::metrics().counter("partition.runs").add(1);
+  obs::metrics().counter("partition.subgraphs")
+      .add(static_cast<i64>(partition.subgraphs.size()));
+  obs::metrics().counter("partition.merged").add(partition.merged_subgraphs());
   return partition;
 }
 

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "graph/halo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace brickdl {
 
@@ -98,6 +100,10 @@ void WavefrontExecutor::compute_brick(int worker, int sg_index, i64 brick) {
   const Dims lo = grid.brick_origin(g);
   const Dims extent = grid.valid_extent(g);
 
+  obs::TraceSpan layer_span("layer", node.name,
+                            {{"node", node_id},
+                             {"brick", brick},
+                             {"worker", worker}});
   backend_.invocation_begin(worker);
   Dims need_lo, need_extent;
   input_window_blocked(node, lo, extent, &need_lo, &need_extent);
@@ -113,8 +119,12 @@ void WavefrontExecutor::compute_brick(int worker, int sg_index, i64 brick) {
     }
     inputs.push_back(backend_.load_window(worker, src, need_lo, need_extent));
   }
-  const SlotId out = backend_.compute(worker, node_id, inputs, lo, extent,
-                                      /*mask_to_bounds=*/false);
+  SlotId out;
+  {
+    obs::TraceSpan brick_span("brick", node.name, {{"brick", brick}});
+    out = backend_.compute(worker, node_id, inputs, lo, extent,
+                           /*mask_to_bounds=*/false);
+  }
   for (SlotId s : inputs) backend_.free_slot(worker, s);
   backend_.store_window(worker, out,
                         memo_[static_cast<size_t>(sg_index)], lo, extent);
@@ -136,7 +146,9 @@ Status WavefrontExecutor::run_checked() {
 
     const int workers = backend_.num_workers();
     for (const auto& [wave, bricks] : waves) {
-      (void)wave;
+      obs::TraceSpan wave_span(
+          "wave", "wave",
+          {{"wave", wave}, {"bricks", static_cast<i64>(bricks.size())}});
       int worker = 0;
       for (const BrickRef& ref : bricks) {
         compute_brick(worker, ref.sg_index, ref.brick);
@@ -149,6 +161,9 @@ Status WavefrontExecutor::run_checked() {
       stats_.bricks_computed += static_cast<i64>(bricks.size());
     }
     backend_.tally_reduce(stats_.bricks_computed);
+    obs::metrics().counter("wavefront.runs").add(1);
+    obs::metrics().counter("wavefront.waves").add(stats_.waves);
+    obs::metrics().counter("wavefront.bricks").add(stats_.bricks_computed);
   } catch (const StatusError& e) {
     status = e.status();
   } catch (const std::exception& e) {

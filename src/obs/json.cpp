@@ -1,0 +1,396 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace brickdl::obs {
+
+bool Json::boolean() const {
+  BDL_CHECK_MSG(is_bool(), "Json::boolean() on a non-bool value");
+  return bool_;
+}
+
+double Json::number() const {
+  BDL_CHECK_MSG(is_number(), "Json::number() on a non-number value");
+  return number_;
+}
+
+i64 Json::integer() const { return static_cast<i64>(std::llround(number())); }
+
+const std::string& Json::str() const {
+  BDL_CHECK_MSG(is_string(), "Json::str() on a non-string value");
+  return string_;
+}
+
+void Json::push_back(Json value) {
+  BDL_CHECK_MSG(is_array(), "Json::push_back on a non-array value");
+  array_.push_back(std::move(value));
+}
+
+const std::vector<Json>& Json::elements() const {
+  BDL_CHECK_MSG(is_array(), "Json::elements() on a non-array value");
+  return array_;
+}
+
+size_t Json::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+Json& Json::member(const std::string& key) {
+  BDL_CHECK_MSG(is_object(), "Json::operator[] on a non-object value");
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(key, Json());
+  return object_.back().second;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  member(key) = std::move(value);
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  BDL_CHECK_MSG(is_object(), "Json::members() on a non-object value");
+  return object_;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kNumber:
+      return number_ == other.number_;
+    case Kind::kString:
+      return string_ == other.string_;
+    case Kind::kArray:
+      return array_ == other.array_;
+    case Kind::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+std::string format_number(double v) {
+  // Integers print exactly (counter values must round-trip); everything else
+  // gets enough digits to reconstruct the double.
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  if (!std::isfinite(v)) return "0";  // JSON has no Inf/NaN
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ') : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      *out += format_number(number_);
+      return;
+    case Kind::kString:
+      *out += json_escape(string_);
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[";
+      *out += nl;
+      for (size_t i = 0; i < array_.size(); ++i) {
+        *out += pad;
+        array_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < array_.size()) *out += ",";
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += "]";
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{";
+      *out += nl;
+      for (size_t i = 0; i < object_.size(); ++i) {
+        *out += pad;
+        *out += json_escape(object_[i].first);
+        *out += colon;
+        object_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < object_.size()) *out += ",";
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += "}";
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> run() {
+    Json value;
+    BDL_RETURN_IF_ERROR(parse_value(&value, 0));
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters after value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  Status error(const std::string& what) const {
+    return Status(StatusCode::kInvalidGraph,
+                  "JSON parse error at offset " + std::to_string(pos_) + ": " +
+                      what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status parse_literal(const char* word, Json value, Json* out) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return error(std::string("expected '") + word + "'");
+      }
+      ++pos_;
+    }
+    *out = std::move(value);
+    return Status();
+  }
+
+  Status parse_string(std::string* out) {
+    if (!consume('"')) return error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return error("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return error("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // for anything this library emits; pass them through raw).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return error("unknown escape character");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Status parse_number(Json* out) {
+    const size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected a number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return error("malformed number");
+    *out = Json(value);
+    return Status();
+  }
+
+  Status parse_value(Json* out, int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      Json obj = Json::object();
+      skip_ws();
+      if (consume('}')) {
+        *out = std::move(obj);
+        return Status();
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        BDL_RETURN_IF_ERROR(parse_string(&key));
+        skip_ws();
+        if (!consume(':')) return error("expected ':' in object");
+        Json value;
+        BDL_RETURN_IF_ERROR(parse_value(&value, depth + 1));
+        obj.set(key, std::move(value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) break;
+        return error("expected ',' or '}' in object");
+      }
+      *out = std::move(obj);
+      return Status();
+    }
+    if (c == '[') {
+      ++pos_;
+      Json arr = Json::array();
+      skip_ws();
+      if (consume(']')) {
+        *out = std::move(arr);
+        return Status();
+      }
+      for (;;) {
+        Json value;
+        BDL_RETURN_IF_ERROR(parse_value(&value, depth + 1));
+        arr.push_back(std::move(value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) break;
+        return error("expected ',' or ']' in array");
+      }
+      *out = std::move(arr);
+      return Status();
+    }
+    if (c == '"') {
+      std::string s;
+      BDL_RETURN_IF_ERROR(parse_string(&s));
+      *out = Json(std::move(s));
+      return Status();
+    }
+    if (c == 't') return parse_literal("true", Json(true), out);
+    if (c == 'f') return parse_literal("false", Json(false), out);
+    if (c == 'n') return parse_literal("null", Json(), out);
+    return parse_number(out);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::parse(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace brickdl::obs

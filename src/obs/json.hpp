@@ -1,0 +1,94 @@
+// Minimal JSON value: build, serialize, parse.
+//
+// The observability layer (DESIGN.md §8) emits two machine-readable
+// artifacts — Chrome-trace files and run reports — and the test suite parses
+// them back to verify structure. Both sides share this one implementation so
+// a writer/parser disagreement is impossible. Deliberately small: objects
+// preserve insertion order (deterministic output), numbers are double
+// (Chrome-trace semantics), and parse errors come back as Status rather
+// than exceptions so malformed files are a contained failure.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace brickdl::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  ///< null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}           // NOLINT
+  Json(double n) : kind_(Kind::kNumber), number_(n) {}     // NOLINT
+  Json(i64 n)                                              // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  Json(int n) : Json(static_cast<i64>(n)) {}               // NOLINT
+  Json(std::string s)                                      // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}            // NOLINT
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool boolean() const;
+  double number() const;
+  i64 integer() const;  ///< number() rounded to the nearest integer
+  const std::string& str() const;
+
+  // ---- arrays ----
+  void push_back(Json value);
+  const std::vector<Json>& elements() const;
+  size_t size() const;  ///< array elements or object members
+
+  // ---- objects ----
+  /// Insert-or-overwrite; keeps first-insertion order.
+  Json& set(const std::string& key, Json value);
+  Json& operator[](const std::string& key) { return member(key); }
+  /// nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Compact when indent < 0, pretty-printed otherwise.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete document (trailing garbage is an error).
+  static Result<Json> parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  Json& member(const std::string& key);
+  void dump_to(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Escape `s` as a JSON string literal, including the quotes.
+std::string json_escape(const std::string& s);
+
+}  // namespace brickdl::obs

@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace brickdl::obs {
+
+namespace {
+
+int bucket_of(i64 value) {
+  if (value <= 0) return 0;
+  int bits = 0;
+  u64 v = static_cast<u64>(value);
+  while (v) {
+    ++bits;
+    v >>= 1;
+  }
+  return std::min(bits, Histogram::kBuckets - 1);
+}
+
+i64 bucket_upper(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= 63) return std::numeric_limits<i64>::max();
+  return (i64{1} << bucket) - 1;
+}
+
+void cas_min(std::atomic<i64>& slot, i64 value) {
+  i64 seen = slot.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void cas_max(std::atomic<i64>& slot, i64 value) {
+  i64 seen = slot.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(i64 value) {
+  const i64 v = std::max<i64>(value, 0);
+  counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  cas_min(min_, v);
+  cas_max(max_, v);
+}
+
+double Histogram::mean() const {
+  const i64 n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+i64 Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+i64 Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+i64 Histogram::bucket_count(int bucket) const {
+  BDL_CHECK(bucket >= 0 && bucket < kBuckets);
+  return counts_[bucket].load(std::memory_order_relaxed);
+}
+
+i64 Histogram::percentile(double p) const {
+  const i64 n = count();
+  if (n == 0) return 0;
+  const double clamped = std::min(std::max(p, 0.0), 1.0);
+  const i64 rank = std::max<i64>(
+      1, static_cast<i64>(clamped * static_cast<double>(n) + 0.5));
+  i64 seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= rank) return bucket_upper(b);
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<i64>::max(), std::memory_order_relaxed);
+  max_.store(std::numeric_limits<i64>::min(), std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               Kind kind) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  BDL_CHECK_MSG(it->second.kind == kind,
+                "metric '" << name << "' already registered as another kind");
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *entry(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *entry(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *entry(name, Kind::kHistogram).histogram;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) out.push_back(name);
+  return out;
+}
+
+Json MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::object();
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.set(name, e.counter->value());
+        break;
+      case Kind::kGauge:
+        out.set(name, e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        Json h = Json::object();
+        h.set("count", e.histogram->count());
+        h.set("sum", e.histogram->sum());
+        h.set("mean", e.histogram->mean());
+        h.set("min", e.histogram->min());
+        h.set("max", e.histogram->max());
+        h.set("p50", e.histogram->percentile(0.50));
+        h.set("p99", e.histogram->percentile(0.99));
+        out.set(name, std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->reset(); break;
+      case Kind::kGauge: e.gauge->reset(); break;
+      case Kind::kHistogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+}  // namespace brickdl::obs

@@ -1,0 +1,232 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "sim/cost.hpp"
+
+namespace brickdl::obs {
+namespace {
+
+constexpr const char* kSchema = "brickdl-run-report-v1";
+
+/// The §4 arithmetic applied to *measured* counters — the "observed" column
+/// of the comparison, in the same units as SubgraphPrediction::seconds.
+double observed_seconds(const SubgraphReport& r, const MachineParams& machine) {
+  const CostModel cost(machine);
+  return cost.breakdown(r.txns, r.tally, r.plan.rho).total();
+}
+
+Json observed_json(const SubgraphReport& r, const MachineParams& machine) {
+  Json j = Json::object();
+  j.set("invocations", r.tally.invocations);
+  j.set("bricks_computed", r.memo.bricks_computed);
+  j.set("compulsory_atomics", r.txns.atomics_compulsory);
+  j.set("conflict_atomics", r.txns.atomics_conflict);
+  j.set("flops", r.tally.flops);
+  j.set("tc_flops", r.tally.tc_flops);
+  const i64 line = machine.line_bytes;
+  j.set("bytes_read", r.txns.dram_read * line);
+  j.set("bytes_written", r.txns.dram_write * line);
+  j.set("bytes_moved", r.txns.dram() * line);
+  j.set("seconds", observed_seconds(r, machine));
+  j.set("wall_seconds", r.wall_seconds);
+  return j;
+}
+
+Json memo_json(const MemoizedExecutor::Stats& s) {
+  Json j = Json::object();
+  j.set("compulsory_atomics", s.compulsory_atomics);
+  j.set("conflict_atomics", s.conflict_atomics);
+  j.set("defers", s.defers);
+  j.set("bricks_computed", s.bricks_computed);
+  j.set("reclaims", s.reclaims);
+  j.set("stolen_bricks", s.stolen_bricks);
+  j.set("stalled_workers", s.stalled_workers);
+  j.set("lost_publishes", s.lost_publishes);
+  return j;
+}
+
+const Json* need(const Json* parent, const char* key, Json::Kind kind,
+                 const std::string& where, Status* status) {
+  if (!status->ok()) return nullptr;
+  const Json* v = parent ? parent->find(key) : nullptr;
+  const bool ok =
+      v && (v->kind() == kind ||
+            (kind == Json::Kind::kNumber && v->is_number()));
+  if (!ok) {
+    *status = Status(StatusCode::kInvalidGraph,
+                     "report: " + where + " missing or mistyped key '" + key +
+                         "'");
+    return nullptr;
+  }
+  return v;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  if (v == 0.0) return "0";
+  if (v >= 1e6 || (v > 0 && v < 1e-4)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Json make_run_report(const Graph& graph, const EngineResult& result,
+                     const MachineParams& machine, bool include_metrics) {
+  Json doc = Json::object();
+  doc.set("schema", kSchema);
+
+  Json g = Json::object();
+  g.set("name", graph.name());
+  g.set("nodes", static_cast<i64>(graph.num_nodes()));
+  g.set("subgraphs", static_cast<i64>(result.reports.size()));
+  doc.set("graph", std::move(g));
+
+  Json machine_j = Json::object();
+  machine_j.set("line_bytes", machine.line_bytes);
+  machine_j.set("l2_bytes", machine.l2_bytes);
+  machine_j.set("num_sms", machine.num_sms);
+  doc.set("machine", std::move(machine_j));
+
+  double wall_total = 0.0;
+  Json subgraphs = Json::array();
+  for (const SubgraphReport& r : result.reports) {
+    Json s = Json::object();
+    s.set("terminal", graph.node(r.plan.sg.terminal()).name);
+    s.set("layers", static_cast<i64>(r.plan.sg.nodes.size()));
+    s.set("strategy_planned", std::string(strategy_name(r.plan.strategy)));
+    s.set("strategy_executed", std::string(strategy_name(r.executed)));
+    s.set("brick_side", r.plan.brick_side);
+    s.set("rho", r.plan.rho);
+
+    Json attempts = Json::array();
+    for (const StrategyAttempt& a : r.attempts) {
+      Json aj = Json::object();
+      aj.set("strategy", std::string(strategy_name(a.strategy)));
+      aj.set("ok", a.status.ok());
+      aj.set("status", a.status.to_string());
+      aj.set("wall_seconds", a.wall_seconds);
+      attempts.push_back(std::move(aj));
+    }
+    s.set("attempts", std::move(attempts));
+
+    s.set("predicted", r.predicted.to_json());
+    s.set("observed", observed_json(r, machine));
+    s.set("memo", memo_json(r.memo));
+    wall_total += r.wall_seconds;
+    subgraphs.push_back(std::move(s));
+  }
+  doc.set("subgraphs", std::move(subgraphs));
+
+  Json totals = Json::object();
+  const i64 line = machine.line_bytes;
+  totals.set("bytes_read", result.total_txns.dram_read * line);
+  totals.set("bytes_written", result.total_txns.dram_write * line);
+  totals.set("bytes_moved", result.total_txns.dram() * line);
+  totals.set("atomics", result.total_txns.atomics());
+  totals.set("invocations", result.total_tally.invocations);
+  totals.set("flops", result.total_tally.flops);
+  totals.set("tc_flops", result.total_tally.tc_flops);
+  const CostModel cost(machine);
+  totals.set("seconds",
+             cost.breakdown(result.total_txns, result.total_tally).total());
+  totals.set("wall_seconds", wall_total);
+  doc.set("totals", std::move(totals));
+
+  if (include_metrics) doc.set("metrics", metrics().to_json());
+  return doc;
+}
+
+Status validate_run_report(const Json& report) {
+  Status status;
+  if (!report.is_object()) {
+    return Status(StatusCode::kInvalidGraph, "report: root is not an object");
+  }
+  const Json* schema =
+      need(&report, "schema", Json::Kind::kString, "root", &status);
+  if (schema && schema->str() != kSchema) {
+    return Status(StatusCode::kInvalidGraph,
+                  "report: unknown schema '" + schema->str() + "'");
+  }
+  const Json* graph =
+      need(&report, "graph", Json::Kind::kObject, "root", &status);
+  need(graph, "name", Json::Kind::kString, "graph", &status);
+  need(graph, "nodes", Json::Kind::kNumber, "graph", &status);
+  need(&report, "machine", Json::Kind::kObject, "root", &status);
+  need(&report, "totals", Json::Kind::kObject, "root", &status);
+  const Json* subgraphs =
+      need(&report, "subgraphs", Json::Kind::kArray, "root", &status);
+  if (!status.ok()) return status;
+
+  size_t index = 0;
+  for (const Json& s : subgraphs->elements()) {
+    const std::string where = "subgraph " + std::to_string(index);
+    if (!s.is_object()) {
+      return Status(StatusCode::kInvalidGraph,
+                    "report: " + where + " is not an object");
+    }
+    need(&s, "terminal", Json::Kind::kString, where, &status);
+    need(&s, "strategy_executed", Json::Kind::kString, where, &status);
+    need(&s, "attempts", Json::Kind::kArray, where, &status);
+    for (const char* block : {"predicted", "observed"}) {
+      const Json* b = need(&s, block, Json::Kind::kObject, where, &status);
+      const std::string bw = where + "." + block;
+      for (const char* key : {"invocations", "bytes_read", "bytes_written",
+                              "bytes_moved", "seconds"}) {
+        need(b, key, Json::Kind::kNumber, bw, &status);
+      }
+    }
+    const Json* observed = s.find("observed");
+    need(observed, "wall_seconds", Json::Kind::kNumber, where + ".observed",
+         &status);
+    if (!status.ok()) return status;
+    ++index;
+  }
+  return status;
+}
+
+std::string report_table(const Json& report) {
+  std::ostringstream out;
+  const Json* subgraphs = report.find("subgraphs");
+  if (!subgraphs || !subgraphs->is_array()) return "";
+
+  char line[256];
+  out << "predicted vs observed (seconds are modeled; bytes are DRAM)\n";
+  std::snprintf(line, sizeof(line),
+                "%-20s %-9s %11s %11s %12s %12s %10s %10s\n", "terminal",
+                "strategy", "pred s", "obs s", "pred MB", "obs MB",
+                "pred inv", "obs inv");
+  out << line;
+  for (const Json& s : subgraphs->elements()) {
+    const Json* pred = s.find("predicted");
+    const Json* obs = s.find("observed");
+    if (!pred || !obs) continue;
+    auto num = [](const Json* j, const char* key) {
+      const Json* v = j->find(key);
+      return v && v->is_number() ? v->number() : 0.0;
+    };
+    auto str = [](const Json& j, const char* key) {
+      const Json* v = j.find(key);
+      return v && v->is_string() ? v->str() : std::string("?");
+    };
+    std::snprintf(line, sizeof(line),
+                  "%-20s %-9s %11s %11s %12.3f %12.3f %10lld %10lld\n",
+                  str(s, "terminal").c_str(),
+                  str(s, "strategy_executed").c_str(),
+                  fmt(num(pred, "seconds")).c_str(),
+                  fmt(num(obs, "seconds")).c_str(),
+                  num(pred, "bytes_moved") / 1e6, num(obs, "bytes_moved") / 1e6,
+                  static_cast<long long>(num(pred, "invocations")),
+                  static_cast<long long>(num(obs, "invocations")));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace brickdl::obs

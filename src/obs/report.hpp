@@ -1,0 +1,41 @@
+// Machine-readable run reports (DESIGN.md §8): the measured half.
+//
+// make_run_report() pairs each subgraph's cost-model prediction
+// (obs/profile.hpp, filled when EngineOptions::profile is set) with what the
+// run actually observed — simulator transaction deltas, compute tallies, the
+// memoized protocol counters, and host wall-clock times — into one JSON
+// document. The schema is versioned ("brickdl-run-report-v1") and checked by
+// validate_run_report(), which the obs smoke test and brickdl_report_check
+// run against CLI output.
+//
+// Observed modeled time reuses the exact §4 arithmetic the prediction used
+// (CostModel::breakdown on the measured counters), so a predicted/observed
+// ratio of 1.0 means the structural model reproduced the simulated run.
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "obs/json.hpp"
+
+namespace brickdl::obs {
+
+/// Build the run report for an executed graph. `machine` must be the same
+/// MachineParams the engine planned against (it converts transaction counts
+/// to bytes and seconds). With `include_metrics`, a snapshot of the global
+/// metrics registry is embedded under "metrics".
+Json make_run_report(const Graph& graph, const EngineResult& result,
+                     const MachineParams& machine,
+                     bool include_metrics = true);
+
+/// Schema check: versioned header, graph summary, and for every subgraph a
+/// predicted and an observed block each carrying the comparison quantities
+/// (invocations, bytes read/written/moved, atomics, seconds).
+/// kInvalidGraph with a pointed message otherwise.
+Status validate_run_report(const Json& report);
+
+/// Render the per-subgraph predicted-vs-observed comparison as a fixed-width
+/// text table (the CLI prints this when --report is given).
+std::string report_table(const Json& report);
+
+}  // namespace brickdl::obs

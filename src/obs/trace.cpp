@@ -1,0 +1,295 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace brickdl::obs {
+
+#if BRICKDL_TRACE
+std::atomic<bool> Tracer::enabled_{false};
+#endif
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  const char* cat = nullptr;
+  u64 ts_ns = 0;
+  u64 dur_ns = 0;
+  char phase = 'X';
+  int n_args = 0;
+  TraceArg args[3];
+};
+
+/// Single-writer ring. The owning thread stores the slot, then bumps
+/// `count` with release; the exporter reads `count` with acquire at a
+/// quiescent point. Overflow overwrites the oldest slot.
+struct TraceBuffer {
+  explicit TraceBuffer(size_t capacity, int track)
+      : ring(capacity), track_id(track) {}
+
+  void push(TraceEvent event) {
+    const u64 n = count.load(std::memory_order_relaxed);
+    ring[static_cast<size_t>(n % ring.size())] = std::move(event);
+    count.store(n + 1, std::memory_order_release);
+  }
+
+  std::vector<TraceEvent> ring;
+  std::atomic<u64> count{0};  ///< total pushed (monotonic)
+  int track_id = 0;
+  std::string label;
+};
+
+struct TracerState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  size_t ring_capacity = size_t{1} << 16;
+  int next_track = 1;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState();  // leaked: outlives all threads
+  return *s;
+}
+
+/// Label stashed by set_thread_label before the thread records anything.
+/// Rings are multi-megabyte, so registration is deferred until the first
+/// event: labeling every pool thread costs nothing while tracing is off.
+std::string& pending_thread_label() {
+  thread_local std::string label;
+  return label;
+}
+
+thread_local std::shared_ptr<TraceBuffer> t_buffer;
+
+TraceBuffer* thread_buffer() {
+  if (!t_buffer) {
+    TracerState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    t_buffer = std::make_shared<TraceBuffer>(s.ring_capacity, s.next_track++);
+    t_buffer->label = pending_thread_label();
+    s.buffers.push_back(t_buffer);
+  }
+  return t_buffer.get();
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  (void)trace_epoch();  // pin the epoch early
+  return tracer;
+}
+
+void Tracer::set_enabled(bool enabled) {
+#if BRICKDL_TRACE
+  enabled_.store(enabled, std::memory_order_relaxed);
+#else
+  (void)enabled;
+#endif
+}
+
+void Tracer::set_ring_capacity(size_t events) {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.ring_capacity = std::max<size_t>(events, 16);
+}
+
+void Tracer::clear() {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& buffer : s.buffers) {
+    buffer->count.store(0, std::memory_order_release);
+  }
+}
+
+u64 Tracer::dropped_events() const {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  u64 dropped = 0;
+  for (const auto& buffer : s.buffers) {
+    const u64 n = buffer->count.load(std::memory_order_acquire);
+    if (n > buffer->ring.size()) dropped += n - buffer->ring.size();
+  }
+  return dropped;
+}
+
+u64 Tracer::event_count() const {
+  TracerState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  u64 total = 0;
+  for (const auto& buffer : s.buffers) {
+    const u64 n = buffer->count.load(std::memory_order_acquire);
+    total += std::min<u64>(n, buffer->ring.size());
+  }
+  return total;
+}
+
+u64 Tracer::now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - trace_epoch())
+                              .count());
+}
+
+void Tracer::set_thread_label(const std::string& label) {
+#if BRICKDL_TRACE
+  pending_thread_label() = label;
+  if (t_buffer) t_buffer->label = label;
+#else
+  (void)label;
+#endif
+}
+
+void Tracer::record_complete(const char* cat, const std::string& name,
+                             u64 ts_ns, u64 dur_ns, const TraceArg* args,
+                             int n_args) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.phase = 'X';
+  event.n_args = std::min(n_args, 3);
+  for (int i = 0; i < event.n_args; ++i) event.args[i] = args[i];
+  thread_buffer()->push(std::move(event));
+}
+
+void Tracer::instant(const char* cat, const std::string& name) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts_ns = now_ns();
+  event.phase = 'i';
+  thread_buffer()->push(std::move(event));
+}
+
+Json Tracer::export_chrome_trace() const {
+  TracerState& s = state();
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+  }
+
+  Json events = Json::array();
+  u64 dropped = 0;
+  for (const auto& buffer : buffers) {
+    const u64 total = buffer->count.load(std::memory_order_acquire);
+    const u64 held = std::min<u64>(total, buffer->ring.size());
+    if (total > held) dropped += total - held;
+    if (held > 0 || !buffer->label.empty()) {
+      Json meta = Json::object();
+      meta.set("name", "thread_name");
+      meta.set("ph", "M");
+      meta.set("pid", 0);
+      meta.set("tid", buffer->track_id);
+      Json margs = Json::object();
+      margs.set("name", buffer->label.empty()
+                            ? "track-" + std::to_string(buffer->track_id)
+                            : buffer->label);
+      meta.set("args", std::move(margs));
+      events.push_back(std::move(meta));
+    }
+    // Oldest surviving event first.
+    for (u64 i = total - held; i < total; ++i) {
+      const TraceEvent& e = buffer->ring[static_cast<size_t>(i % buffer->ring.size())];
+      Json je = Json::object();
+      je.set("name", e.name);
+      je.set("cat", e.cat ? e.cat : "default");
+      je.set("ph", std::string(1, e.phase));
+      je.set("ts", static_cast<double>(e.ts_ns) / 1e3);  // microseconds
+      if (e.phase == 'X') {
+        je.set("dur", static_cast<double>(e.dur_ns) / 1e3);
+      }
+      je.set("pid", 0);
+      je.set("tid", buffer->track_id);
+      if (e.n_args > 0) {
+        Json args = Json::object();
+        for (int a = 0; a < e.n_args; ++a) {
+          args.set(e.args[a].key ? e.args[a].key : "arg", e.args[a].value);
+        }
+        je.set("args", std::move(args));
+      }
+      events.push_back(std::move(je));
+    }
+  }
+
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  Json other = Json::object();
+  other.set("tool", "brickdl");
+  other.set("dropped_events", static_cast<i64>(dropped));
+  doc.set("otherData", std::move(other));
+  return doc;
+}
+
+#if BRICKDL_TRACE
+void TraceSpan::begin(const char* cat, const std::string& name) {
+  cat_ = cat;
+  name_ = name;
+  start_ns_ = Tracer::now_ns();
+}
+
+void TraceSpan::end() {
+  const u64 end_ns = Tracer::now_ns();
+  Tracer::record_complete(cat_, name_, start_ns_,
+                          end_ns >= start_ns_ ? end_ns - start_ns_ : 0, args_,
+                          n_args_);
+}
+#endif
+
+Status validate_chrome_trace(const Json& trace) {
+  if (!trace.is_object()) {
+    return Status(StatusCode::kInvalidGraph, "trace: root is not an object");
+  }
+  const Json* events = trace.find("traceEvents");
+  if (!events || !events->is_array()) {
+    return Status(StatusCode::kInvalidGraph,
+                  "trace: missing traceEvents array");
+  }
+  size_t index = 0;
+  for (const Json& e : events->elements()) {
+    const std::string where = "trace: event " + std::to_string(index);
+    if (!e.is_object()) {
+      return Status(StatusCode::kInvalidGraph, where + " is not an object");
+    }
+    for (const char* key : {"name", "ph", "pid", "tid"}) {
+      if (!e.find(key)) {
+        return Status(StatusCode::kInvalidGraph,
+                      where + " missing key '" + key + "'");
+      }
+    }
+    const Json* ph = e.find("ph");
+    if (!ph->is_string() || ph->str().empty()) {
+      return Status(StatusCode::kInvalidGraph, where + " has a malformed ph");
+    }
+    if (ph->str() != "M") {
+      const Json* ts = e.find("ts");
+      if (!ts || !ts->is_number() || ts->number() < 0) {
+        return Status(StatusCode::kInvalidGraph, where + " has a bad ts");
+      }
+    }
+    if (ph->str() == "X") {
+      const Json* dur = e.find("dur");
+      if (!dur || !dur->is_number() || dur->number() < 0) {
+        return Status(StatusCode::kInvalidGraph,
+                      where + " ('X' phase) has a bad dur");
+      }
+    }
+    ++index;
+  }
+  return Status();
+}
+
+}  // namespace brickdl::obs

@@ -1,0 +1,159 @@
+// Span/event tracer (DESIGN.md §8).
+//
+// Execution layers record RAII spans — engine run, partition, subgraph,
+// strategy attempt, layer, brick, pool worker task — into per-thread ring
+// buffers and the tracer exports them as Chrome-trace JSON that
+// chrome://tracing and https://ui.perfetto.dev load directly.
+//
+// Cost discipline, in three tiers:
+//  * BRICKDL_TRACE=0 at compile time removes every recording site: TraceSpan
+//    collapses to an empty inline class, zero code and zero data.
+//  * Compiled in but runtime-disabled (the default), a span costs one relaxed
+//    atomic load and a branch — no clock read, no string construction, no
+//    allocation. This is the fast path every executor hot loop takes; the
+//    fig07 bench budget for it is <2%.
+//  * Enabled, a span costs two steady_clock reads and one write into the
+//    calling thread's ring buffer. Buffers are single-writer (lock-free by
+//    construction); the only lock is taken once per thread at registration.
+//
+// Ring buffers are bounded (set_ring_capacity); when a thread overflows its
+// ring the oldest events are overwritten and counted in dropped_events().
+// export_chrome_trace() must be called from a quiescent point (no spans being
+// recorded) — in practice after an engine run or pool join, both of which
+// establish the necessary happens-before.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "obs/json.hpp"
+
+// Compile-time kill switch: -DBRICKDL_TRACE=0 strips all recording sites.
+#ifndef BRICKDL_TRACE
+#define BRICKDL_TRACE 1
+#endif
+
+namespace brickdl::obs {
+
+/// One integer argument attached to a span ("brick": 17).
+struct TraceArg {
+  const char* key = nullptr;  ///< must be a string literal / static string
+  i64 value = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Master runtime switch. Default off: recording sites take the fast path.
+  void set_enabled(bool enabled);
+  static bool enabled() {
+#if BRICKDL_TRACE
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+
+  /// Per-thread ring capacity (events). Applies to buffers registered after
+  /// the call; existing buffers keep their capacity.
+  void set_ring_capacity(size_t events);
+
+  /// Drop all recorded events (and buffer bookkeeping) from every thread's
+  /// ring. Caller must be quiescent, like export_chrome_trace().
+  void clear();
+
+  /// Total events overwritten due to ring overflow, across all threads.
+  u64 dropped_events() const;
+  /// Total events currently held across all rings.
+  u64 event_count() const;
+
+  /// Chrome-trace document: {"traceEvents": [...], ...}. Spans become
+  /// complete ("ph":"X") events with microsecond timestamps; each thread's
+  /// track carries a thread_name metadata record.
+  Json export_chrome_trace() const;
+  std::string export_chrome_json() const {
+    return export_chrome_trace().dump(1);
+  }
+
+  /// Name the calling thread's track in the exported trace (e.g.
+  /// "pool-worker-3"). Cheap; callable before any span is recorded.
+  static void set_thread_label(const std::string& label);
+
+  /// Record a completed span on the calling thread. `name` is copied; `cat`
+  /// and arg keys must be static strings. Called by TraceSpan.
+  static void record_complete(const char* cat, const std::string& name,
+                              u64 ts_ns, u64 dur_ns, const TraceArg* args,
+                              int n_args);
+  /// Record an instantaneous event on the calling thread.
+  static void instant(const char* cat, const std::string& name);
+
+  /// Nanoseconds since the tracer epoch (steady clock).
+  static u64 now_ns();
+
+ private:
+  Tracer() = default;
+#if BRICKDL_TRACE
+  static std::atomic<bool> enabled_;
+#endif
+};
+
+/// RAII span. Constructing with the tracer runtime-disabled (or `gate`
+/// false) records nothing and touches no clock. Args attach via the
+/// initializer-list constructor or arg() before destruction.
+class TraceSpan {
+ public:
+#if BRICKDL_TRACE
+  static constexpr int kMaxArgs = 3;
+
+  TraceSpan(const char* cat, const std::string& name, bool gate = true)
+      : active_(gate && Tracer::enabled()) {
+    if (active_) begin(cat, name);
+  }
+  TraceSpan(const char* cat, const std::string& name,
+            std::initializer_list<TraceArg> args, bool gate = true)
+      : active_(gate && Tracer::enabled()) {
+    if (active_) {
+      begin(cat, name);
+      for (const TraceArg& a : args) arg(a.key, a.value);
+    }
+  }
+  ~TraceSpan() {
+    if (active_) end();
+  }
+
+  /// Attach an integer argument (ignored when inactive or full).
+  void arg(const char* key, i64 value) {
+    if (active_ && n_args_ < kMaxArgs) args_[n_args_++] = {key, value};
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void begin(const char* cat, const std::string& name);
+  void end();
+
+  bool active_ = false;
+  const char* cat_ = nullptr;
+  std::string name_;
+  u64 start_ns_ = 0;
+  TraceArg args_[kMaxArgs];
+  int n_args_ = 0;
+#else
+  TraceSpan(const char*, const std::string&, bool = true) {}
+  TraceSpan(const char*, const std::string&, std::initializer_list<TraceArg>,
+            bool = true) {}
+  void arg(const char*, i64) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+#endif
+};
+
+/// Well-formedness check for an exported (or reloaded) Chrome-trace
+/// document: traceEvents array present, every event carries name/ph/pid/tid/
+/// ts, and "X" events carry a non-negative dur. Shared by tests and
+/// tools/brickdl_report_check.
+Status validate_chrome_trace(const Json& trace);
+
+}  // namespace brickdl::obs

@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace brickdl {
 
@@ -56,6 +59,8 @@ void ThreadPool::parallel_for(i64 n,
         // and the waiter wakes) but stop running user work.
         if (!state->failed.load(std::memory_order_acquire)) {
           try {
+            obs::TraceSpan task_span("pool", "task",
+                                     {{"index", i}, {"worker", worker}});
             f(i, worker);
           } catch (...) {
             std::lock_guard<std::mutex> lock(state->mu);
@@ -88,6 +93,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop(int worker) {
+  obs::Tracer::set_thread_label("pool-worker-" + std::to_string(worker));
   for (;;) {
     Task task;
     {

@@ -1,0 +1,533 @@
+// Observability layer (DESIGN.md §8): tracer export/parse-back and span
+// nesting, metrics exactness under concurrency, mid-run memoized stats
+// snapshots, model-vs-measured golden comparisons, and run-report schema.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "models/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace brickdl {
+namespace {
+
+using obs::Json;
+
+/// Every tracer/metrics test starts from a clean global state: drop all
+/// recorded events and zero every instrument (both are process-wide).
+void reset_obs() {
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().clear();
+  obs::metrics().reset();
+}
+
+struct ModelRun {
+  EngineResult result;
+  MachineParams machine = MachineParams::a100();
+};
+
+ModelRun run_model(const Graph& graph, EngineOptions options) {
+  MemoryHierarchySim sim(MachineParams::a100());
+  ModelBackend backend(graph, sim);
+  Engine engine(graph, std::move(options));
+  ModelRun run;
+  run.result = engine.run(backend);
+  run.machine = sim.params();
+  return run;
+}
+
+// ---------------------------------------------------------------- Json
+
+TEST(ObsJson, RoundTripPreservesStructure) {
+  Json doc = Json::object();
+  doc.set("name", "brickdl");
+  doc.set("count", i64{42});
+  doc.set("ratio", 0.25);
+  doc.set("ok", true);
+  doc.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push_back(i64{1});
+  arr.push_back("two");
+  Json inner = Json::object();
+  inner.set("deep", i64{-7});
+  arr.push_back(std::move(inner));
+  doc.set("items", std::move(arr));
+
+  for (int indent : {-1, 1, 2}) {
+    Result<Json> back = Json::parse(doc.dump(indent));
+    ASSERT_TRUE(back.ok()) << back.status().to_string();
+    EXPECT_TRUE(back.value() == doc);
+  }
+}
+
+TEST(ObsJson, ParseRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\":1} trailing", "nul", "\"\\q\"",
+        "{\"a\" 1}", "[1 2]"}) {
+    Result<Json> r = Json::parse(bad);
+    EXPECT_FALSE(r.ok()) << "accepted: " << bad;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidGraph);
+    }
+  }
+}
+
+// --------------------------------------------------------------- Tracer
+
+TEST(ObsTrace, ExportIsWellFormedChromeTrace) {
+  reset_obs();
+  obs::Tracer::instance().set_enabled(true);
+  obs::Tracer::set_thread_label("test-main");
+  {
+    obs::TraceSpan outer("engine", "outer", {{"k", 7}});
+    obs::TraceSpan inner("layer", "inner");
+  }
+  obs::Tracer::instant("engine", "marker");
+  obs::Tracer::instance().set_enabled(false);
+
+  EXPECT_EQ(obs::Tracer::instance().event_count(), 3u);
+  const std::string text = obs::Tracer::instance().export_chrome_json();
+  Result<Json> doc = Json::parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+  EXPECT_TRUE(obs::validate_chrome_trace(doc.value()).ok());
+
+  // The calling thread's track is labeled via thread_name metadata.
+  bool found_label = false;
+  for (const Json& e : doc.value().find("traceEvents")->elements()) {
+    const Json* ph = e.find("ph");
+    if (ph && ph->str() == "M") {
+      const Json* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      if (args->find("name")->str() == "test-main") found_label = true;
+    }
+  }
+  EXPECT_TRUE(found_label);
+}
+
+TEST(ObsTrace, RuntimeOffRecordsNothing) {
+  reset_obs();
+  ASSERT_FALSE(obs::Tracer::enabled());
+  {
+    obs::TraceSpan span("engine", "should-not-appear", {{"k", 1}});
+    obs::TraceSpan gated("engine", "also-not", false);
+  }
+  obs::Tracer::instant("engine", "neither");
+  // Gate=false spans record nothing even while the tracer is on.
+  obs::Tracer::instance().set_enabled(true);
+  { obs::TraceSpan gated("engine", "gated-off", false); }
+  obs::Tracer::instance().set_enabled(false);
+  EXPECT_EQ(obs::Tracer::instance().event_count(), 0u);
+
+  // An engine run with tracing runtime-off must leave the rings empty too.
+  EngineOptions options;
+  (void)run_model(build_conv_chain_2d(2, 1, 18, 2), options);
+  EXPECT_EQ(obs::Tracer::instance().event_count(), 0u);
+}
+
+TEST(ObsTrace, RingOverflowCountsDropped) {
+  reset_obs();
+  obs::Tracer::instance().clear();
+  // New capacity applies to buffers registered afterwards; record from a
+  // fresh thread so its ring is small.
+  obs::Tracer::instance().set_ring_capacity(16);
+  std::thread t([] {
+    obs::Tracer::instance().set_enabled(true);
+    for (int i = 0; i < 40; ++i) {
+      obs::TraceSpan span("engine", "spin");
+    }
+    obs::Tracer::instance().set_enabled(false);
+  });
+  t.join();
+  EXPECT_EQ(obs::Tracer::instance().dropped_events(), 24u);
+  EXPECT_EQ(obs::Tracer::instance().event_count(), 16u);
+  obs::Tracer::instance().set_ring_capacity(size_t{1} << 16);
+}
+
+struct SpanRec {
+  std::string name;
+  std::string cat;
+  double ts = 0.0;
+  double dur = 0.0;
+  i64 tid = 0;
+  bool contains(const SpanRec& inner) const {
+    // 1ns slack: the export rounds ns to µs doubles independently per event.
+    constexpr double kSlackUs = 1e-3;
+    return tid == inner.tid && ts <= inner.ts + kSlackUs &&
+           inner.ts + inner.dur <= ts + dur + kSlackUs;
+  }
+};
+
+std::vector<SpanRec> complete_spans(const Json& trace) {
+  std::vector<SpanRec> spans;
+  for (const Json& e : trace.find("traceEvents")->elements()) {
+    if (e.find("ph")->str() != "X") continue;
+    SpanRec s;
+    s.name = e.find("name")->str();
+    s.cat = e.find("cat")->str();
+    s.ts = e.find("ts")->number();
+    s.dur = e.find("dur")->number();
+    s.tid = e.find("tid")->integer();
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+bool contained_in_any(const SpanRec& inner, const std::vector<SpanRec>& spans,
+                      const std::string& cat,
+                      const std::string& name_prefix = "") {
+  for (const SpanRec& outer : spans) {
+    if (outer.cat != cat) continue;
+    if (!name_prefix.empty() &&
+        outer.name.rfind(name_prefix, 0) != 0) {
+      continue;
+    }
+    if (outer.contains(inner)) return true;
+  }
+  return false;
+}
+
+void check_span_hierarchy(Strategy strategy) {
+  reset_obs();
+  obs::Tracer::instance().set_enabled(true);
+  EngineOptions options;
+  options.force_strategy = strategy;
+  (void)run_model(build_conv_chain_2d(3, 1, 20, 2), options);
+  obs::Tracer::instance().set_enabled(false);
+
+  const Json trace = obs::Tracer::instance().export_chrome_trace();
+  ASSERT_TRUE(obs::validate_chrome_trace(trace).ok());
+  const std::vector<SpanRec> spans = complete_spans(trace);
+
+  int bricks = 0, layers = 0, subgraphs = 0;
+  for (const SpanRec& s : spans) {
+    if (s.cat == "brick") {
+      // Every brick kernel span nests inside a layer span, which nests
+      // inside a subgraph span, which nests inside the engine run span.
+      EXPECT_TRUE(contained_in_any(s, spans, "layer")) << s.name;
+      ++bricks;
+    } else if (s.cat == "layer") {
+      EXPECT_TRUE(contained_in_any(s, spans, "engine", "subgraph:"))
+          << s.name;
+      ++layers;
+    } else if (s.cat == "engine" && s.name.rfind("subgraph:", 0) == 0) {
+      EXPECT_TRUE(contained_in_any(s, spans, "engine", "run:")) << s.name;
+      ++subgraphs;
+    }
+  }
+  EXPECT_GT(bricks, 0);
+  EXPECT_GT(layers, 0);
+  EXPECT_GT(subgraphs, 0);
+  EXPECT_GE(layers, bricks);  // a layer span wraps each brick kernel
+}
+
+TEST(ObsTrace, SpanNestingMatchesHierarchyPadded) {
+  check_span_hierarchy(Strategy::kPadded);
+}
+
+TEST(ObsTrace, SpanNestingMatchesHierarchyMemoized) {
+  check_span_hierarchy(Strategy::kMemoized);
+}
+
+// -------------------------------------------------------------- Metrics
+
+TEST(ObsMetrics, ExactUnderConcurrentWriters) {
+  reset_obs();
+  constexpr int kThreads = 16;
+  constexpr int kIters = 10000;
+  obs::Counter& counter = obs::metrics().counter("test.concurrent");
+  obs::Histogram& hist = obs::metrics().histogram("test.concurrent_hist");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.add(1);
+        hist.observe(t + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(counter.value(), i64{kThreads} * kIters);
+  EXPECT_EQ(hist.count(), i64{kThreads} * kIters);
+  // Sum of (t+1) over threads, each observed kIters times.
+  EXPECT_EQ(hist.sum(), i64{kIters} * kThreads * (kThreads + 1) / 2);
+  EXPECT_EQ(hist.min(), 1);
+  EXPECT_EQ(hist.max(), kThreads);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndPercentiles) {
+  reset_obs();
+  obs::Histogram& hist = obs::metrics().histogram("test.hist");
+  EXPECT_EQ(hist.min(), 0);  // empty
+  EXPECT_EQ(hist.max(), 0);
+  for (i64 v : {0, 1, 2, 3, 4, 7, 8, 1000}) hist.observe(v);
+  EXPECT_EQ(hist.count(), 8);
+  EXPECT_EQ(hist.sum(), 1025);
+  EXPECT_EQ(hist.min(), 0);
+  EXPECT_EQ(hist.max(), 1000);
+  EXPECT_EQ(hist.bucket_count(0), 1);  // value 0
+  EXPECT_EQ(hist.bucket_count(1), 1);  // value 1
+  EXPECT_EQ(hist.bucket_count(2), 2);  // 2..3
+  EXPECT_EQ(hist.bucket_count(3), 2);  // 4..7 (samples 4 and 7)
+  EXPECT_EQ(hist.bucket_count(4), 1);  // 8..15
+  EXPECT_GE(hist.percentile(0.99), 512);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.min(), 0);
+  EXPECT_EQ(hist.max(), 0);
+  hist.observe(5);  // post-reset sentinel behavior
+  EXPECT_EQ(hist.min(), 5);
+  EXPECT_EQ(hist.max(), 5);
+}
+
+TEST(ObsMetrics, RegistryJsonSnapshot) {
+  reset_obs();
+  obs::metrics().counter("test.a").add(3);
+  obs::metrics().gauge("test.g").set(1.5);
+  obs::metrics().histogram("test.h").observe(4);
+  const Json snap = obs::metrics().to_json();
+  ASSERT_TRUE(snap.is_object());
+  const Json* a = snap.find("test.a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->integer(), 3);
+  const Json* g = snap.find("test.g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->number(), 1.5);
+  const Json* h = snap.find("test.h");
+  ASSERT_NE(h, nullptr);
+  ASSERT_TRUE(h->is_object());
+  EXPECT_EQ(h->find("count")->integer(), 1);
+  EXPECT_EQ(h->find("sum")->integer(), 4);
+}
+
+TEST(ObsMetrics, ExecutorCountersLandOnRegistry) {
+  reset_obs();
+  EngineOptions options;
+  options.force_strategy = Strategy::kMemoized;
+  const ModelRun run = run_model(build_conv_chain_2d(2, 1, 18, 2), options);
+
+  i64 bricks = 0, atomics = 0;
+  for (const SubgraphReport& r : run.result.reports) {
+    bricks += r.memo.bricks_computed;
+    atomics += r.memo.compulsory_atomics;
+  }
+  ASSERT_GT(bricks, 0);
+  // The memoized executor publishes its Stats onto the shared registry
+  // (satellite: ad-hoc counters migrated to metrics).
+  EXPECT_EQ(obs::metrics().counter("memo.bricks_computed").value(), bricks);
+  EXPECT_EQ(obs::metrics().counter("memo.compulsory_atomics").value(),
+            atomics);
+  EXPECT_EQ(obs::metrics().counter("memo.reclaims").value(), 0);
+  EXPECT_GT(obs::metrics().counter("engine.subgraphs").value(), 0);
+  EXPECT_GT(obs::metrics().counter("partition.runs").value(), 0);
+}
+
+// --------------------------------------------- Memoized stats snapshots
+
+Subgraph all_non_input_nodes(const Graph& g) {
+  Subgraph sg;
+  for (const Node& n : g.nodes()) {
+    if (n.kind == OpKind::kInput) {
+      sg.external_inputs.push_back(n.id);
+    } else {
+      sg.nodes.push_back(n.id);
+    }
+  }
+  sg.merged = true;
+  return sg;
+}
+
+TEST(ObsMemoStats, MidRunSnapshotIsMonotonicAndConverges) {
+  const Graph g = build_conv_chain_2d(3, 1, 24, 2);
+  const Subgraph sg = all_non_input_nodes(g);
+  const Dims brick_extent{1, 4, 4};
+  const int workers = 8;
+
+  WeightStore ws(5);
+  NumericBackend backend(g, ws, workers);
+  std::unordered_map<int, TensorId> io;
+  Rng rng(77);
+  for (int ext : sg.external_inputs) {
+    const TensorId id = backend.register_tensor(
+        g.node(ext).out_shape, Layout::kCanonical, {}, "ext");
+    Tensor input(g.node(ext).out_shape);
+    input.fill_random(rng);
+    backend.bind(id, input);
+    io[ext] = id;
+  }
+  io[sg.terminal()] = backend.register_tensor(
+      g.node(sg.terminal()).out_shape, Layout::kBricked, brick_extent, "out");
+
+  MemoizedExecutor exec(g, sg, brick_extent, backend, io, workers);
+
+  // Poll snapshots concurrently with the parallel run: the reader must be
+  // race-free (TSan) and each counter monotonic across snapshots.
+  std::atomic<bool> done{false};
+  std::vector<MemoizedExecutor::Stats> seen;
+  std::thread poller([&] {
+    MemoizedExecutor::Stats prev;
+    while (!done.load(std::memory_order_acquire)) {
+      const MemoizedExecutor::Stats s = exec.stats_snapshot();
+      EXPECT_GE(s.bricks_computed, prev.bricks_computed);
+      EXPECT_GE(s.compulsory_atomics, prev.compulsory_atomics);
+      EXPECT_GE(s.defers, prev.defers);
+      prev = s;
+      seen.push_back(s);
+      std::this_thread::yield();
+    }
+  });
+
+  ThreadPool pool(workers);
+  exec.run_parallel(pool);
+  done.store(true, std::memory_order_release);
+  poller.join();
+
+  // After finish() the aggregate and a fresh snapshot agree exactly.
+  const MemoizedExecutor::Stats final_stats = exec.stats();
+  const MemoizedExecutor::Stats snap = exec.stats_snapshot();
+  EXPECT_EQ(final_stats.bricks_computed, snap.bricks_computed);
+  EXPECT_EQ(final_stats.compulsory_atomics, snap.compulsory_atomics);
+  EXPECT_EQ(final_stats.conflict_atomics, snap.conflict_atomics);
+  EXPECT_EQ(final_stats.defers, snap.defers);
+  EXPECT_GT(final_stats.bricks_computed, 0);
+  EXPECT_EQ(final_stats.compulsory_atomics, 2 * final_stats.bricks_computed);
+}
+
+// ------------------------------------------------- Attempt durations
+
+TEST(ObsEngine, AttemptAndSubgraphDurationsRecorded) {
+  EngineOptions options;
+  const ModelRun run = run_model(build_conv_chain_2d(3, 1, 20, 2), options);
+  ASSERT_FALSE(run.result.reports.empty());
+  for (const SubgraphReport& r : run.result.reports) {
+    ASSERT_FALSE(r.attempts.empty());
+    // Single successful attempt: its duration is the subgraph's.
+    EXPECT_EQ(r.attempts.size(), 1u);
+    EXPECT_GT(r.attempts.back().wall_seconds, 0.0);
+    EXPECT_EQ(r.wall_seconds, r.attempts.back().wall_seconds);
+  }
+}
+
+// ------------------------------------- Golden model-vs-measured profile
+
+/// |observed - predicted| / observed must be within `tol`.
+void expect_close(double predicted, double observed, double tol,
+                  const char* what) {
+  ASSERT_GT(observed, 0.0) << what;
+  EXPECT_LE(std::abs(observed - predicted) / observed, tol)
+      << what << ": predicted " << predicted << " observed " << observed;
+}
+
+void check_golden(Strategy strategy, double bytes_tol) {
+  // Fixed graph: 3-layer 2D conv chain, 24x24 input, 2 channels. Small
+  // enough that the whole working set is L2-resident, so observed DRAM
+  // traffic is dominated by the compulsory bytes the predictor counts.
+  EngineOptions options;
+  options.force_strategy = strategy;
+  options.profile = true;
+  const ModelRun run = run_model(build_conv_chain_2d(3, 1, 24, 2), options);
+
+  int modeled = 0;
+  for (const SubgraphReport& r : run.result.reports) {
+    if (!r.predicted.modeled) continue;
+    ++modeled;
+    SCOPED_TRACE(strategy_name(r.executed));
+    EXPECT_EQ(r.executed, r.predicted.strategy);
+
+    // Structural quantities are exact: the predictor walks the same brick
+    // dependence graph the executor schedules.
+    EXPECT_EQ(r.predicted.invocations, r.tally.invocations);
+    EXPECT_EQ(r.predicted.compulsory_atomics, r.txns.atomics_compulsory);
+
+    // Flops are exact for merged strategies (windows for padded, valid
+    // extents for memoized), up to fp accumulation order.
+    expect_close(r.predicted.flops + r.predicted.tc_flops,
+                 r.tally.flops + r.tally.tc_flops, 1e-9, "flops");
+
+    // DRAM traffic: predicted is compulsory-only; observed adds capacity
+    // misses and line-granularity rounding, hence a stated tolerance.
+    const i64 line = run.machine.line_bytes;
+    expect_close(static_cast<double>(r.predicted.bytes_moved()),
+                 static_cast<double>(r.txns.dram() * line), bytes_tol,
+                 "bytes_moved");
+
+    // Modeled time comes from the same §4 breakdown on both sides.
+    const CostModel cost(run.machine);
+    const double observed_s =
+        cost.breakdown(r.txns, r.tally, r.plan.rho).total();
+    expect_close(r.predicted.seconds, observed_s, bytes_tol, "seconds");
+  }
+  EXPECT_GT(modeled, 0);
+}
+
+TEST(ObsProfile, GoldenPaddedPrediction) {
+  check_golden(Strategy::kPadded, 0.35);
+}
+
+TEST(ObsProfile, GoldenMemoizedPrediction) {
+  check_golden(Strategy::kMemoized, 0.35);
+}
+
+TEST(ObsProfile, PredictionOffByDefault) {
+  EngineOptions options;
+  const ModelRun run = run_model(build_conv_chain_2d(2, 1, 18, 2), options);
+  for (const SubgraphReport& r : run.result.reports) {
+    EXPECT_FALSE(r.predicted.modeled);
+    EXPECT_EQ(r.predicted.invocations, 0);
+  }
+}
+
+// ----------------------------------------------------------- Run report
+
+TEST(ObsReport, SchemaValidatesAndRoundTrips) {
+  reset_obs();
+  EngineOptions options;
+  options.profile = true;
+  const Graph graph = build_conv_chain_2d(3, 1, 20, 2);
+  const ModelRun run = run_model(graph, options);
+
+  const Json report =
+      obs::make_run_report(graph, run.result, run.machine, true);
+  ASSERT_TRUE(obs::validate_run_report(report).ok())
+      << obs::validate_run_report(report).to_string();
+
+  // Survives serialization: parse back and validate again.
+  Result<Json> back = Json::parse(report.dump(1));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(obs::validate_run_report(back.value()).ok());
+  EXPECT_TRUE(back.value() == report);
+
+  // The human-facing table renders one row per subgraph.
+  const std::string table = obs::report_table(report);
+  EXPECT_NE(table.find("predicted vs observed"), std::string::npos);
+  for (const SubgraphReport& r : run.result.reports) {
+    EXPECT_NE(table.find(graph.node(r.plan.sg.terminal()).name),
+              std::string::npos);
+  }
+
+  // Embedded metrics snapshot carries the engine counters.
+  const Json* metrics_snap = report.find("metrics");
+  ASSERT_NE(metrics_snap, nullptr);
+  EXPECT_NE(metrics_snap->find("engine.subgraphs"), nullptr);
+}
+
+TEST(ObsReport, ValidatorRejectsMalformedReports) {
+  EXPECT_FALSE(obs::validate_run_report(Json()).ok());
+  Json wrong = Json::object();
+  wrong.set("schema", "not-a-report");
+  EXPECT_FALSE(obs::validate_run_report(wrong).ok());
+
+  Json missing = Json::object();
+  missing.set("schema", "brickdl-run-report-v1");
+  EXPECT_FALSE(obs::validate_run_report(missing).ok());
+}
+
+}  // namespace
+}  // namespace brickdl

@@ -13,6 +13,11 @@
 //     --partition      print the partition plan and exit
 //     --dot            print the graph as Graphviz and exit
 //     --no-fuse        skip the conv+pointwise rewrite for BrickDL
+//     --trace[=PATH]   profiled BrickDL run; write a Chrome/Perfetto trace
+//                      (default trace.json; open at https://ui.perfetto.dev)
+//     --report[=PATH]  profiled BrickDL run; write the predicted-vs-observed
+//                      run report JSON (default report.json) and print the
+//                      comparison table
 //
 // Performance numbers come from the simulated A100 (see DESIGN.md §2).
 #include <cstdio>
@@ -24,6 +29,8 @@
 #include "graph/rewrite.hpp"
 #include "graph/serialize.hpp"
 #include "models/models.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 using namespace brickdl;
@@ -37,7 +44,16 @@ struct Options {
   bool partition_only = false;
   bool dot = false;
   bool fuse = true;
+  std::string trace_path;   ///< --trace: Chrome-trace output (empty = off)
+  std::string report_path;  ///< --report: run-report JSON output (empty = off)
 };
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  return std::fclose(f) == 0 && n == text.size();
+}
 
 ModelBuilder find_builder(const std::string& name) {
   const struct {
@@ -62,6 +78,7 @@ int usage() {
                "[--width-div N]\n"
                "                   [--system cudnn|torchscript|xla|brickdl|all]"
                " [--partition] [--dot] [--no-fuse]\n"
+               "                   [--trace[=t.json]] [--report[=r.json]]\n"
                "models: resnet50 drn26 resnet34_3d darknet53 vgg16 deepcam "
                "inception_v4\n");
   return 2;
@@ -128,6 +145,12 @@ int main(int argc, char** argv) {
       opts.dot = true;
     } else if (arg == "--no-fuse") {
       opts.fuse = false;
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      opts.trace_path =
+          arg.size() > 8 ? arg.substr(8) : std::string("trace.json");
+    } else if (arg == "--report" || arg.rfind("--report=", 0) == 0) {
+      opts.report_path =
+          arg.size() > 9 ? arg.substr(9) : std::string("report.json");
     } else {
       return usage();
     }
@@ -174,6 +197,47 @@ int main(int argc, char** argv) {
   if (opts.partition_only) {
     Engine engine(brickdl_graph, {});
     std::printf("\n%s", engine.partition().describe(brickdl_graph).c_str());
+    return 0;
+  }
+
+  if (!opts.trace_path.empty() || !opts.report_path.empty()) {
+    // Profiled run: one BrickDL engine pass with the §4 cost model running
+    // alongside, tracing enabled for its duration.
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(!opts.trace_path.empty());
+    EngineOptions eopts;
+    eopts.profile = true;
+    MemoryHierarchySim sim(MachineParams::a100());
+    ModelBackend backend(brickdl_graph, sim);
+    Engine engine(brickdl_graph, eopts);
+    Result<EngineResult> run = engine.run_checked(backend);
+    obs::Tracer::instance().set_enabled(false);
+    if (!run.ok()) {
+      std::fprintf(stderr, "brickdl run failed: %s\n",
+                   run.status().to_string().c_str());
+      return 1;
+    }
+    const obs::Json report =
+        obs::make_run_report(brickdl_graph, run.value(), sim.params());
+    if (!opts.trace_path.empty()) {
+      if (!write_text_file(opts.trace_path,
+                           obs::Tracer::instance().export_chrome_json())) {
+        std::fprintf(stderr, "cannot write trace to '%s'\n",
+                     opts.trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace: %s (open at https://ui.perfetto.dev)\n",
+                  opts.trace_path.c_str());
+    }
+    if (!opts.report_path.empty()) {
+      if (!write_text_file(opts.report_path, report.dump(1) + "\n")) {
+        std::fprintf(stderr, "cannot write report to '%s'\n",
+                     opts.report_path.c_str());
+        return 1;
+      }
+      std::printf("report: %s\n", opts.report_path.c_str());
+    }
+    std::printf("\n%s", obs::report_table(report).c_str());
     return 0;
   }
 

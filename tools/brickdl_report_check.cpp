@@ -1,0 +1,88 @@
+// brickdl_report_check — schema-validate observability artifacts.
+//
+//   brickdl_report_check --report r.json [--trace t.json]
+//
+// Parses the files back through the same obs::Json implementation that wrote
+// them and runs the structural validators (obs::validate_run_report,
+// obs::validate_chrome_trace). Exit 0 only when every given artifact is
+// well-formed; bench/smoke_report.sh and the `obs_smoke` CTest drive this
+// against fresh brickdl_cli output.
+#include <cstdio>
+#include <string>
+
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+using namespace brickdl;
+
+namespace {
+
+int fail(const std::string& what, const Status& status) {
+  std::fprintf(stderr, "brickdl_report_check: %s: %s\n", what.c_str(),
+               status.to_string().c_str());
+  return 1;
+}
+
+Result<obs::Json> read_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return Status(StatusCode::kInvalidGraph, "cannot open '" + path + "'");
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return obs::Json::parse(text);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--report") {
+      const char* v = next();
+      if (!v) break;
+      report_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) break;
+      trace_path = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: brickdl_report_check [--report r.json] "
+                   "[--trace t.json]\n");
+      return 2;
+    }
+  }
+  if (report_path.empty() && trace_path.empty()) {
+    std::fprintf(stderr, "brickdl_report_check: nothing to check\n");
+    return 2;
+  }
+
+  if (!report_path.empty()) {
+    Result<obs::Json> doc = read_json(report_path);
+    if (!doc.ok()) return fail(report_path, doc.status());
+    const Status status = obs::validate_run_report(doc.value());
+    if (!status.ok()) return fail(report_path, status);
+    std::printf("ok: %s (%zu subgraphs)\n", report_path.c_str(),
+                doc.value().find("subgraphs")->size());
+  }
+  if (!trace_path.empty()) {
+    Result<obs::Json> doc = read_json(trace_path);
+    if (!doc.ok()) return fail(trace_path, doc.status());
+    const Status status = obs::validate_chrome_trace(doc.value());
+    if (!status.ok()) return fail(trace_path, status);
+    std::printf("ok: %s (%zu events)\n", trace_path.c_str(),
+                doc.value().find("traceEvents")->size());
+  }
+  return 0;
+}

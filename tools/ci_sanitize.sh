@@ -2,11 +2,14 @@
 # Sanitizer matrix for the concurrency-sensitive and fuzzed code paths.
 #
 #   1. ThreadSanitizer:   memoized executor (run_parallel CAS protocol),
-#                         wavefront executor, thread pool, and the resilience
-#                         suite (stall watchdog, tag repair, fault injection).
+#                         wavefront executor, thread pool, the resilience
+#                         suite (stall watchdog, tag repair, fault injection),
+#                         and the observability suite (concurrent metrics,
+#                         trace ring buffers, mid-run stats snapshots).
 #   2. ASan + UBSan:      the differential fuzz suite (random graphs through
-#                         every executor variant) plus the resilience suite
-#                         (includes the malformed-parse corpus).
+#                         every executor variant) plus the resilience and
+#                         observability suites (includes the malformed-parse
+#                         corpus and JSON parse-back).
 #
 # Usage: tools/ci_sanitize.sh [source-dir]
 # Build trees land in <source-dir>/build-tsan and <source-dir>/build-asan.
@@ -17,18 +20,22 @@ set -euo pipefail
 SRC_DIR=$(cd "${1:-$(dirname "$0")/..}" && pwd)
 JOBS=${JOBS:-$(nproc)}
 
-echo "== [1/2] ThreadSanitizer: memoized / wavefront / thread-pool / resilience =="
+echo "== [1/2] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs =="
 cmake -B "$SRC_DIR/build-tsan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=thread
 cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" \
-      --target brickdl_tests --target brickdl_resilience_tests
+      --target brickdl_tests --target brickdl_resilience_tests \
+      --target brickdl_obs_tests
 ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure --timeout 600 \
-      -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience'
+      -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs'
 
-echo "== [2/2] ASan+UBSan: differential fuzz + resilience suites =="
+echo "== [2/2] ASan+UBSan: differential fuzz + resilience + obs suites =="
 cmake -B "$SRC_DIR/build-asan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=address,undefined
 cmake --build "$SRC_DIR/build-asan" -j "$JOBS" \
-      --target brickdl_differential_tests --target brickdl_resilience_tests
+      --target brickdl_differential_tests --target brickdl_resilience_tests \
+      --target brickdl_obs_tests
+# obs_smoke (the CLI end-to-end run) is excluded: it needs the CLI binaries
+# and is far too slow under ASan; the unit suite covers the same code paths.
 ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure --timeout 600 \
-      -L 'differential|resilience'
+      -L 'differential|resilience|obs' -E obs_smoke
 
 echo "sanitizer matrix passed"
