@@ -67,9 +67,10 @@ void canonical_write_window(Tensor& t, const Dims& lo, const Dims& extent,
   });
 }
 
-/// Copy the sub-window [lo, lo+extent) out of `slot` into congruent scratch.
-ScratchSlot extract_subwindow(const ScratchSlot& slot, const Dims& lo,
-                              const Dims& extent) {
+/// Copy the sub-window [lo, lo+extent) out of `slot` into congruent scratch
+/// carved from the worker's arena.
+ScratchSlot extract_subwindow(Arena& arena, const ScratchSlot& slot,
+                              const Dims& lo, const Dims& extent) {
   ScratchSlot out;
   out.lo = lo;
   out.extent = extent;
@@ -77,7 +78,8 @@ ScratchSlot extract_subwindow(const ScratchSlot& slot, const Dims& lo,
   out.live = true;
   const i64 points = extent.product();
   const i64 src_points = slot.extent.product();
-  out.data.assign(static_cast<size_t>(slot.channels * points), 0.0f);
+  out.data =
+      arena.alloc_zeroed(static_cast<size_t>(slot.channels * points));
   for_each_index(extent, [&](const Dims& rel) {
     Dims src_rel = rel;
     for (int d = 0; d < rel.rank(); ++d) {
@@ -123,6 +125,21 @@ NumericBackend::NumericBackend(const Graph& graph, WeightStore& weights,
     : Backend(graph), weights_(weights), workers_(workers) {
   BDL_CHECK(workers >= 1);
   slots_.resize(static_cast<size_t>(workers));
+  arenas_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) arenas_.emplace_back();
+}
+
+void NumericBackend::invocation_begin(int worker) {
+  BDL_CHECK(worker >= 0 && worker < workers_);
+  // All of the previous invocation's slots are dead by contract (a brick's
+  // load/compute/store/free sequence completes before the worker's next
+  // invocation), so drop them wholesale — including slots abandoned live by
+  // a failed brick — and rewind the arena backing their storage.
+  for (ScratchSlot& slot : slots_[static_cast<size_t>(worker)]) {
+    slot.live = false;
+    slot.data = {};
+  }
+  arenas_[static_cast<size_t>(worker)].reset();
 }
 
 TensorId NumericBackend::register_tensor(const Shape& shape, Layout layout,
@@ -167,7 +184,8 @@ SlotId NumericBackend::load_window(int worker, TensorId src, const Dims& lo,
   slot.extent = extent;
   slot.channels = buf.shape.channels();
   slot.live = true;
-  slot.data.assign(static_cast<size_t>(slot.channels * extent.product()), 0.0f);
+  slot.data = arenas_[static_cast<size_t>(worker)].alloc_zeroed(
+      static_cast<size_t>(slot.channels * extent.product()));
   if (buf.layout != Layout::kBricked) {
     canonical_read_window(*buf.canonical, lo, extent, slot.data);
   } else {
@@ -189,16 +207,14 @@ void NumericBackend::store_window(int worker, SlotId slot_id, TensorId dst,
     buf.bricked->write_window(lo, extent, slot.data);
   }
   slot.live = false;
-  slot.data.clear();
-  slot.data.shrink_to_fit();
+  slot.data = {};  // arena storage is reclaimed at the next invocation_begin
 }
 
 void NumericBackend::free_slot(int worker, SlotId slot_id) {
   ScratchSlot& slot = slot_ref(worker, slot_id);
   BDL_CHECK(slot.live);
   slot.live = false;
-  slot.data.clear();
-  slot.data.shrink_to_fit();
+  slot.data = {};
 }
 
 SlotId NumericBackend::compute(int worker, int node_id,
@@ -232,7 +248,9 @@ SlotId NumericBackend::compute(int worker, int node_id,
     const ScratchSlot* src = &slot;
     if (needs_exact_window(node.kind) &&
         !(slot.lo == out_lo && slot.extent == out_extent)) {
-      extracted.push_back(extract_subwindow(slot, out_lo, out_extent));
+      extracted.push_back(
+          extract_subwindow(arenas_[static_cast<size_t>(worker)], slot,
+                            out_lo, out_extent));
       src = &extracted.back();
     }
     RegionInput ri;
@@ -249,8 +267,8 @@ SlotId NumericBackend::compute(int worker, int node_id,
   out.extent = out_extent;
   out.channels = node.out_shape.channels();
   out.live = true;
-  out.data.assign(static_cast<size_t>(out.channels * out_extent.product()),
-                  0.0f);
+  out.data = arenas_[static_cast<size_t>(worker)].alloc_zeroed(
+      static_cast<size_t>(out.channels * out_extent.product()));
   compute_region(node, region_inputs, weights_.weights(node), out_lo,
                  out_extent, out.data);
   if (mask_to_bounds) {

@@ -26,6 +26,7 @@
 #include "ops/dispatch.hpp"
 #include "sim/cost.hpp"
 #include "sim/memsim.hpp"
+#include "util/arena.hpp"
 
 namespace brickdl {
 
@@ -101,9 +102,11 @@ class Backend {
   const Graph& graph_;
 };
 
-/// One gathered window on a worker's scratch pad.
+/// One gathered window on a worker's scratch pad. The data span is backed by
+/// the worker's bump arena (NumericBackend) and is only valid until that
+/// worker's next invocation_begin; the model backend leaves it empty.
 struct ScratchSlot {
-  std::vector<float> data;  ///< numeric only; empty in the model backend
+  std::span<float> data;
   Dims lo;
   Dims extent;
   i64 channels = 0;
@@ -118,7 +121,11 @@ class NumericBackend final : public Backend {
   TensorId register_tensor(const Shape& shape, Layout layout,
                            const Dims& brick_extent,
                            const std::string& name) override;
-  void invocation_begin(int /*worker*/) override {}
+  /// Recycles the worker's scratch arena: every slot of the previous
+  /// invocation is dead by contract (executors complete each brick's
+  /// load/compute/store/free sequence before the next invocation_begin on
+  /// the same worker), so the arena rewinds and the slot pool is cleared.
+  void invocation_begin(int worker) override;
   SlotId load_window(int worker, TensorId src, const Dims& lo,
                      const Dims& extent) override;
   void store_window(int worker, SlotId slot, TensorId dst, const Dims& lo,
@@ -156,6 +163,7 @@ class NumericBackend final : public Backend {
   int workers_;
   std::vector<Buffer> buffers_;
   std::vector<std::vector<ScratchSlot>> slots_;  // [worker][slot]
+  std::vector<Arena> arenas_;                    // [worker]
 };
 
 class ModelBackend final : public Backend {

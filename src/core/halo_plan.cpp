@@ -49,29 +49,29 @@ BlockedWindow union_window(const BlockedWindow& a, const BlockedWindow& b) {
   return u;
 }
 
-/// Required windows for one terminal brick window, keyed by node id.
-std::unordered_map<int, BlockedWindow> propagate(const Graph& graph,
-                                                 const Subgraph& sg,
-                                                 const BlockedWindow& terminal) {
-  std::unordered_map<int, BlockedWindow> windows;
-  windows.emplace(sg.terminal(), terminal);
+/// Required windows for one terminal brick window, keyed by node id. Clears
+/// and refills `windows` (bucket storage is reused across calls).
+void propagate(const Graph& graph, const Subgraph& sg,
+               const BlockedWindow& terminal,
+               std::unordered_map<int, BlockedWindow>* windows) {
+  windows->clear();
+  windows->emplace(sg.terminal(), terminal);
 
   // Reverse topological: consumers are resolved before their producers.
   for (auto it = sg.nodes.rbegin(); it != sg.nodes.rend(); ++it) {
     const Node& consumer = graph.node(*it);
-    const auto cit = windows.find(*it);
-    BDL_CHECK_MSG(cit != windows.end(),
+    const auto cit = windows->find(*it);
+    BDL_CHECK_MSG(cit != windows->end(),
                   "node " << consumer.name << " unreachable from terminal");
     Dims in_lo, in_extent;
     input_window_blocked(consumer, cit->second.lo, cit->second.extent, &in_lo,
                          &in_extent);
     const BlockedWindow need{in_lo, in_extent};
     for (int p : consumer.inputs) {
-      auto [pit, inserted] = windows.emplace(p, need);
+      auto [pit, inserted] = windows->emplace(p, need);
       if (!inserted) pit->second = union_window(pit->second, need);
     }
   }
-  return windows;
 }
 
 }  // namespace
@@ -117,6 +117,13 @@ HaloPlan::HaloPlan(const Graph& graph, const Subgraph& sg,
 
 std::unordered_map<int, BlockedWindow> HaloPlan::windows_for_brick(
     const Dims& g) const {
+  std::unordered_map<int, BlockedWindow> windows;
+  windows_for_brick(g, &windows);
+  return windows;
+}
+
+void HaloPlan::windows_for_brick(
+    const Dims& g, std::unordered_map<int, BlockedWindow>* out) const {
   BDL_CHECK(g.rank() == terminal_grid_.rank());
   BlockedWindow terminal;
   terminal.lo = g;
@@ -130,7 +137,7 @@ std::unordered_map<int, BlockedWindow> HaloPlan::windows_for_brick(
     terminal.extent[d] =
         std::min(brick_extent_[d], bounds[d] - terminal.lo[d]);
   }
-  return propagate(graph_, sg_, terminal);
+  propagate(graph_, sg_, terminal, out);
 }
 
 }  // namespace brickdl

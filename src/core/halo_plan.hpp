@@ -38,6 +38,11 @@ class HaloPlan {
   /// compute, an external input's entry is the gather window.
   std::unordered_map<int, BlockedWindow> windows_for_brick(const Dims& g) const;
 
+  /// In-place variant for per-brick hot loops: clears and refills `out`,
+  /// reusing its bucket storage instead of building a fresh map per brick.
+  void windows_for_brick(const Dims& g,
+                         std::unordered_map<int, BlockedWindow>* out) const;
+
   /// Worst-case (interior brick) window extents per node — used for scratch
   /// sizing and the Δ metric. Keyed by node id.
   const std::unordered_map<int, Dims>& max_extents() const {

@@ -60,6 +60,31 @@ MemoizedExecutor::MemoizedExecutor(const Graph& graph, const Subgraph& sg,
     }
   }
 
+  // Resolve every node's inputs once (sg index + source tensor) so the
+  // per-brick paths need no linear search of sg_.nodes.
+  input_sg_index_.reserve(sg.nodes.size());
+  input_srcs_.reserve(sg.nodes.size());
+  for (size_t i = 0; i < sg.nodes.size(); ++i) {
+    const Node& node = graph.node(sg.nodes[i]);
+    std::vector<int> indices;
+    std::vector<TensorId> srcs;
+    indices.reserve(node.inputs.size());
+    srcs.reserve(node.inputs.size());
+    for (int p : node.inputs) {
+      const auto it = std::find(sg.nodes.begin(), sg.nodes.end(), p);
+      if (it == sg.nodes.end()) {
+        indices.push_back(-1);
+        srcs.push_back(io_.at(p));
+      } else {
+        const int p_index = static_cast<int>(it - sg.nodes.begin());
+        indices.push_back(p_index);
+        srcs.push_back(memo_[static_cast<size_t>(p_index)]);
+      }
+    }
+    input_sg_index_.push_back(std::move(indices));
+    input_srcs_.push_back(std::move(srcs));
+  }
+
   // Partition terminal bricks contiguously across workers (GPU-style block
   // assignment keeps neighboring bricks on neighboring workers, which is what
   // produces halo contention).
@@ -96,11 +121,12 @@ MemoizedExecutor::Task MemoizedExecutor::make_task(int sg_index,
   Dims need_lo, need_extent;
   input_window_blocked(node, lo, extent, &need_lo, &need_extent);
 
-  for (int p : node.inputs) {
+  const std::vector<int>& inputs =
+      input_sg_index_[static_cast<size_t>(sg_index)];
+  for (size_t ii = 0; ii < inputs.size(); ++ii) {
     // External producers are fully materialized: no dependence tracking.
-    auto it = std::find(sg_.nodes.begin(), sg_.nodes.end(), p);
-    if (it == sg_.nodes.end()) continue;
-    const int p_index = static_cast<int>(it - sg_.nodes.begin());
+    const int p_index = inputs[ii];
+    if (p_index < 0) continue;
     const BrickGrid& p_grid = grids_[static_cast<size_t>(p_index)];
     // Bricks of the producer overlapping the needed window, clipped to its
     // layer bounds (out-of-bounds halo is zero and depends on nothing).
@@ -145,20 +171,17 @@ Status MemoizedExecutor::compute_brick(int worker_index, const Task& task,
     obs::TraceSpan layer_span("layer", node.name,
                               {{"node", node_id},
                                {"brick", task.brick},
-                               {"worker", worker_index}});
+                               {"worker", worker_index}},
+                              trace_gate_);
     backend_.invocation_begin(worker_index);
     Dims need_lo, need_extent;
     input_window_blocked(node, *lo, *extent, &need_lo, &need_extent);
-    std::vector<SlotId> inputs;
-    inputs.reserve(node.inputs.size());
-    for (int p : node.inputs) {
-      TensorId src;
-      auto it = std::find(sg_.nodes.begin(), sg_.nodes.end(), p);
-      if (it == sg_.nodes.end()) {
-        src = io_.at(p);
-      } else {
-        src = memo_[static_cast<size_t>(it - sg_.nodes.begin())];
-      }
+    std::vector<SlotId>& inputs =
+        workers_[static_cast<size_t>(worker_index)]->input_slots;
+    inputs.clear();
+    const std::vector<TensorId>& srcs =
+        input_srcs_[static_cast<size_t>(task.sg_index)];
+    for (TensorId src : srcs) {
       inputs.push_back(backend_.load_window(worker_index, src, need_lo,
                                             need_extent));
     }
@@ -167,7 +190,8 @@ Status MemoizedExecutor::compute_brick(int worker_index, const Task& task,
     // The result stays in the worker-private slot; the caller copies it into
     // the shared memo buffer only after winning the publish election.
     {
-      obs::TraceSpan brick_span("brick", node.name, {{"brick", task.brick}});
+      obs::TraceSpan brick_span("brick", node.name, {{"brick", task.brick}},
+                                trace_gate_);
       *out_slot = backend_.compute(worker_index, node_id, inputs, *lo, *extent,
                                    /*mask_to_bounds=*/false);
     }
@@ -330,6 +354,10 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
               std::memory_order_release);
     bump(w.local.bricks_computed);
   } else {
+    // Election lost: the reclaimer owns the brick. The computed result is
+    // discarded — release its worker slot so the loser's slot table does not
+    // accumulate live-but-dead entries across a long run.
+    backend_.free_slot(worker_index, out_slot);
     bump(w.local.lost_publishes);
   }
   w.stack.pop_back();
@@ -501,6 +529,7 @@ i64 MemoizedExecutor::reachable_bricks() const {
 }
 
 Status MemoizedExecutor::run_checked() {
+  trace_gate_ = obs::Tracer::enabled();
   bool progress = true;
   while (progress) {
     progress = false;
@@ -514,6 +543,7 @@ Status MemoizedExecutor::run_checked() {
 Status MemoizedExecutor::run_parallel_checked(ThreadPool& pool) {
   BDL_CHECK_MSG(pool.size() == num_workers_,
                 "pool size must equal the executor's worker count");
+  trace_gate_ = obs::Tracer::enabled();
   pool.parallel_for(num_workers_, [this](i64 w, int /*pool_worker*/) {
     while (advance(static_cast<int>(w), /*spin_wait=*/true)) {
     }

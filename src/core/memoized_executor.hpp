@@ -150,6 +150,7 @@ class MemoizedExecutor {
     bool stalled = false;  ///< parked by fault injection (simulated death)
     i64 steal_polls = 0;
     std::chrono::steady_clock::time_point steal_start{};
+    std::vector<SlotId> input_slots;  ///< reused across compute_brick calls
   };
 
   /// Tag encoding: low 2 bits = state, high bits = reclaim epoch. A watchdog
@@ -197,6 +198,12 @@ class MemoizedExecutor {
 
   std::vector<BrickGrid> grids_;              // per sg node
   std::vector<TensorId> memo_;                // per sg node (terminal = io)
+  // Per sg node, per input: producer's sg index (-1 if external) and the
+  // tensor to gather from (memo buffer or external io). Precomputed so the
+  // per-brick hot paths (make_task, compute_brick) never search sg_.nodes.
+  std::vector<std::vector<int>> input_sg_index_;
+  std::vector<std::vector<TensorId>> input_srcs_;
+  bool trace_gate_ = true;  ///< Tracer::enabled(), sampled once per run
   std::vector<std::unique_ptr<std::atomic<u32>[]>> states_;  // per sg node
   std::vector<i64> grid_sizes_;
   // unique_ptr: Worker holds atomics and cannot be moved by vector growth.

@@ -1,5 +1,7 @@
 #include "core/padded_executor.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -32,19 +34,22 @@ PaddedExecutor::PaddedExecutor(const Graph& graph, const Subgraph& sg,
     }
     scratch_.emplace(n, std::move(per_worker));
   }
+  worker_scratch_.resize(static_cast<size_t>(workers));
 }
 
-void PaddedExecutor::run_brick(i64 brick_index, int worker) {
+void PaddedExecutor::run_brick(i64 brick_index, int worker, bool traced) {
   const Dims g = plan_.terminal_grid().unlinear(brick_index);
-  const auto windows = plan_.windows_for_brick(g);
+  WorkerScratch& ws = worker_scratch_[static_cast<size_t>(worker)];
+  plan_.windows_for_brick(g, &ws.windows);
 
   for (int node_id : sg_.nodes) {
     const Node& node = graph_.node(node_id);
-    const BlockedWindow& out_w = windows.at(node_id);
+    const BlockedWindow& out_w = ws.windows.at(node_id);
     obs::TraceSpan layer_span("layer", node.name,
                               {{"node", node_id},
                                {"brick", brick_index},
-                               {"worker", worker}});
+                               {"worker", worker}},
+                              traced);
     backend_.invocation_begin(worker);
 
     // Every invocation gathers exactly the window it consumes: from the
@@ -52,8 +57,8 @@ void PaddedExecutor::run_brick(i64 brick_index, int worker) {
     // intermediates computed earlier in this brick's chain.
     Dims need_lo, need_extent;
     input_window_blocked(node, out_w.lo, out_w.extent, &need_lo, &need_extent);
-    std::vector<SlotId> input_slots;
-    input_slots.reserve(node.inputs.size());
+    std::vector<SlotId>& input_slots = ws.input_slots;
+    input_slots.clear();
     for (int p : node.inputs) {
       const bool external = !sg_.contains(p);
       const TensorId src =
@@ -65,7 +70,8 @@ void PaddedExecutor::run_brick(i64 brick_index, int worker) {
     const bool is_terminal = node_id == sg_.terminal();
     SlotId out;
     {
-      obs::TraceSpan brick_span("brick", node.name, {{"brick", brick_index}});
+      obs::TraceSpan brick_span("brick", node.name, {{"brick", brick_index}},
+                                traced);
       out = backend_.compute(worker, node_id, input_slots, out_w.lo,
                              out_w.extent,
                              /*mask_to_bounds=*/!is_terminal);
@@ -86,16 +92,24 @@ Status PaddedExecutor::run_checked(ThreadPool* pool) {
                   "thread pool larger than backend worker count");
   }
   Status status;
+  // One enabled-check per run instead of one per span in the brick loop:
+  // disabled-tracing runs construct every span pre-gated off.
+  const bool traced = obs::Tracer::enabled();
   try {
     const i64 n = plan_.num_bricks();
     if (pool) {
-      pool->parallel_for(n,
-                         [this](i64 i, int worker) { run_brick(i, worker); });
+      // Chunked claims: ~8 chunks per worker balances steal granularity
+      // against cursor contention when bricks are small and numerous.
+      const i64 grain = std::max<i64>(1, n / (8 * pool->size()));
+      pool->parallel_for_ranges(
+          n, grain, [this, traced](i64 begin, i64 end, int worker) {
+            for (i64 i = begin; i < end; ++i) run_brick(i, worker, traced);
+          });
     } else {
       // Contiguous brick ranges per worker, like GPU block scheduling.
       for (i64 i = 0; i < n; ++i) {
         const int worker = static_cast<int>(i * workers / n);
-        run_brick(i, worker);
+        run_brick(i, worker, traced);
       }
     }
     bricks_executed_ += n;

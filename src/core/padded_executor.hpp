@@ -38,7 +38,7 @@ class PaddedExecutor {
   i64 bricks_executed() const { return bricks_executed_; }
 
  private:
-  void run_brick(i64 brick_index, int worker);
+  void run_brick(i64 brick_index, int worker, bool traced);
 
   const Graph& graph_;
   const Subgraph& sg_;
@@ -48,6 +48,14 @@ class PaddedExecutor {
   // Per-worker, per-node scratch tensors for intermediate padded windows
   // (the on-chip arena; discarded after the subgraph completes).
   std::unordered_map<int, std::vector<TensorId>> scratch_;  // node -> [worker]
+  // Per-worker reusable containers for the brick hot loop (the window map
+  // and slot list would otherwise be rebuilt — with fresh heap buckets — for
+  // every brick).
+  struct WorkerScratch {
+    std::unordered_map<int, BlockedWindow> windows;
+    std::vector<SlotId> input_slots;
+  };
+  std::vector<WorkerScratch> worker_scratch_;
   i64 bricks_executed_ = 0;
 };
 

@@ -46,6 +46,18 @@ WavefrontExecutor::WavefrontExecutor(
           "wave:" + node.name));
     }
   }
+  // Resolve every node's input tensors once; compute_brick just reads them.
+  input_srcs_.reserve(sg.nodes.size());
+  for (size_t i = 0; i < sg.nodes.size(); ++i) {
+    std::vector<TensorId> srcs;
+    for (int p : graph.node(sg.nodes[i]).inputs) {
+      const auto it = std::find(sg.nodes.begin(), sg.nodes.end(), p);
+      srcs.push_back(it == sg.nodes.end()
+                         ? io_.at(p)
+                         : memo_[static_cast<size_t>(it - sg.nodes.begin())]);
+    }
+    input_srcs_.push_back(std::move(srcs));
+  }
   skew_ = choose_skew();
   stats_.skew = skew_;
 }
@@ -103,25 +115,20 @@ void WavefrontExecutor::compute_brick(int worker, int sg_index, i64 brick) {
   obs::TraceSpan layer_span("layer", node.name,
                             {{"node", node_id},
                              {"brick", brick},
-                             {"worker", worker}});
+                             {"worker", worker}},
+                            trace_gate_);
   backend_.invocation_begin(worker);
   Dims need_lo, need_extent;
   input_window_blocked(node, lo, extent, &need_lo, &need_extent);
-  std::vector<SlotId> inputs;
-  inputs.reserve(node.inputs.size());
-  for (int p : node.inputs) {
-    TensorId src;
-    const auto it = std::find(sg_.nodes.begin(), sg_.nodes.end(), p);
-    if (it == sg_.nodes.end()) {
-      src = io_.at(p);
-    } else {
-      src = memo_[static_cast<size_t>(it - sg_.nodes.begin())];
-    }
+  std::vector<SlotId>& inputs = input_slots_;
+  inputs.clear();
+  for (TensorId src : input_srcs_[static_cast<size_t>(sg_index)]) {
     inputs.push_back(backend_.load_window(worker, src, need_lo, need_extent));
   }
   SlotId out;
   {
-    obs::TraceSpan brick_span("brick", node.name, {{"brick", brick}});
+    obs::TraceSpan brick_span("brick", node.name, {{"brick", brick}},
+                              trace_gate_);
     out = backend_.compute(worker, node_id, inputs, lo, extent,
                            /*mask_to_bounds=*/false);
   }
@@ -132,6 +139,7 @@ void WavefrontExecutor::compute_brick(int worker, int sg_index, i64 brick) {
 
 Status WavefrontExecutor::run_checked() {
   Status status;
+  trace_gate_ = obs::Tracer::enabled();
   try {
     // Bucket every brick of every layer into its wave.
     std::map<i64, std::vector<BrickRef>> waves;

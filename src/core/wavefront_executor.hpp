@@ -73,6 +73,11 @@ class WavefrontExecutor {
 
   std::vector<BrickGrid> grids_;  // per sg node
   std::vector<TensorId> memo_;    // per sg node (terminal = io)
+  // Per sg node, per input: source tensor (memo buffer or external io),
+  // precomputed so compute_brick never searches sg_.nodes.
+  std::vector<std::vector<TensorId>> input_srcs_;
+  std::vector<SlotId> input_slots_;  // reused across compute_brick (serial)
+  bool trace_gate_ = true;           ///< Tracer::enabled(), sampled per run
   i64 skew_ = 0;
   Stats stats_;
 };

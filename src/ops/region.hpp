@@ -51,11 +51,21 @@ void mask_region_outside(const Dims& lo, const Dims& extent, i64 channels,
                          const Dims& bounds, std::span<float> data);
 
 // Individual kernels (exposed for unit testing; compute_region dispatches).
+// conv/pool split the output into an interior box (hand-flattened fast loop,
+// no per-tap validity checks) plus boundary slabs handled by the generic
+// clamping code; the *_generic variants run the clamping path over the whole
+// region and exist so tests can assert the fast path is bit-exact.
 void conv_region(const Node& node, const RegionInput& input,
                  std::span<const float> weights, const Dims& out_lo,
                  const Dims& out_extent, std::span<float> out);
+void conv_region_generic(const Node& node, const RegionInput& input,
+                         std::span<const float> weights, const Dims& out_lo,
+                         const Dims& out_extent, std::span<float> out);
 void pool_region(const Node& node, const RegionInput& input, const Dims& out_lo,
                  const Dims& out_extent, std::span<float> out);
+void pool_region_generic(const Node& node, const RegionInput& input,
+                         const Dims& out_lo, const Dims& out_extent,
+                         std::span<float> out);
 void relu_region(const RegionInput& input, std::span<float> out);
 void sigmoid_region(const RegionInput& input, std::span<float> out);
 void add_region(const RegionInput& lhs, const RegionInput& rhs,

@@ -14,6 +14,7 @@
 
 #include "sim/cache.hpp"
 #include "sim/machine.hpp"
+#include "util/spinlock.hpp"
 
 namespace brickdl {
 
@@ -44,6 +45,41 @@ class MemoryHierarchySim {
 
   /// Emit one access of `bytes` starting at `addr` from `worker`.
   void access(int worker, u64 addr, i64 bytes, bool write);
+
+  /// Batched emission: holds the simulator lock across many access() calls,
+  /// so per-window emitters (tens of millions of short runs per bench run)
+  /// pay one lock acquisition per window instead of one per run. The stream
+  /// is simulated exactly as the equivalent sequence of access() calls.
+  /// While a Batch is live, its thread must not call any other simulator
+  /// method (self-deadlock); other threads simply wait on the lock.
+  class Batch {
+   public:
+    Batch(MemoryHierarchySim& sim, int worker) : sim_(sim), worker_(worker) {
+      BDL_CHECK(worker >= 0 && worker < sim.num_workers());
+      sim_.mu_.lock();
+    }
+    ~Batch() { sim_.mu_.unlock(); }
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+    void access(u64 addr, i64 bytes, bool write) {
+      sim_.access_unlocked(worker_, addr, bytes, write);
+    }
+
+    /// Hint that `addr` is about to be accessed: pulls both cache models'
+    /// set metadata for its line toward the host CPU. Purely a performance
+    /// hint — never changes any counter — so callers may guess sloppily
+    /// (e.g. assume the next run continues a stride even near band edges).
+    void prefetch(u64 addr) {
+      const u64 line = addr / static_cast<u64>(sim_.params_.line_bytes);
+      sim_.l1_[static_cast<size_t>(worker_)].prefetch(line);
+      sim_.l2_.prefetch(line);
+    }
+
+   private:
+    MemoryHierarchySim& sim_;
+    int worker_;
+  };
 
   /// New kernel invocation on `worker`: its L1 starts cold. Dirty L1 lines
   /// from the previous invocation are written back into L2.
@@ -79,15 +115,21 @@ class MemoryHierarchySim {
 
  private:
   void l2_access(u64 line, bool write, bool fill_on_miss);
+  void access_unlocked(int worker, u64 addr, i64 bytes, bool write);
   bool is_discarded(u64 line) const;
 
   MachineParams params_;
-  mutable std::mutex mu_;
+  // Spinlock, not std::mutex: the critical sections are a handful of cache
+  // probes, and access() is called tens of millions of times per bench run
+  // (often from a single thread, where an uncontended spinlock is ~5x
+  // cheaper than a mutex).
+  mutable SpinLock mu_;
   CacheModel l2_;
   std::vector<CacheModel> l1_;
   TxnCounters counters_;
   u64 next_addr_ = 0;
   std::vector<std::pair<u64, u64>> discarded_;  ///< [first, last] line ranges, sorted
+  mutable std::pair<u64, u64> last_discard_hit_{1, 0};  ///< memo, empty range
 };
 
 }  // namespace brickdl

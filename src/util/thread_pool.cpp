@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -33,9 +34,17 @@ void ThreadPool::submit(Task task) {
   cv_task_.notify_one();
 }
 
-void ThreadPool::parallel_for(i64 n,
-                              const std::function<void(i64, int)>& f) {
+void ThreadPool::parallel_for(i64 n, const std::function<void(i64, int)>& f,
+                              i64 grain) {
+  parallel_for_ranges(n, grain, [&f](i64 begin, i64 end, int worker) {
+    for (i64 i = begin; i < end; ++i) f(i, worker);
+  });
+}
+
+void ThreadPool::parallel_for_ranges(
+    i64 n, i64 grain, const std::function<void(i64, i64, int)>& f) {
   if (n <= 0) return;
+  if (grain < 1) grain = 1;
   // Shared state lives on the heap: straggler workers (which may find the
   // queue drained after the waiter has already been released) must still be
   // able to touch the counters safely after this function returns.
@@ -49,29 +58,32 @@ void ThreadPool::parallel_for(i64 n,
   };
   auto state = std::make_shared<State>();
 
+  const bool traced = obs::Tracer::enabled();
   const int fanout = size();
   for (int w = 0; w < fanout; ++w) {
-    submit([state, n, &f](int worker) {
+    submit([state, n, grain, traced, &f](int worker) {
       i64 resolved = 0;
-      for (i64 i = state->next.fetch_add(1); i < n;
-           i = state->next.fetch_add(1)) {
-        // After a failure, keep claiming indices (so `done` still reaches n
+      for (i64 begin = state->next.fetch_add(grain); begin < n;
+           begin = state->next.fetch_add(grain)) {
+        const i64 end = std::min(begin + grain, n);
+        // After a failure, keep claiming chunks (so `done` still reaches n
         // and the waiter wakes) but stop running user work.
         if (!state->failed.load(std::memory_order_acquire)) {
           try {
-            obs::TraceSpan task_span("pool", "task",
-                                     {{"index", i}, {"worker", worker}});
-            f(i, worker);
+            obs::TraceSpan task_span(
+                "pool", "task",
+                {{"begin", begin}, {"end", end}, {"worker", worker}}, traced);
+            f(begin, end, worker);
           } catch (...) {
             std::lock_guard<std::mutex> lock(state->mu);
             if (!state->error) state->error = std::current_exception();
             state->failed.store(true, std::memory_order_release);
           }
         }
-        ++resolved;
+        resolved += end - begin;
       }
-      // Note: `f` is only dereferenced for indices < n, all of which resolve
-      // before `done` reaches n and the caller is released.
+      // Note: `f` is only dereferenced for chunks within [0, n), all of which
+      // resolve before `done` reaches n and the caller is released.
       if (state->done.fetch_add(resolved) + resolved == n) {
         std::lock_guard<std::mutex> lock(state->mu);
         state->cv.notify_all();

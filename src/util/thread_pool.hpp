@@ -34,7 +34,22 @@ class ThreadPool {
   /// Must be called from outside the pool. If a task throws, the remaining
   /// unclaimed indices are abandoned and the first exception is rethrown
   /// here once every worker has drained (no task is left running).
-  void parallel_for(i64 n, const std::function<void(i64 index, int worker)>& f);
+  ///
+  /// `grain` > 1 claims indices in chunks of that size off one atomic cursor
+  /// (one claim + one trace span per chunk instead of per index), which is
+  /// the difference between queue-bound and compute-bound when `n` is large
+  /// and the per-index work is small. Semantics are unchanged: an exception
+  /// abandons the rest of its chunk and all unclaimed work, and the first
+  /// exception is rethrown after every worker drains.
+  void parallel_for(i64 n, const std::function<void(i64 index, int worker)>& f,
+                    i64 grain = 1);
+
+  /// Chunked form: f(begin, end, worker) is called once per claimed chunk
+  /// [begin, end) of [0, n), chunk size `grain`. parallel_for is a wrapper
+  /// over this.
+  void parallel_for_ranges(
+      i64 n, i64 grain,
+      const std::function<void(i64 begin, i64 end, int worker)>& f);
 
   /// Block until the queue is empty and all workers are idle.
   void wait_idle();

@@ -11,8 +11,13 @@
 // instead of hiding the remaining graphs.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "graph/halo.hpp"
 #include "graph/serialize.hpp"
+#include "ops/dispatch.hpp"
 #include "testing/differential.hpp"
+#include "util/rng.hpp"
 
 namespace brickdl {
 namespace {
@@ -81,6 +86,217 @@ TEST(DifferentialRegression, DepthwiseDilatedOddExtents) {
   x = g.add_pool(x, "p0", PoolKind::kAvg, Dims{2, 2}, Dims{1, 1}, Dims{1, 1});
   g.add_sigmoid(x, "s0");
   expect_graph_agrees(std::move(g), "depthwise-dilated");
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path kernel sweep (CTest label `perf` — see tests/CMakeLists.txt).
+//
+// conv_region / pool_region split their output into an interior box (the
+// hand-flattened fast loop, no per-tap validity checks) plus boundary slabs;
+// the *_generic variants run the clamping path over the whole region. The
+// sweeps below assert the two paths are *bit-exact* (memcmp, not tolerance)
+// across a seeded corpus of shapes, including windows where the interior is
+// empty (every output point is boundary) and windows with enough halo margin
+// that the interior covers the whole region (no boundary slabs at all).
+
+/// Run `node` (conv or pool) over [out_lo, out_lo+out_extent) with both the
+/// fast-path and generic kernels on the same seeded input window, widened by
+/// `margin` on both sides of every spatial dim, and require identical bits.
+void expect_fast_path_bit_exact(const Graph& g, int node_id, const Dims& out_lo,
+                                const Dims& out_extent, i64 margin, u64 seed,
+                                const std::string& label) {
+  const Node& node = g.node(node_id);
+  const Shape in_shape = g.input_shapes(node)[0];
+  Dims in_lo, in_extent;
+  input_window_blocked(node, out_lo, out_extent, &in_lo, &in_extent);
+  for (int d = 1; d < in_lo.rank(); ++d) {
+    in_lo[d] -= margin;
+    in_extent[d] += 2 * margin;
+  }
+  const i64 in_ch = in_shape.channels();
+  std::vector<float> window(static_cast<size_t>(in_ch * in_extent.product()));
+  Rng rng(seed);
+  for (float& v : window) v = rng.next_float(-1.0f, 1.0f);
+  RegionInput ri{window, in_lo, in_extent, in_ch};
+
+  const i64 out_ch = node.out_shape.channels();
+  const size_t out_elems = static_cast<size_t>(out_ch * out_extent.product());
+  // Distinct canaries: a position neither path writes still compares unequal.
+  std::vector<float> fast(out_elems, -123.0f);
+  std::vector<float> generic(out_elems, -321.0f);
+  WeightStore ws(seed ^ 0x5eedULL);
+  if (node.kind == OpKind::kConv) {
+    conv_region(node, ri, ws.weights(node), out_lo, out_extent, fast);
+    conv_region_generic(node, ri, ws.weights(node), out_lo, out_extent,
+                        generic);
+  } else {
+    ASSERT_EQ(node.kind, OpKind::kPool) << label;
+    pool_region(node, ri, out_lo, out_extent, fast);
+    pool_region_generic(node, ri, out_lo, out_extent, generic);
+  }
+  if (std::memcmp(fast.data(), generic.data(),
+                  out_elems * sizeof(float)) == 0) {
+    return;
+  }
+  for (size_t i = 0; i < out_elems; ++i) {
+    if (std::memcmp(&fast[i], &generic[i], sizeof(float)) != 0) {
+      ADD_FAILURE() << label << ": fast path diverges from generic at flat "
+                    << i << ": fast=" << fast[i] << " generic=" << generic[i]
+                    << "\n  node: " << node.name
+                    << " out_lo=" << out_lo.str()
+                    << " out_extent=" << out_extent.str()
+                    << " margin=" << margin << " seed=" << seed;
+      return;
+    }
+  }
+}
+
+/// For each generated op, exercise three window styles: the exact input
+/// window (boundary clamping on every side), a margin-4 halo window (the
+/// interior covers the whole region), and a random interior sub-tile with a
+/// nonzero out_lo.
+void sweep_windows(const Graph& g, int node_id, Rng* rng, u64 seed,
+                   const std::string& label) {
+  const Node& node = g.node(node_id);
+  const Dims out = node.out_shape.blocked_dims();
+  const Dims zero = Dims::filled(out.rank(), 0);
+  expect_fast_path_bit_exact(g, node_id, zero, out, 0, seed, label + "/exact");
+  expect_fast_path_bit_exact(g, node_id, zero, out, 4, seed,
+                             label + "/wide-halo");
+  Dims lo = zero, extent = out;
+  for (int d = 0; d < out.rank(); ++d) {
+    lo[d] = static_cast<i64>(rng->next_below(static_cast<u64>(out[d])));
+    extent[d] =
+        1 + static_cast<i64>(rng->next_below(static_cast<u64>(out[d] - lo[d])));
+  }
+  expect_fast_path_bit_exact(g, node_id, lo, extent, 1, seed, label + "/tile");
+}
+
+TEST(FastPathPerf, SeededConvSweep) {
+  Rng rng(0xfa57c0de);
+  int executed = 0;
+  for (int it = 0; it < 36; ++it) {
+    const int sp_rank = rng.next_below(4) == 0 ? 3 : 2;
+    Dims shape_dims;
+    shape_dims.push_back(1 + static_cast<i64>(rng.next_below(2)));  // batch
+    const i64 in_ch = 1 + static_cast<i64>(rng.next_below(4));
+    shape_dims.push_back(in_ch);
+    for (int d = 0; d < sp_rank; ++d) {
+      shape_dims.push_back(1 + static_cast<i64>(rng.next_below(6)));
+    }
+    Dims kernel, stride, padding, dilation;
+    for (int d = 0; d < sp_rank; ++d) {
+      kernel.push_back(1 + static_cast<i64>(rng.next_below(3)));
+      stride.push_back(1 + static_cast<i64>(rng.next_below(2)));
+      padding.push_back(static_cast<i64>(rng.next_below(3)));
+      dilation.push_back(1 + static_cast<i64>(rng.next_below(2)));
+    }
+    Graph g("fastpath_conv");
+    const int x = g.add_input("in", Shape(shape_dims));
+    int node_id;
+    std::string label = "conv#" + std::to_string(it);
+    // Random attribute draws can collapse the output extent (dilated kernel
+    // wider than the padded input); shape inference rejects those — skip.
+    try {
+      if (rng.next_below(4) == 0) {
+        Dims out_pad;
+        for (int d = 0; d < sp_rank; ++d) {
+          out_pad.push_back(
+              static_cast<i64>(rng.next_below(static_cast<u64>(stride[d]))));
+        }
+        const i64 out_ch = 1 + static_cast<i64>(rng.next_below(4));
+        node_id = g.add_deconv(x, "op", kernel, out_ch, stride, padding,
+                               out_pad, dilation);
+        label += "/transposed";
+      } else {
+        const i64 groups = rng.next_below(3) == 0 ? in_ch : 1;
+        const i64 out_ch = groups * (1 + static_cast<i64>(rng.next_below(3)));
+        node_id = g.add_conv(x, "op", kernel, out_ch, stride, padding,
+                             dilation, groups);
+        if (groups > 1) label += "/grouped";
+      }
+    } catch (const std::exception&) {
+      continue;
+    }
+    sweep_windows(g, node_id, &rng, 0x9000 + static_cast<u64>(it), label);
+    ++executed;
+  }
+  // The sweep must not be vacuous: most random draws are feasible shapes.
+  EXPECT_GE(executed, 18);
+}
+
+TEST(FastPathPerf, SeededPoolSweep) {
+  Rng rng(0xb007ed);
+  int executed = 0;
+  for (int it = 0; it < 24; ++it) {
+    const int sp_rank = rng.next_below(4) == 0 ? 3 : 2;
+    Dims shape_dims;
+    shape_dims.push_back(1 + static_cast<i64>(rng.next_below(2)));
+    shape_dims.push_back(1 + static_cast<i64>(rng.next_below(4)));
+    for (int d = 0; d < sp_rank; ++d) {
+      shape_dims.push_back(1 + static_cast<i64>(rng.next_below(6)));
+    }
+    Dims window, stride, padding;
+    for (int d = 0; d < sp_rank; ++d) {
+      window.push_back(1 + static_cast<i64>(rng.next_below(3)));
+      stride.push_back(1 + static_cast<i64>(rng.next_below(2)));
+      padding.push_back(static_cast<i64>(rng.next_below(2)));
+    }
+    const PoolKind kind = rng.next_below(2) ? PoolKind::kMax : PoolKind::kAvg;
+    Graph g("fastpath_pool");
+    const int x = g.add_input("in", Shape(shape_dims));
+    int node_id;
+    try {
+      node_id = g.add_pool(x, "op", kind, window, stride, padding);
+    } catch (const std::exception&) {
+      continue;  // window collapsed the output extent; see conv sweep
+    }
+    sweep_windows(g, node_id, &rng, 0xa000 + static_cast<u64>(it),
+                  "pool#" + std::to_string(it));
+    ++executed;
+  }
+  EXPECT_GE(executed, 12);
+}
+
+// 3x3 stride-1 conv with padding 1 over a 2x2 image, exact input window:
+// every output point has at least one tap outside the window, so the interior
+// box is empty and the fast path must route the whole region through the
+// boundary (generic) code.
+TEST(FastPathPerf, EmptyInteriorConv) {
+  Graph g("empty_interior");
+  const int x = g.add_input("in", Shape{1, 2, 2, 2});
+  const int c =
+      g.add_conv(x, "op", Dims{3, 3}, 3, Dims{1, 1}, Dims{1, 1});
+  const Dims out = g.node(c).out_shape.blocked_dims();
+  expect_fast_path_bit_exact(g, c, Dims::filled(out.rank(), 0), out,
+                             /*margin=*/0, /*seed=*/11, "empty-interior-conv");
+}
+
+// The same stencil with a margin-3 halo window: every tap of every output
+// point reads inside the gathered window, so the interior box covers the
+// whole region and the boundary path never runs.
+TEST(FastPathPerf, WholeRegionInteriorConv) {
+  Graph g("whole_interior");
+  const int x = g.add_input("in", Shape{1, 2, 5, 5});
+  const int c =
+      g.add_conv(x, "op", Dims{3, 3}, 3, Dims{1, 1}, Dims{1, 1});
+  const Dims out = g.node(c).out_shape.blocked_dims();
+  expect_fast_path_bit_exact(g, c, Dims::filled(out.rank(), 0), out,
+                             /*margin=*/3, /*seed=*/12, "whole-interior-conv");
+}
+
+// Pool analogues of the two extremes above (max pooling: out-of-window reads
+// as zero, the documented BrickDL padding semantics).
+TEST(FastPathPerf, EmptyAndWholeInteriorPool) {
+  Graph g("pool_extremes");
+  const int x = g.add_input("in", Shape{1, 3, 2, 2});
+  const int p = g.add_pool(x, "op", PoolKind::kMax, Dims{3, 3}, Dims{1, 1},
+                           Dims{1, 1});
+  const Dims out = g.node(p).out_shape.blocked_dims();
+  expect_fast_path_bit_exact(g, p, Dims::filled(out.rank(), 0), out,
+                             /*margin=*/0, /*seed=*/13, "empty-interior-pool");
+  expect_fast_path_bit_exact(g, p, Dims::filled(out.rank(), 0), out,
+                             /*margin=*/3, /*seed=*/13, "whole-interior-pool");
 }
 
 TEST(Differential, GeneratorIsDeterministic) {

@@ -10,9 +10,14 @@
 #                         every executor variant) plus the resilience and
 #                         observability suites (includes the malformed-parse
 #                         corpus and JSON parse-back).
+#   3. Release (-O3 -DNDEBUG): the differential + perf (fast-path vs generic
+#                         kernel) labels at the optimization level the fast
+#                         paths ship at — vectorized interior loops can
+#                         behave differently from -O0/-O1 sanitizer builds.
 #
 # Usage: tools/ci_sanitize.sh [source-dir]
-# Build trees land in <source-dir>/build-tsan and <source-dir>/build-asan.
+# Build trees land in <source-dir>/build-tsan, <source-dir>/build-asan and
+# <source-dir>/build-release.
 # Also registered as CTest test `sanitize_suite` (label `sanitize`) when the
 # tree is configured with -DBRICKDL_SANITIZE_CI=ON.
 set -euo pipefail
@@ -20,7 +25,7 @@ set -euo pipefail
 SRC_DIR=$(cd "${1:-$(dirname "$0")/..}" && pwd)
 JOBS=${JOBS:-$(nproc)}
 
-echo "== [1/2] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs =="
+echo "== [1/3] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs =="
 cmake -B "$SRC_DIR/build-tsan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=thread
 cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" \
       --target brickdl_tests --target brickdl_resilience_tests \
@@ -28,14 +33,25 @@ cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" \
 ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure --timeout 600 \
       -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs'
 
-echo "== [2/2] ASan+UBSan: differential fuzz + resilience + obs suites =="
+echo "== [2/3] ASan+UBSan: differential fuzz + resilience + obs suites =="
 cmake -B "$SRC_DIR/build-asan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=address,undefined
 cmake --build "$SRC_DIR/build-asan" -j "$JOBS" \
       --target brickdl_differential_tests --target brickdl_resilience_tests \
-      --target brickdl_obs_tests
+      --target brickdl_obs_tests --target mb_kernels
 # obs_smoke (the CLI end-to-end run) is excluded: it needs the CLI binaries
 # and is far too slow under ASan; the unit suite covers the same code paths.
+# perf = the fast-path-vs-generic kernel sweeps + mb_kernels smoke: cheap,
+# and exactly where an interior-loop indexing bug would surface.
 ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure --timeout 600 \
-      -L 'differential|resilience|obs' -E obs_smoke
+      -L 'differential|resilience|obs|perf' -E obs_smoke
+
+echo "== [3/3] Release -O3 -DNDEBUG: differential + perf labels =="
+cmake -B "$SRC_DIR/build-release" -S "$SRC_DIR" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_FLAGS_RELEASE="-O3 -DNDEBUG"
+cmake --build "$SRC_DIR/build-release" -j "$JOBS" \
+      --target brickdl_differential_tests --target mb_kernels
+ctest --test-dir "$SRC_DIR/build-release" --output-on-failure --timeout 600 \
+      -L 'differential|perf'
 
 echo "sanitizer matrix passed"
