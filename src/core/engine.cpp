@@ -481,4 +481,109 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
   return result;
 }
 
+Result<Tensor> stack_batch(const std::vector<const Tensor*>& parts) {
+  if (parts.empty()) {
+    return Status(StatusCode::kShapeMismatch, "stack_batch: no parts");
+  }
+  const Dims& first = parts[0]->dims();
+  if (first.rank() < 1) {
+    return Status(StatusCode::kShapeMismatch, "stack_batch: rank-0 part");
+  }
+  i64 total_rows = 0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const Dims& d = parts[i]->dims();
+    bool compatible = d.rank() == first.rank() && d[0] >= 1;
+    for (int k = 1; compatible && k < first.rank(); ++k) {
+      compatible = d[k] == first[k];
+    }
+    if (!compatible) {
+      return Status(StatusCode::kShapeMismatch,
+                    "stack_batch: part " + std::to_string(i) + " has dims " +
+                        d.str() + ", incompatible with part 0 dims " +
+                        first.str() + " (all non-batch dims must match)");
+    }
+    total_rows += d[0];
+  }
+
+  Dims stacked_dims = first;
+  stacked_dims[0] = total_rows;
+  Tensor stacked(stacked_dims);
+  i64 offset = 0;
+  for (const Tensor* part : parts) {
+    std::copy(part->data(), part->data() + part->elements(),
+              stacked.data() + offset);
+    offset += part->elements();
+  }
+  return stacked;
+}
+
+Tensor slice_batch(const Tensor& t, i64 row, i64 rows) {
+  const Dims& d = t.dims();
+  BDL_CHECK_MSG(d.rank() >= 1 && row >= 0 && rows >= 1 && row + rows <= d[0],
+                "slice_batch: rows [" << row << ", " << row + rows
+                                      << ") out of range for dims " << d.str());
+  Dims out_dims = d;
+  out_dims[0] = rows;
+  Tensor out(out_dims);
+  const i64 row_stride = d[0] > 0 ? t.elements() / d[0] : 0;
+  std::copy(t.data() + row * row_stride,
+            t.data() + (row + rows) * row_stride, out.data());
+  return out;
+}
+
+Result<std::vector<Tensor>> Engine::run_batched_checked(
+    NumericBackend& backend, const std::vector<const Tensor*>& parts) {
+  const Node* input_node = nullptr;
+  for (const Node& node : graph_.nodes()) {
+    if (node.kind != OpKind::kInput) continue;
+    if (input_node) {
+      return Status(StatusCode::kInvalidGraph,
+                    "run_batched_checked: graph '" + graph_.name() +
+                        "' has multiple input nodes");
+    }
+    input_node = &node;
+  }
+  if (!input_node) {
+    return Status(StatusCode::kInvalidGraph,
+                  "run_batched_checked: graph '" + graph_.name() +
+                      "' has no input node");
+  }
+
+  Result<Tensor> stacked = stack_batch(parts);
+  BDL_RETURN_IF_ERROR(stacked.status());
+  const Dims& stacked_dims = stacked.value().dims();
+  if (!(stacked_dims == input_node->out_shape.dims)) {
+    return Status(StatusCode::kShapeMismatch,
+                  "run_batched_checked: stacked parts have dims " +
+                      stacked_dims.str() + " but input node '" +
+                      input_node->name + "' expects " +
+                      input_node->out_shape.dims.str());
+  }
+
+  Result<EngineResult> run = run_checked(backend, &stacked.value());
+  BDL_RETURN_IF_ERROR(run.status());
+
+  const Tensor output = backend.read(run.value().output);
+  if (output.dims().rank() < 1 || output.dims()[0] != stacked_dims[0]) {
+    return Status(StatusCode::kShapeMismatch,
+                  "run_batched_checked: output dims " + output.dims().str() +
+                      " do not carry the stacked batch of " +
+                      std::to_string(stacked_dims[0]) +
+                      " rows; cannot slice per request");
+  }
+
+  obs::TraceSpan slice_span(
+      "serve", "slice", {{"parts", static_cast<i64>(parts.size())}},
+      options_.trace);
+  std::vector<Tensor> outputs;
+  outputs.reserve(parts.size());
+  i64 row = 0;
+  for (const Tensor* part : parts) {
+    const i64 rows = part->dims()[0];
+    outputs.push_back(slice_batch(output, row, rows));
+    row += rows;
+  }
+  return outputs;
+}
+
 }  // namespace brickdl

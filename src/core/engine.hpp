@@ -116,6 +116,18 @@ class Engine {
     return run_checked(backend, input).take();
   }
 
+  /// Batched-run entry point for the serving front-end (src/serve/): stack
+  /// `parts` along the batch dimension, bind the stacked tensor to the
+  /// graph's input node, run, and slice the output back into one tensor per
+  /// part. The graph's input batch must equal the summed rows of `parts`
+  /// (the serving layer rebatches the graph first; see rebatch_graph), and
+  /// every part must agree with the input node on all non-batch dims —
+  /// kShapeMismatch names the offending part otherwise. Per-row results are
+  /// bit-identical to a solo run of the same rows: every kernel treats batch
+  /// as an independent blocked dimension (DESIGN.md §10).
+  Result<std::vector<Tensor>> run_batched_checked(
+      NumericBackend& backend, const std::vector<const Tensor*>& parts);
+
  private:
   const Graph& graph_;
   EngineOptions options_;
@@ -139,5 +151,17 @@ MemoizedExecutor::Stats run_planned_subgraph(
     const Graph& graph, const PlannedSubgraph& planned, Backend& backend,
     const std::unordered_map<int, TensorId>& io, TensorId out,
     const EngineOptions& options);
+
+// ---- per-request batching hooks (serving front-end, DESIGN.md §10) ----
+
+/// Concatenate canonical activation tensors along the batch dimension
+/// (dim 0). Every part must agree on rank and all non-batch dims;
+/// kShapeMismatch names the offending part otherwise.
+Result<Tensor> stack_batch(const std::vector<const Tensor*>& parts);
+
+/// Copy batch rows [row, row+rows) of a canonical tensor into a standalone
+/// tensor (batch is outermost in row-major layout, so this is one contiguous
+/// span). Bounds are BDL_CHECKed — callers slice by construction.
+Tensor slice_batch(const Tensor& t, i64 row, i64 rows);
 
 }  // namespace brickdl

@@ -43,4 +43,42 @@ Graph fuse_conv_pointwise(const Graph& graph) {
   return fused;
 }
 
+Result<Graph> rebatch_graph(const Graph& graph, i64 batch) {
+  if (batch < 1) {
+    return Status(StatusCode::kInvalidGraph,
+                  "rebatch_graph: batch must be >= 1, got " +
+                      std::to_string(batch));
+  }
+  int input_nodes = 0;
+  for (const Node& node : graph.nodes()) {
+    if (node.kind == OpKind::kInput) ++input_nodes;
+  }
+  if (input_nodes != 1) {
+    return Status(StatusCode::kInvalidGraph,
+                  "rebatch_graph: graph '" + graph.name() + "' has " +
+                      std::to_string(input_nodes) +
+                      " input nodes; exactly one is required");
+  }
+
+  Graph out(graph.name());
+  try {
+    // Nothing is absorbed or reordered, so node ids map 1:1 and the original
+    // input-id lists stay valid in the rebuilt graph.
+    for (const Node& node : graph.nodes()) {
+      if (node.kind == OpKind::kInput) {
+        Shape shape = node.out_shape;
+        shape.dims[0] = batch;
+        out.add_input(node.name, shape);
+        continue;
+      }
+      out.add_node(node.kind, node.inputs, node.attrs, node.name);
+    }
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidGraph,
+                  "rebatch_graph(batch=" + std::to_string(batch) +
+                      ") on '" + graph.name() + "': " + e.what());
+  }
+  return out;
+}
+
 }  // namespace brickdl

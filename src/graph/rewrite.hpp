@@ -10,6 +10,7 @@
 #pragma once
 
 #include "graph/graph.hpp"
+#include "util/status.hpp"
 
 namespace brickdl {
 
@@ -17,5 +18,14 @@ namespace brickdl {
 /// edge is replaced by one convolution with a fused ReLU epilogue. Node
 /// names are preserved; semantics are identical.
 Graph fuse_conv_pointwise(const Graph& graph);
+
+/// Rebuild `graph` with the batch dimension of its (single) input node set
+/// to `batch`, re-running shape inference through every node. Topology, node
+/// ids, and node names are preserved — and weights are seeded by node name
+/// (WeightStore), so the rebatched graph computes the same per-row function
+/// at any batch size. This is how the serving front-end stacks compatible
+/// requests into one engine run (DESIGN.md §10). kInvalidGraph when the
+/// graph has no unique input node or shape inference rejects the new batch.
+Result<Graph> rebatch_graph(const Graph& graph, i64 batch);
 
 }  // namespace brickdl

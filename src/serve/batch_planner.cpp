@@ -1,0 +1,126 @@
+#include "serve/batch_planner.hpp"
+
+#include <numeric>
+
+#include "graph/rewrite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace brickdl::serve {
+
+BatchPlanner::BatchPlanner(const Graph& model, const ServeOptions& options)
+    : model_(model), options_(options) {
+  budget_ = options_.footprint_budget > 0
+                ? options_.footprint_budget
+                : options_.engine.partition.l2_budget;
+}
+
+Result<BatchPlanner::Cached*> BatchPlanner::cached_for(i64 total_rows) {
+  auto it = cache_.find(total_rows);
+  if (it != cache_.end()) {
+    obs::metrics().counter("serve.plan_cache_hits").add(1);
+    return &it->second;
+  }
+  obs::metrics().counter("serve.plan_cache_misses").add(1);
+  obs::TraceSpan span("serve", "plan:" + model_.name(),
+                      {{"rows", total_rows}}, options_.engine.trace);
+
+  Result<Graph> rebatched = rebatch_graph(model_, total_rows);
+  BDL_RETURN_IF_ERROR(rebatched.status());
+
+  Cached cached;
+  cached.graph = std::make_unique<Graph>(rebatched.take());
+  cached.engine = std::make_unique<Engine>(*cached.graph, options_.engine);
+  cached.validated = cached.engine->validate();
+  for (const PlannedSubgraph& planned :
+       cached.engine->partition().subgraphs) {
+    if (planned.strategy == Strategy::kVendor) continue;
+    cached.footprint =
+        std::max(cached.footprint, planned.footprint_bytes);
+  }
+  if (cached.footprint == 0) {
+    // All-vendor plan: the partitioner reports no merged on-chip footprint,
+    // so bound the stack by the largest activation the rebatched graph
+    // materialises — the minimum working set any strategy must stream.
+    for (const Node& node : cached.graph->nodes()) {
+      cached.footprint = std::max(cached.footprint, node.out_shape.bytes());
+    }
+  }
+  auto [pos, inserted] = cache_.emplace(total_rows, std::move(cached));
+  BDL_CHECK(inserted);
+  return &pos->second;
+}
+
+Status BatchPlanner::coalesce_into(const std::vector<i64>& rows,
+                                   std::vector<size_t> members,
+                                   std::vector<Plan>& plans) {
+  i64 total_rows = 0;
+  for (size_t m : members) total_rows += rows[m];
+
+  Result<Cached*> cached = cached_for(total_rows);
+  BDL_RETURN_IF_ERROR(cached.status());
+  Cached* c = cached.value();
+
+  // Any validation failure other than the footprint rule is a real error —
+  // splitting won't fix a malformed graph.
+  if (!c->validated.ok() &&
+      c->validated.code() != StatusCode::kBudgetExceeded) {
+    return c->validated;
+  }
+
+  const bool oversized =
+      !c->validated.ok() || c->footprint > budget_ ||
+      (options_.max_batch_rows > 0 && total_rows > options_.max_batch_rows);
+  if (oversized && members.size() > 1) {
+    ++splits_;
+    obs::metrics().counter("serve.splits").add(1);
+    const size_t half = members.size() / 2;
+    std::vector<size_t> lo(members.begin(), members.begin() + half);
+    std::vector<size_t> hi(members.begin() + half, members.end());
+    BDL_RETURN_IF_ERROR(coalesce_into(rows, std::move(lo), plans));
+    return coalesce_into(rows, std::move(hi), plans);
+  }
+  if (oversized) {
+    // A solo request can't split; the engine's own partitioner already kept
+    // its plan within the real L2 budget, so run it and note the event.
+    obs::metrics().counter("serve.oversized_solo").add(1);
+  }
+
+  Plan plan;
+  plan.graph = c->graph.get();
+  plan.engine = c->engine.get();
+  plan.members = std::move(members);
+  plan.rows = total_rows;
+  plans.push_back(std::move(plan));
+  return Status();
+}
+
+Result<std::vector<BatchPlanner::Plan>> BatchPlanner::coalesce(
+    const std::vector<i64>& rows) {
+  if (rows.empty()) {
+    return Status(StatusCode::kInvalidOptions, "coalesce: no requests");
+  }
+  std::vector<size_t> members(rows.size());
+  std::iota(members.begin(), members.end(), size_t{0});
+  std::vector<Plan> plans;
+  BDL_RETURN_IF_ERROR(coalesce_into(rows, std::move(members), plans));
+  return plans;
+}
+
+Result<BatchPlanner::Plan> BatchPlanner::solo(size_t member, i64 rows) {
+  Result<Cached*> cached = cached_for(rows);
+  BDL_RETURN_IF_ERROR(cached.status());
+  Cached* c = cached.value();
+  if (!c->validated.ok() &&
+      c->validated.code() != StatusCode::kBudgetExceeded) {
+    return c->validated;
+  }
+  Plan plan;
+  plan.graph = c->graph.get();
+  plan.engine = c->engine.get();
+  plan.members = {member};
+  plan.rows = rows;
+  return plan;
+}
+
+}  // namespace brickdl::serve

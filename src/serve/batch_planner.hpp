@@ -1,0 +1,75 @@
+// Batch planning for the serving front-end (DESIGN.md §10).
+//
+// Coalescing a set of in-flight requests means running one engine over the
+// model graph rebatched to their summed row count. The §3.3 partition and
+// strategy decisions depend on that batch size, so the planner caches one
+// {rebatched graph, Engine} pair per distinct stacked row count and reuses
+// it across flushes — the graph-level planning cost is paid once per batch
+// size, not once per request (the amortization BrickDL's graph-level
+// framing argues for).
+//
+// Oversized batches split instead of blowing the footprint rule: a batch
+// whose stacked plan exceeds the budget (or the max_batch_rows cap) is
+// recursively halved. A solo request can't be split further; it runs with
+// whatever plan the engine's own (budget-respecting) partitioner chose,
+// counted under serve.oversized_solo.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace brickdl::serve {
+
+class BatchPlanner {
+ public:
+  /// `model` must outlive the planner. Its input node defines the request
+  /// shape contract; its batch dimension is a template only.
+  BatchPlanner(const Graph& model, const ServeOptions& options);
+
+  /// One coalesced engine run: `members` indexes the request list handed to
+  /// coalesce(), in order. `graph` and `engine` live in the planner cache
+  /// and stay valid for the planner's lifetime.
+  struct Plan {
+    const Graph* graph = nullptr;
+    Engine* engine = nullptr;
+    std::vector<size_t> members;
+    i64 rows = 0;
+  };
+
+  /// Partition the request set (given per-request row counts, in queue
+  /// order) into plans whose stacked graphs fit the split knobs. Not
+  /// thread-safe — the scheduler thread is the only caller.
+  Result<std::vector<Plan>> coalesce(const std::vector<i64>& rows);
+
+  /// Plan for one member alone (the solo-fallback path).
+  Result<Plan> solo(size_t member, i64 rows);
+
+  /// Stacked batches split so far (for tests; also serve.splits).
+  i64 splits() const { return splits_; }
+
+ private:
+  struct Cached {
+    std::unique_ptr<Graph> graph;
+    std::unique_ptr<Engine> engine;
+    Status validated;  ///< Engine::validate() at build time
+    /// Bytes to compare against the budget: max merged-subgraph footprint,
+    /// or (all-vendor plans) the largest activation in the stacked graph.
+    i64 footprint = 0;
+  };
+
+  Result<Cached*> cached_for(i64 total_rows);
+  Status coalesce_into(const std::vector<i64>& rows,
+                       std::vector<size_t> members,
+                       std::vector<Plan>& plans);
+
+  const Graph& model_;
+  ServeOptions options_;
+  i64 budget_ = 0;  ///< effective footprint budget, bytes
+  std::map<i64, Cached> cache_;
+  i64 splits_ = 0;
+};
+
+}  // namespace brickdl::serve

@@ -1,0 +1,61 @@
+// Serving front-end types (DESIGN.md §10).
+//
+// The serving layer turns the single-graph engine into a request server:
+// concurrent callers submit input tensors for one model, a scheduler
+// coalesces compatible in-flight requests into one batched engine run
+// (stacking along the batch dimension the executors already treat as a
+// blocked dim), and per-request outputs are sliced back out. Every request
+// carries its own Status — admission rejects, batch failures, and solo
+// fallbacks are all classified with the DESIGN.md §7 taxonomy, never
+// silently dropped.
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace brickdl::serve {
+
+struct ServeOptions {
+  /// Coalescing knobs: a flush fires when `max_batch` requests are pending
+  /// or the oldest pending request has waited `max_wait_us` microseconds.
+  int max_batch = 8;
+  i64 max_wait_us = 2000;
+
+  /// Split knobs. A coalesced batch is recursively halved while its stacked
+  /// row count exceeds `max_batch_rows` (0 = unlimited) or any merged
+  /// subgraph of its stacked plan exceeds `footprint_budget` bytes
+  /// (0 = the engine partition's L2 budget — the paper's 40 MB rule).
+  i64 max_batch_rows = 0;
+  i64 footprint_budget = 0;
+
+  /// Worker count for the per-run NumericBackend.
+  int backend_workers = 4;
+
+  /// Scan request inputs for NaN/Inf at admission, so one poisoned input is
+  /// rejected alone instead of corrupting its whole batch.
+  bool admission_finite_check = true;
+
+  /// When a batched run fails, re-run each member solo so only the requests
+  /// that fail on their own are failed (per-request degradation; the engine's
+  /// own strategy fallback chain runs inside each attempt).
+  bool solo_fallback = true;
+
+  /// Engine configuration shared by every batched and solo run.
+  EngineOptions engine;
+};
+
+/// kInvalidOptions unless every knob is in range.
+Status validate_serve_options(const ServeOptions& options);
+
+/// Per-request outcome, delivered through the future returned by
+/// Server::submit(). `output` is valid only when `status.ok()`.
+struct RequestResult {
+  Status status;
+  Tensor output;
+  /// Occupancy of the engine run that served this request: how many
+  /// requests (and how many stacked batch rows) shared the run. 1/rows for
+  /// solo runs and admission rejects.
+  i64 batch_requests = 0;
+  i64 batch_rows = 0;
+};
+
+}  // namespace brickdl::serve

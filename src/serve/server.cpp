@@ -1,0 +1,317 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace brickdl::serve {
+namespace {
+
+u64 now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+}  // namespace
+
+Status validate_serve_options(const ServeOptions& options) {
+  if (options.max_batch < 1) {
+    return Status(StatusCode::kInvalidOptions,
+                  "max_batch must be >= 1, got " +
+                      std::to_string(options.max_batch));
+  }
+  if (options.max_wait_us < 0) {
+    return Status(StatusCode::kInvalidOptions, "max_wait_us must be >= 0");
+  }
+  if (options.max_batch_rows < 0) {
+    return Status(StatusCode::kInvalidOptions, "max_batch_rows must be >= 0");
+  }
+  if (options.footprint_budget < 0) {
+    return Status(StatusCode::kInvalidOptions,
+                  "footprint_budget must be >= 0");
+  }
+  if (options.backend_workers < 1) {
+    return Status(StatusCode::kInvalidOptions,
+                  "backend_workers must be >= 1, got " +
+                      std::to_string(options.backend_workers));
+  }
+  return validate_engine_options(options.engine);
+}
+
+// ---- RequestQueue ----
+
+void RequestQueue::push(PendingRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(request));
+    obs::metrics().gauge("serve.queue_depth")
+        .set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+}
+
+std::vector<PendingRequest> RequestQueue::pop_batch(int max_batch,
+                                                    i64 max_wait_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return {};  // closed and drained
+
+  // Coalescing wait: the flush deadline is anchored to the *oldest* pending
+  // request, so no request waits more than max_wait_us in the queue.
+  const auto deadline =
+      std::chrono::steady_clock::time_point(
+          std::chrono::nanoseconds(queue_.front().enqueue_ns)) +
+      std::chrono::microseconds(max_wait_us);
+  cv_.wait_until(lock, deadline, [&] {
+    return static_cast<int>(queue_.size()) >= max_batch || closed_;
+  });
+
+  std::vector<PendingRequest> batch;
+  const int take = std::min<int>(max_batch, static_cast<int>(queue_.size()));
+  batch.reserve(static_cast<size_t>(take));
+  for (int i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  obs::metrics().gauge("serve.queue_depth")
+      .set(static_cast<double>(queue_.size()));
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+i64 RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<i64>(queue_.size());
+}
+
+// ---- Server ----
+
+Server::Server(const Graph& model, WeightStore& weights, ServeOptions options)
+    : model_(model),
+      weights_(weights),
+      options_(std::move(options)),
+      planner_(model, options_) {
+  preflight_ = validate_serve_options(options_);
+  for (const Node& node : model_.nodes()) {
+    if (node.kind == OpKind::kInput) {
+      if (input_node_) {
+        preflight_ = Status(StatusCode::kInvalidGraph,
+                            "serving model '" + model_.name() +
+                                "' must have exactly one input node");
+        break;
+      }
+      input_node_ = &node;
+    }
+  }
+  if (preflight_.ok() && !input_node_) {
+    preflight_ = Status(StatusCode::kInvalidGraph,
+                        "serving model '" + model_.name() +
+                            "' has no input node");
+  }
+  if (preflight_.ok()) {
+    scheduler_ = std::thread([this] { scheduler_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+Status Server::admit(const Tensor& input) const {
+  BDL_RETURN_IF_ERROR(preflight_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status(StatusCode::kInvalidOptions, "server is shutting down");
+  }
+  const Dims& expected = input_node_->out_shape.dims;
+  const Dims& got = input.dims();
+  bool compatible = got.rank() == expected.rank() && got[0] >= 1;
+  for (int k = 1; compatible && k < expected.rank(); ++k) {
+    compatible = got[k] == expected[k];
+  }
+  if (!compatible) {
+    return Status(StatusCode::kShapeMismatch,
+                  "request tensor has dims " + got.str() +
+                      " but input node '" + input_node_->name +
+                      "' requires " + expected.str() +
+                      " on every non-batch dim");
+  }
+  if (options_.admission_finite_check) {
+    for (i64 i = 0; i < input.elements(); ++i) {
+      if (!std::isfinite(input.flat(i))) {
+        return Status(StatusCode::kKernelFailure,
+                      "request tensor contains a non-finite value at flat "
+                      "index " +
+                          std::to_string(i) + "; rejected at admission");
+      }
+    }
+  }
+  return Status();
+}
+
+std::future<RequestResult> Server::submit(Tensor input) {
+  PendingRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::future<RequestResult> future = request.promise.get_future();
+
+  const Status admitted = admit(input);
+  if (!admitted.ok()) {
+    obs::metrics().counter("serve.rejected").add(1);
+    obs::Tracer::instant("serve", "reject");
+    RequestResult result;
+    result.status = admitted;
+    request.promise.set_value(std::move(result));
+    return future;
+  }
+
+  request.rows = input.dims()[0];
+  request.input = std::move(input);
+  request.enqueue_ns = now_ns();
+  obs::metrics().counter("serve.enqueued").add(1);
+  obs::Tracer::instant("serve", "enqueue");
+  queue_.push(std::move(request));
+  return future;
+}
+
+void Server::finish(PendingRequest& request, RequestResult result) {
+  const i64 total_us =
+      static_cast<i64>((now_ns() - request.enqueue_ns) / 1000);
+  obs::metrics().histogram("serve.request_us").observe(total_us);
+  obs::metrics()
+      .counter(result.status.ok() ? "serve.completed" : "serve.failed")
+      .add(1);
+  request.promise.set_value(std::move(result));
+}
+
+void Server::scheduler_loop() {
+  obs::Tracer::set_thread_label("serve-scheduler");
+  while (true) {
+    std::vector<PendingRequest> batch =
+        queue_.pop_batch(options_.max_batch, options_.max_wait_us);
+    if (batch.empty()) return;  // closed and drained
+    flush(batch);
+  }
+}
+
+void Server::flush(std::vector<PendingRequest>& batch) {
+  obs::TraceSpan span("serve", "flush",
+                      {{"requests", static_cast<i64>(batch.size())}},
+                      options_.engine.trace);
+  obs::metrics().counter("serve.flushes").add(1);
+  const u64 flush_ns = now_ns();
+  std::vector<i64> rows;
+  rows.reserve(batch.size());
+  for (const PendingRequest& request : batch) {
+    rows.push_back(request.rows);
+    // Coalesce latency: how long admission-to-flush batching held the
+    // request back (the knob max_wait_us bounds this).
+    obs::metrics()
+        .histogram("serve.coalesce_us")
+        .observe(static_cast<i64>((flush_ns - request.enqueue_ns) / 1000));
+  }
+
+  Result<std::vector<BatchPlanner::Plan>> plans = planner_.coalesce(rows);
+  if (!plans.ok()) {
+    for (PendingRequest& request : batch) {
+      RequestResult result;
+      result.status = plans.status();
+      finish(request, std::move(result));
+    }
+    return;
+  }
+  for (const BatchPlanner::Plan& plan : plans.value()) {
+    run_plan(batch, plan);
+  }
+}
+
+void Server::run_plan(std::vector<PendingRequest>& batch,
+                      const BatchPlanner::Plan& plan) {
+  const i64 occupancy = static_cast<i64>(plan.members.size());
+  obs::metrics().counter("serve.batches").add(1);
+  obs::metrics().histogram("serve.batch_occupancy").observe(occupancy);
+  obs::metrics().histogram("serve.batch_rows").observe(plan.rows);
+
+  std::vector<const Tensor*> parts;
+  parts.reserve(plan.members.size());
+  for (size_t m : plan.members) parts.push_back(&batch[m].input);
+
+  Result<std::vector<Tensor>> outputs = [&] {
+    obs::TraceSpan span("serve", "batch_run",
+                        {{"requests", occupancy}, {"rows", plan.rows}},
+                        options_.engine.trace);
+    const u64 t0 = now_ns();
+    NumericBackend backend(*plan.graph, weights_, options_.backend_workers);
+    auto r = plan.engine->run_batched_checked(backend, parts);
+    obs::metrics()
+        .histogram("serve.run_us")
+        .observe(static_cast<i64>((now_ns() - t0) / 1000));
+    return r;
+  }();
+
+  if (outputs.ok()) {
+    BDL_CHECK(outputs.value().size() == plan.members.size());
+    for (size_t i = 0; i < plan.members.size(); ++i) {
+      RequestResult result;
+      result.output = std::move(outputs.value()[i]);
+      result.batch_requests = occupancy;
+      result.batch_rows = plan.rows;
+      finish(batch[plan.members[i]], std::move(result));
+    }
+    return;
+  }
+
+  obs::metrics().counter("serve.batch_failures").add(1);
+  if (plan.members.size() == 1 || !options_.solo_fallback) {
+    for (size_t m : plan.members) {
+      RequestResult result;
+      result.status = outputs.status();
+      finish(batch[m], std::move(result));
+    }
+    return;
+  }
+
+  // Per-request degradation: the batched run failed as a unit, so re-run
+  // every member solo (in queue order) — only requests that fail on their
+  // own fail, and each solo run still gets the engine's §7 strategy
+  // fallback chain.
+  obs::metrics().counter("serve.solo_fallbacks").add(1);
+  obs::TraceSpan span("serve", "solo_fallback", {{"requests", occupancy}},
+                      options_.engine.trace);
+  for (size_t m : plan.members) {
+    PendingRequest& request = batch[m];
+    Result<BatchPlanner::Plan> solo = planner_.solo(m, request.rows);
+    RequestResult result;
+    result.batch_requests = 1;
+    result.batch_rows = request.rows;
+    if (!solo.ok()) {
+      result.status = solo.status();
+      finish(request, std::move(result));
+      continue;
+    }
+    NumericBackend backend(*solo.value().graph, weights_,
+                           options_.backend_workers);
+    Result<std::vector<Tensor>> out =
+        solo.value().engine->run_batched_checked(backend, {&request.input});
+    if (out.ok()) {
+      result.output = std::move(out.value()[0]);
+    } else {
+      result.status = out.status();
+    }
+    finish(request, std::move(result));
+  }
+}
+
+}  // namespace brickdl::serve

@@ -1,0 +1,102 @@
+// Cross-request batching server (DESIGN.md §10).
+//
+// Server::submit() is the thread-safe front door: it validates the request
+// against the model's input contract at admission (shape compatibility,
+// optional NaN/Inf scan) and enqueues it with a future for the result. A
+// single scheduler thread (the batch scheduler) drains the RequestQueue:
+// a flush fires when max_batch requests are pending or the oldest pending
+// request has waited max_wait_us, the BatchPlanner coalesces the flushed
+// requests into stacked engine runs (splitting oversized batches), and each
+// run's output is sliced back per request. One request's failure never
+// fails its batch-mates: a failed batched run is retried solo per member.
+//
+// Observability: serve.* metrics (queue depth gauge; enqueue/complete/
+// reject/failure counters; batch occupancy, stacked rows, coalesce- and
+// run-latency histograms) and "serve" trace spans for enqueue → flush →
+// run → slice.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "ops/dispatch.hpp"
+#include "serve/batch_planner.hpp"
+
+namespace brickdl::serve {
+
+/// One admitted, not-yet-served request.
+struct PendingRequest {
+  u64 id = 0;
+  Tensor input;
+  i64 rows = 0;        ///< batch rows this request contributes
+  u64 enqueue_ns = 0;  ///< steady-clock admission time
+  std::promise<RequestResult> promise;
+};
+
+/// Thread-safe FIFO between submitters and the scheduler thread. pop_batch
+/// implements the coalescing wait: it blocks until work exists, then keeps
+/// collecting until `max_batch` requests are pending or the oldest has aged
+/// past `max_wait_us` (shutdown flushes whatever is queued immediately).
+class RequestQueue {
+ public:
+  void push(PendingRequest request);
+  /// Empty result means the queue is closed and drained.
+  std::vector<PendingRequest> pop_batch(int max_batch, i64 max_wait_us);
+  /// Wake waiters; pop_batch drains the backlog, then returns empty.
+  void close();
+  i64 depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool closed_ = false;
+};
+
+class Server {
+ public:
+  /// `model` and `weights` must outlive the server. The model's input node
+  /// defines the request contract: a request tensor must match its rank and
+  /// every non-batch dim, and may carry any number of batch rows.
+  Server(const Graph& model, WeightStore& weights, ServeOptions options = {});
+  ~Server();  ///< shutdown(): drains the queue, then joins the scheduler
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit one request. Always returns a future that will be fulfilled:
+  /// admission failures (incompatible shape, non-finite input, server
+  /// shutting down) resolve immediately with a classifying Status.
+  std::future<RequestResult> submit(Tensor input);
+
+  /// Stop admitting, serve everything already queued, join the scheduler.
+  /// Idempotent.
+  void shutdown();
+
+  i64 queue_depth() const { return queue_.depth(); }
+
+ private:
+  Status admit(const Tensor& input) const;
+  void scheduler_loop();
+  void flush(std::vector<PendingRequest>& batch);
+  void run_plan(std::vector<PendingRequest>& batch,
+                const BatchPlanner::Plan& plan);
+  void finish(PendingRequest& request, RequestResult result);
+
+  const Graph& model_;
+  WeightStore& weights_;
+  ServeOptions options_;
+  Status preflight_;
+  const Node* input_node_ = nullptr;
+  BatchPlanner planner_;  ///< scheduler-thread only after construction
+  RequestQueue queue_;
+  std::atomic<u64> next_id_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread scheduler_;
+};
+
+}  // namespace brickdl::serve

@@ -1,0 +1,445 @@
+// Serving front-end suite (label `serve`, DESIGN.md §10).
+//
+// The core contract under test: N concurrent requests through the batching
+// scheduler produce outputs *bit-identical* to N sequential solo engine
+// runs — batching is a scheduling decision, never a numerics decision — and
+// the serve.* metrics prove real coalescing happened. The failure-path tests
+// reuse the §7 taxonomy: incompatible shapes and poisoned inputs are
+// rejected alone with classifying Statuses, oversized batches split rather
+// than blow the footprint rule, and an injected fault (PR 2 hooks) fails
+// only the request that faults solo while its batch-mates succeed.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <limits>
+#include <thread>
+
+#include "graph/rewrite.hpp"
+#include "models/models.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace brickdl {
+namespace {
+
+using serve::RequestResult;
+using serve::ServeOptions;
+using serve::Server;
+
+constexpr u64 kWeightSeed = 99;
+
+Graph chain_model() { return build_conv_chain_2d(3, 1, 16, 2); }
+
+/// Head + global classifier: exercises gap/dense/softmax so slicing covers
+/// rank-2 [N, classes] outputs, not just spatial activations.
+Graph classifier_model() {
+  Graph g("classifier");
+  int x = g.add_input("x", Shape{1, 3, 12, 12});
+  x = g.add_conv(x, "c1", Dims{3, 3}, 4, Dims{1, 1}, Dims{1, 1});
+  x = g.add_relu(x, "r1");
+  x = g.add_pool(x, "p", PoolKind::kMax, Dims{2, 2}, Dims{2, 2});
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_dense(x, "fc", 5);
+  g.add_softmax(x, "sm");
+  return g;
+}
+
+Tensor random_request(const Graph& model, i64 rows, u64 seed) {
+  Dims dims = model.node(0).out_shape.dims;
+  dims[0] = rows;
+  Tensor t(dims);
+  Rng rng(seed);
+  t.fill_random(rng);
+  return t;
+}
+
+/// Ground truth: a direct solo Engine::run_batched_checked on the rebatched
+/// graph, with a fresh same-seed WeightStore (weights are (seed, node name)
+/// keyed, so this matches the server's store bit-for-bit).
+Tensor solo_reference(const Graph& model, const Tensor& input,
+                      const EngineOptions& eopts) {
+  Result<Graph> rebatched = rebatch_graph(model, input.dims()[0]);
+  EXPECT_TRUE(rebatched.ok()) << rebatched.status().to_string();
+  Graph graph = rebatched.take();
+  WeightStore ws(kWeightSeed);
+  Engine engine(graph, eopts);
+  NumericBackend backend(graph, ws, 4);
+  auto out = engine.run_batched_checked(backend, {&input});
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  return std::move(out.value()[0]);
+}
+
+i64 counter_value(const std::string& name) {
+  return obs::metrics().counter(name).value();
+}
+
+}  // namespace
+
+TEST(ServeBatching, StackSliceRoundTrip) {
+  Rng rng(7);
+  Tensor a(Dims{2, 3, 4}), b(Dims{1, 3, 4}), c(Dims{3, 3, 4});
+  a.fill_random(rng);
+  b.fill_random(rng);
+  c.fill_random(rng);
+  auto stacked = stack_batch({&a, &b, &c});
+  ASSERT_TRUE(stacked.ok());
+  EXPECT_EQ(stacked.value().dims(), (Dims{6, 3, 4}));
+  EXPECT_EQ(max_abs_diff(slice_batch(stacked.value(), 0, 2), a), 0.0);
+  EXPECT_EQ(max_abs_diff(slice_batch(stacked.value(), 2, 1), b), 0.0);
+  EXPECT_EQ(max_abs_diff(slice_batch(stacked.value(), 3, 3), c), 0.0);
+
+  Tensor bad(Dims{2, 5, 4});
+  auto mismatch = stack_batch({&a, &bad});
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kShapeMismatch);
+}
+
+TEST(ServeBatching, RebatchPreservesTopologyAndNames) {
+  const Graph model = classifier_model();
+  auto rebatched = rebatch_graph(model, 5);
+  ASSERT_TRUE(rebatched.ok()) << rebatched.status().to_string();
+  const Graph& g = rebatched.value();
+  ASSERT_EQ(g.num_nodes(), model.num_nodes());
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(g.node(i).name, model.node(i).name);
+    EXPECT_EQ(g.node(i).kind, model.node(i).kind);
+    EXPECT_EQ(g.node(i).inputs, model.node(i).inputs);
+    EXPECT_EQ(g.node(i).out_shape.dims[0], 5);
+    for (int k = 1; k < g.node(i).out_shape.rank(); ++k) {
+      EXPECT_EQ(g.node(i).out_shape.dims[k], model.node(i).out_shape.dims[k]);
+    }
+  }
+  EXPECT_FALSE(rebatch_graph(model, 0).ok());
+}
+
+TEST(ServeBatching, SoloRequestBitIdenticalToDirectRun) {
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 4;
+  opts.max_wait_us = 1000;
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  const Tensor input = random_request(model, 2, 11);
+  RequestResult result = server.submit(input).get();
+  ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+  EXPECT_EQ(result.batch_requests, 1);
+  EXPECT_EQ(result.batch_rows, 2);
+  EXPECT_EQ(max_abs_diff(result.output, solo_reference(model, input, opts.engine)),
+            0.0);
+}
+
+// Acceptance: concurrent requests coalesce into multi-request engine runs
+// whose per-request slices are bit-identical to sequential solo runs, for
+// both merged strategies, with occupancy metrics proving real batching.
+class ServeBatchingStrategies
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServeBatchingStrategies, ConcurrentRequestsBitIdenticalToSolo) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 4;
+  opts.max_wait_us = 500000;  // generous: flushes trigger on max_batch
+  if (std::string(GetParam()) == "padded") {
+    opts.engine.force_strategy = Strategy::kPadded;
+  } else {
+    opts.engine.force_strategy = Strategy::kMemoized;
+    opts.engine.memo_parallel = true;  // real pool: TSan-meaningful
+  }
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  const i64 rows[] = {1, 2, 1, 3, 1, 1, 2, 1};
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(random_request(model, rows[i], 100 + static_cast<u64>(i)));
+  }
+
+  // Four submitter threads, two requests each — admission is the
+  // thread-safe surface under test here.
+  std::vector<std::future<RequestResult>> futures(8);
+  {
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = t * 2; i < t * 2 + 2; ++i) {
+          futures[static_cast<size_t>(i)] = server.submit(inputs[static_cast<size_t>(i)]);
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    RequestResult result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+    EXPECT_EQ(result.output.dims()[0], rows[i]);
+    EXPECT_EQ(
+        max_abs_diff(result.output,
+                     solo_reference(model, inputs[static_cast<size_t>(i)], opts.engine)),
+        0.0)
+        << "request " << i << " not bit-identical to its solo run";
+  }
+
+  EXPECT_EQ(counter_value("serve.completed"), 8);
+  EXPECT_EQ(counter_value("serve.failed"), 0);
+  // At least one genuinely multi-request batch formed.
+  EXPECT_GE(obs::metrics().histogram("serve.batch_occupancy").max(), 2)
+      << "no multi-request batch formed";
+  EXPECT_GE(counter_value("serve.batches"), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ServeBatchingStrategies,
+                         ::testing::Values("padded", "memoized"));
+
+TEST(ServeBatching, GlobalClassifierOutputsSlicePerRequest) {
+  const Graph model = classifier_model();
+  ServeOptions opts;
+  opts.max_batch = 3;
+  opts.max_wait_us = 500000;
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<RequestResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(random_request(model, 1 + i % 2, 40 + static_cast<u64>(i)));
+    futures.push_back(server.submit(inputs.back()));
+  }
+  for (int i = 0; i < 3; ++i) {
+    RequestResult result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+    EXPECT_EQ(max_abs_diff(result.output,
+                           solo_reference(model, inputs[static_cast<size_t>(i)],
+                                          opts.engine)),
+              0.0);
+  }
+}
+
+TEST(ServeBatching, IncompatibleShapeRejectedWithNamedStatus) {
+  obs::metrics().reset();
+  const Graph model = chain_model();  // input [N, 2, 16, 16]
+  ServeOptions opts;
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  Tensor wrong_channels(Dims{1, 3, 16, 16});
+  RequestResult r1 = server.submit(wrong_channels).get();
+  EXPECT_EQ(r1.status.code(), StatusCode::kShapeMismatch);
+  EXPECT_NE(r1.status.message().find("[1x3x16x16]"), std::string::npos)
+      << r1.status.message();
+
+  Tensor wrong_rank(Dims{1, 2, 16});
+  RequestResult r2 = server.submit(wrong_rank).get();
+  EXPECT_EQ(r2.status.code(), StatusCode::kShapeMismatch);
+
+  // Rejections are classified, not dropped: both resolved their futures and
+  // were counted, nothing was enqueued for them.
+  EXPECT_EQ(counter_value("serve.rejected"), 2);
+  EXPECT_EQ(counter_value("serve.enqueued"), 0);
+}
+
+TEST(ServeBatching, PoisonedInputRejectedAloneBatchMatesSucceed) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 2;
+  opts.max_wait_us = 500000;
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  Tensor good0 = random_request(model, 1, 50);
+  Tensor poisoned = random_request(model, 1, 51);
+  poisoned.flat(3) = std::numeric_limits<float>::quiet_NaN();
+  Tensor good1 = random_request(model, 1, 52);
+
+  auto f0 = server.submit(good0);
+  auto fp = server.submit(poisoned);
+  auto f1 = server.submit(good1);
+
+  RequestResult rp = fp.get();
+  EXPECT_EQ(rp.status.code(), StatusCode::kKernelFailure);
+  EXPECT_NE(rp.status.message().find("non-finite"), std::string::npos);
+
+  RequestResult r0 = f0.get();
+  RequestResult r1 = f1.get();
+  ASSERT_TRUE(r0.status.ok());
+  ASSERT_TRUE(r1.status.ok());
+  // The two healthy requests still coalesced into one batch around the
+  // rejected one.
+  EXPECT_EQ(r0.batch_requests, 2);
+  EXPECT_EQ(r1.batch_requests, 2);
+  EXPECT_EQ(max_abs_diff(r0.output, solo_reference(model, good0, opts.engine)),
+            0.0);
+  EXPECT_EQ(max_abs_diff(r1.output, solo_reference(model, good1, opts.engine)),
+            0.0);
+}
+
+TEST(ServeBatching, OversizedBatchSplitsByRowCapAndCompletes) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 4;
+  opts.max_wait_us = 500000;
+  opts.max_batch_rows = 2;  // a 4-row stacked batch must split in half
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<RequestResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(random_request(model, 1, 60 + static_cast<u64>(i)));
+    futures.push_back(server.submit(inputs.back()));
+  }
+  for (int i = 0; i < 4; ++i) {
+    RequestResult result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+    EXPECT_EQ(result.batch_requests, 2);  // both halves ran as pairs
+    EXPECT_EQ(result.batch_rows, 2);
+    EXPECT_EQ(max_abs_diff(result.output,
+                           solo_reference(model, inputs[static_cast<size_t>(i)],
+                                          opts.engine)),
+              0.0);
+  }
+  EXPECT_EQ(counter_value("serve.splits"), 1);
+  EXPECT_EQ(counter_value("serve.batches"), 2);
+}
+
+TEST(ServeBatching, FootprintBudgetSplitsToSoloAndCompletes) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 4;
+  opts.max_wait_us = 500000;
+  opts.footprint_budget = 1;  // every merged plan is "oversized"
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<RequestResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(random_request(model, 1, 70 + static_cast<u64>(i)));
+    futures.push_back(server.submit(inputs.back()));
+  }
+  for (int i = 0; i < 4; ++i) {
+    RequestResult result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+    EXPECT_EQ(result.batch_requests, 1);  // split all the way down
+    EXPECT_EQ(max_abs_diff(result.output,
+                           solo_reference(model, inputs[static_cast<size_t>(i)],
+                                          opts.engine)),
+              0.0);
+  }
+  EXPECT_EQ(counter_value("serve.splits"), 3);       // 4 -> 2+2 -> 1+1+1+1
+  EXPECT_EQ(counter_value("serve.oversized_solo"), 4);
+}
+
+TEST(ServeBatching, InjectedFaultFailsOneRequestBatchMatesSucceed) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 3;
+  opts.max_wait_us = 500000;
+  // No engine-level strategy retries: the injected kernel fault must surface
+  // through the *serving* layer's per-request containment instead.
+  opts.engine.graceful_fallback = false;
+
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(random_request(model, 1, 80 + static_cast<u64>(i)));
+  }
+  // Clean ground truth before arming any fault.
+  std::vector<Tensor> expected;
+  for (const Tensor& input : inputs) {
+    expected.push_back(solo_reference(model, input, opts.engine));
+  }
+
+  WeightStore ws(kWeightSeed);
+  ScopedFaultInjection injection;
+  // Fire 1 kills the coalesced batch run; fire 2 kills the first member's
+  // solo re-run. Members re-run in queue order, so exactly request 0 fails
+  // and its batch-mates complete.
+  injection.injector().arm(
+      {FaultKind::kKernelFailure, /*node_id=*/-1, /*skip=*/0, /*max_fires=*/2});
+
+  Server server(model, ws, opts);
+  std::vector<std::future<RequestResult>> futures;
+  for (const Tensor& input : inputs) futures.push_back(server.submit(input));
+
+  RequestResult r0 = futures[0].get();
+  RequestResult r1 = futures[1].get();
+  RequestResult r2 = futures[2].get();
+  server.shutdown();
+
+  EXPECT_EQ(r0.status.code(), StatusCode::kKernelFailure);
+  ASSERT_TRUE(r1.status.ok()) << r1.status.to_string();
+  ASSERT_TRUE(r2.status.ok()) << r2.status.to_string();
+  EXPECT_EQ(r1.batch_requests, 1);  // served by its solo fallback run
+  EXPECT_EQ(max_abs_diff(r1.output, expected[1]), 0.0);
+  EXPECT_EQ(max_abs_diff(r2.output, expected[2]), 0.0);
+  EXPECT_EQ(injection.injector().fires(FaultKind::kKernelFailure), 2);
+  EXPECT_EQ(counter_value("serve.batch_failures"), 1);
+  EXPECT_EQ(counter_value("serve.solo_fallbacks"), 1);
+  EXPECT_EQ(counter_value("serve.failed"), 1);
+  EXPECT_EQ(counter_value("serve.completed"), 2);
+}
+
+TEST(ServeBatching, ShutdownDrainsQueueAndRejectsLateSubmits) {
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_us = 10'000'000;  // would wait 10s — shutdown must not
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  std::vector<std::future<RequestResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.submit(random_request(model, 1, 90 + static_cast<u64>(i))));
+  }
+  server.shutdown();
+  for (auto& f : futures) {
+    RequestResult result = f.get();
+    EXPECT_TRUE(result.status.ok()) << result.status.to_string();
+  }
+  RequestResult late = server.submit(random_request(model, 1, 99)).get();
+  EXPECT_EQ(late.status.code(), StatusCode::kInvalidOptions);
+  EXPECT_NE(late.status.message().find("shutting down"), std::string::npos);
+}
+
+TEST(ServeBatching, PlanCacheAmortizesAcrossFlushes) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 2;
+  opts.max_wait_us = 500000;
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  // Three flushes of the same stacked size: the §3.3 partition/strategy
+  // planning runs once, then hits the cache.
+  for (int round = 0; round < 3; ++round) {
+    auto f0 = server.submit(random_request(model, 1, 200 + static_cast<u64>(round)));
+    auto f1 = server.submit(random_request(model, 1, 300 + static_cast<u64>(round)));
+    ASSERT_TRUE(f0.get().status.ok());
+    ASSERT_TRUE(f1.get().status.ok());
+  }
+  EXPECT_EQ(counter_value("serve.plan_cache_misses"), 1);
+  EXPECT_GE(counter_value("serve.plan_cache_hits"), 2);
+}
+
+TEST(ServeOptionsValidation, RejectsOutOfRangeKnobs) {
+  ServeOptions opts;
+  opts.max_batch = 0;
+  EXPECT_EQ(validate_serve_options(opts).code(), StatusCode::kInvalidOptions);
+  opts = ServeOptions{};
+  opts.backend_workers = 0;
+  EXPECT_EQ(validate_serve_options(opts).code(), StatusCode::kInvalidOptions);
+  opts = ServeOptions{};
+  opts.engine.memo_workers = 0;  // engine knobs validated transitively
+  EXPECT_EQ(validate_serve_options(opts).code(), StatusCode::kInvalidOptions);
+  EXPECT_TRUE(validate_serve_options(ServeOptions{}).ok());
+}
+
+}  // namespace brickdl

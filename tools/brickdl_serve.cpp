@@ -1,0 +1,283 @@
+// brickdl_serve — replay a request trace through the serving front-end
+// (DESIGN.md §10) and report batching behaviour.
+//
+//   brickdl_serve <trace-file> [options]
+//   brickdl_serve --demo N     [options]
+//
+// Trace file: one request per line, `#` starts a comment:
+//
+//   <offset_us> <rows> [<seed>]
+//
+// where offset_us is the submit time relative to replay start, rows is the
+// request's batch-row count, and seed (default: line number) seeds its input
+// tensor. `--demo N` synthesizes an N-request trace instead (200 us apart,
+// rows cycling 1..3).
+//
+//   options:
+//     --layers N        conv-chain depth for the served model  (default 3)
+//     --spatial N       input resolution                       (default 16)
+//     --channels N      input channels                         (default 2)
+//     --max-batch N     flush when N requests are pending      (default 8)
+//     --max-wait-us N   flush when the oldest waited this long (default 2000)
+//     --max-rows N      split batches above N stacked rows     (default 0 = off)
+//     --budget N        footprint budget in bytes (0 = engine's L2 budget)
+//     --strategy S      padded | memoized | wavefront  (default: engine picks)
+//     --workers N       backend workers per run                (default 4)
+//     --seed N          base seed for weights + demo inputs    (default 42)
+//     --fast            ignore trace offsets; submit as fast as possible
+//     --trace[=PATH]    write a Chrome/Perfetto trace of the serve spans
+//                       (default serve_trace.json)
+//
+// The exit status is nonzero if any request fails, so the tool doubles as a
+// smoke check for the serving path.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace brickdl;
+
+namespace {
+
+struct TraceEntry {
+  i64 offset_us = 0;
+  i64 rows = 1;
+  u64 seed = 0;
+};
+
+struct Options {
+  std::string trace_file;
+  int demo = 0;
+  int layers = 3;
+  i64 spatial = 16;
+  i64 channels = 2;
+  u64 seed = 42;
+  bool fast = false;
+  std::string trace_path;
+  serve::ServeOptions serve;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: brickdl_serve <trace-file> | --demo N\n"
+               "  [--layers N] [--spatial N] [--channels N]\n"
+               "  [--max-batch N] [--max-wait-us N] [--max-rows N] "
+               "[--budget BYTES]\n"
+               "  [--strategy padded|memoized|wavefront] [--workers N]\n"
+               "  [--seed N] [--fast] [--trace[=serve_trace.json]]\n"
+               "trace file: `<offset_us> <rows> [<seed>]` per line, "
+               "# comments\n");
+  return 2;
+}
+
+bool parse_trace(const std::string& path, std::vector<TraceEntry>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  u64 line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    TraceEntry entry;
+    if (!(fields >> entry.offset_us)) continue;  // blank / comment-only line
+    if (!(fields >> entry.rows) || entry.offset_us < 0 || entry.rows < 1) {
+      std::fprintf(stderr, "%s:%llu: expected `<offset_us> <rows> [<seed>]`\n",
+                   path.c_str(), static_cast<unsigned long long>(line_no));
+      return false;
+    }
+    if (!(fields >> entry.seed)) entry.seed = line_no;
+    out.push_back(entry);
+  }
+  return !out.empty();
+}
+
+std::vector<TraceEntry> demo_trace(int n, u64 seed) {
+  std::vector<TraceEntry> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back({static_cast<i64>(i) * 200, 1 + (i % 3),
+                   seed + static_cast<u64>(i)});
+  }
+  return out;
+}
+
+Tensor make_request(const Graph& model, i64 rows, u64 seed) {
+  Dims dims = model.node(0).out_shape.dims;
+  dims[0] = rows;
+  Tensor t(dims);
+  Rng rng(seed);
+  t.fill_random(rng);
+  return t;
+}
+
+std::string pctl(const obs::Histogram& h) {
+  if (h.count() == 0) return "-";
+  return TextTable::num(h.mean()) + " us (p99 <= " +
+         std::to_string(h.percentile(0.99)) + ")";
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  return std::fclose(f) == 0 && n == text.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  bool missing_value = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // Empty string (never nullptr) when the value is missing, so the numeric
+    // parses below stay crash-free; the flag loop then falls out to usage().
+    auto next = [&]() -> const char* {
+      if (i + 1 < argc) return argv[++i];
+      missing_value = true;
+      return "";
+    };
+    if (arg == "--demo") {
+      opts.demo = std::atoi(next());
+    } else if (arg == "--layers") {
+      opts.layers = std::atoi(next());
+    } else if (arg == "--spatial") {
+      opts.spatial = std::atol(next());
+    } else if (arg == "--channels") {
+      opts.channels = std::atol(next());
+    } else if (arg == "--max-batch") {
+      opts.serve.max_batch = std::atoi(next());
+    } else if (arg == "--max-wait-us") {
+      opts.serve.max_wait_us = std::atol(next());
+    } else if (arg == "--max-rows") {
+      opts.serve.max_batch_rows = std::atol(next());
+    } else if (arg == "--budget") {
+      opts.serve.footprint_budget = std::atol(next());
+    } else if (arg == "--workers") {
+      opts.serve.backend_workers = std::atoi(next());
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<u64>(std::atoll(next()));
+    } else if (arg == "--fast") {
+      opts.fast = true;
+    } else if (arg == "--strategy") {
+      const char* s = next();
+      if (std::strcmp(s, "padded") == 0) {
+        opts.serve.engine.force_strategy = Strategy::kPadded;
+      } else if (std::strcmp(s, "memoized") == 0) {
+        opts.serve.engine.force_strategy = Strategy::kMemoized;
+      } else if (std::strcmp(s, "wavefront") == 0) {
+        opts.serve.engine.force_strategy = Strategy::kWavefront;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      opts.trace_path =
+          arg.size() > 8 ? arg.substr(8) : std::string("serve_trace.json");
+    } else if (!arg.empty() && arg[0] != '-' && opts.trace_file.empty()) {
+      opts.trace_file = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (missing_value) return usage();
+  if (opts.trace_file.empty() && opts.demo <= 0) return usage();
+
+  std::vector<TraceEntry> trace;
+  if (!opts.trace_file.empty()) {
+    if (!parse_trace(opts.trace_file, trace)) return 1;
+  } else {
+    trace = demo_trace(opts.demo, opts.seed);
+  }
+
+  const Graph model = build_conv_chain_2d(opts.layers, /*batch=*/1,
+                                          opts.spatial, opts.channels);
+  std::printf("%s: %d nodes, input %s, %zu request(s)\n",
+              model.name().c_str(), model.num_nodes(),
+              model.node(0).out_shape.dims.str().c_str(), trace.size());
+
+  obs::metrics().reset();
+  if (!opts.trace_path.empty()) {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(true);
+  }
+
+  WeightStore weights(opts.seed);
+  serve::Server server(model, weights, opts.serve);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<serve::RequestResult>> futures;
+  futures.reserve(trace.size());
+  for (const TraceEntry& entry : trace) {
+    if (!opts.fast) {
+      std::this_thread::sleep_until(
+          start + std::chrono::microseconds(entry.offset_us));
+    }
+    futures.push_back(
+        server.submit(make_request(model, entry.rows, entry.seed)));
+  }
+
+  int failed = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const serve::RequestResult result = futures[i].get();
+    if (!result.status.ok()) {
+      ++failed;
+      std::fprintf(stderr, "request %zu failed: %s\n", i,
+                   result.status.to_string().c_str());
+    }
+  }
+  server.shutdown();
+  obs::Tracer::instance().set_enabled(false);
+
+  obs::MetricsRegistry& m = obs::metrics();
+  TextTable table({"metric", "value"});
+  table.add_row({"requests", std::to_string(trace.size())});
+  table.add_row({"completed", std::to_string(m.counter("serve.completed").value())});
+  table.add_row({"failed", std::to_string(m.counter("serve.failed").value())});
+  table.add_row({"rejected", std::to_string(m.counter("serve.rejected").value())});
+  table.add_row({"flushes", std::to_string(m.counter("serve.flushes").value())});
+  table.add_row({"batches", std::to_string(m.counter("serve.batches").value())});
+  table.add_row({"splits", std::to_string(m.counter("serve.splits").value())});
+  table.add_row(
+      {"plan cache hit/miss",
+       std::to_string(m.counter("serve.plan_cache_hits").value()) + "/" +
+           std::to_string(m.counter("serve.plan_cache_misses").value())});
+  const obs::Histogram& occupancy = m.histogram("serve.batch_occupancy");
+  table.add_row({"batch occupancy",
+                 "mean " + TextTable::num(occupancy.mean()) + ", max " +
+                     std::to_string(occupancy.max())});
+  const obs::Histogram& rows = m.histogram("serve.batch_rows");
+  table.add_row({"stacked rows", "mean " + TextTable::num(rows.mean()) +
+                                     ", max " + std::to_string(rows.max())});
+  table.add_row({"coalesce latency", pctl(m.histogram("serve.coalesce_us"))});
+  table.add_row({"run latency", pctl(m.histogram("serve.run_us"))});
+  table.add_row({"request latency", pctl(m.histogram("serve.request_us"))});
+  std::printf("\n%s", table.render().c_str());
+
+  if (!opts.trace_path.empty()) {
+    if (!write_text_file(opts.trace_path,
+                         obs::Tracer::instance().export_chrome_json())) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n",
+                   opts.trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace: %s (open at https://ui.perfetto.dev)\n",
+                opts.trace_path.c_str());
+  }
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed mb_kernels baseline.
+
+Runs ``bench/mb_kernels --quick --json`` (or reads a pre-recorded result via
+``--current``) and compares it against the committed ``BENCH_kernels.json``.
+
+Absolute ns/call is host-dependent — a laptop and a CI runner disagree by
+integer factors — so the gate compares *speedup ratios*, which the baseline
+exists to defend:
+
+  * ``<kernel>/<region>``: generic ns / fast ns — the fast-path speedup the
+    PR 4 kernels claim. A fast path that silently falls back to the generic
+    loop drives this toward 1x and fails the gate.
+  * ``parallel_for/grainN``: grain1 ns / grainN ns — the chunking win over
+    per-index dispatch.
+
+A pair regresses when its current speedup drops below ``baseline * (1 -
+tolerance)`` (default tolerance 0.25, i.e. +/-25 percent; improvements never
+fail). Exit status: 0 clean, 1 regression or missing pair, 2 usage/setup
+error.
+
+Usage:
+  tools/ci_bench_check.py --bench build/bench/mb_kernels
+  tools/ci_bench_check.py --current run.json [--baseline BENCH_kernels.json]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load_results(path):
+    """Return {name: ns_per_call} from an mb_kernels JSON dump."""
+    with open(path) as f:
+        doc = json.load(f)
+    results = {}
+    for entry in doc.get("results", []):
+        results[entry["name"]] = float(entry["ns_per_call"])
+    if not results:
+        raise ValueError(f"{path}: no results")
+    return results
+
+
+def speedup_pairs(results):
+    """Yield (label, slow_ns, fast_ns) ratio pairs present in `results`."""
+    for name, ns in sorted(results.items()):
+        if name.endswith("/generic"):
+            fast = name[: -len("generic")] + "fast"
+            if fast in results:
+                yield (name[: -len("/generic")], ns, results[fast])
+        elif name.startswith("parallel_for/grain") and name != "parallel_for/grain1":
+            base = results.get("parallel_for/grain1")
+            if base is not None:
+                yield (name, base, ns)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", help="mb_kernels binary to run (--quick mode)")
+    parser.add_argument("--current", help="pre-recorded mb_kernels JSON (skips running)")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json"),
+        help="committed baseline JSON (default: repo BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup drop before failing (default 0.25)",
+    )
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    if bool(args.bench) == bool(args.current):
+        parser.error("exactly one of --bench / --current is required")
+
+    current_path = args.current
+    tmp = None
+    if args.bench:
+        tmp = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
+        tmp.close()
+        current_path = tmp.name
+        cmd = [args.bench, "--quick", "--json", current_path]
+        print("running:", " ".join(cmd), flush=True)
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"FAIL: {args.bench} exited {proc.returncode}", file=sys.stderr)
+            return 2
+
+    try:
+        baseline = load_results(args.baseline)
+        current = load_results(current_path)
+    finally:
+        if tmp is not None:
+            os.unlink(tmp.name)
+
+    base_pairs = {label: slow / fast for label, slow, fast in speedup_pairs(baseline)}
+    cur_pairs = {label: slow / fast for label, slow, fast in speedup_pairs(current)}
+
+    failures = 0
+    width = max(len(label) for label in base_pairs) if base_pairs else 0
+    print(f"{'pair':<{width}}  {'baseline':>9}  {'current':>9}  verdict")
+    for label, base_speedup in sorted(base_pairs.items()):
+        cur_speedup = cur_pairs.get(label)
+        if cur_speedup is None:
+            print(f"{label:<{width}}  {base_speedup:>8.2f}x  {'missing':>9}  FAIL")
+            failures += 1
+            continue
+        floor = base_speedup * (1.0 - args.tolerance)
+        ok = cur_speedup >= floor
+        verdict = "ok" if ok else f"FAIL (floor {floor:.2f}x)"
+        print(f"{label:<{width}}  {base_speedup:>8.2f}x  {cur_speedup:>8.2f}x  {verdict}")
+        failures += 0 if ok else 1
+
+    if failures:
+        print(f"\n{failures} speedup pair(s) regressed more than "
+              f"{args.tolerance:.0%} vs {args.baseline}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate clean: {len(base_pairs)} pair(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

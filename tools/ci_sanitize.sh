@@ -4,12 +4,14 @@
 #   1. ThreadSanitizer:   memoized executor (run_parallel CAS protocol),
 #                         wavefront executor, thread pool, the resilience
 #                         suite (stall watchdog, tag repair, fault injection),
-#                         and the observability suite (concurrent metrics,
-#                         trace ring buffers, mid-run stats snapshots).
+#                         the observability suite (concurrent metrics,
+#                         trace ring buffers, mid-run stats snapshots), and
+#                         the serving suite (submitter threads racing the
+#                         batch scheduler).
 #   2. ASan + UBSan:      the differential fuzz suite (random graphs through
-#                         every executor variant) plus the resilience and
-#                         observability suites (includes the malformed-parse
-#                         corpus and JSON parse-back).
+#                         every executor variant) plus the resilience,
+#                         observability, and serving suites (includes the
+#                         malformed-parse corpus and JSON parse-back).
 #   3. Release (-O3 -DNDEBUG): the differential + perf (fast-path vs generic
 #                         kernel) labels at the optimization level the fast
 #                         paths ship at — vectorized interior loops can
@@ -18,40 +20,52 @@
 # Usage: tools/ci_sanitize.sh [source-dir]
 # Build trees land in <source-dir>/build-tsan, <source-dir>/build-asan and
 # <source-dir>/build-release.
+# STAGES selects a subset (space-separated: tsan asan release; default all) —
+# this is how .github/workflows/ci.yml runs each stage as its own job.
 # Also registered as CTest test `sanitize_suite` (label `sanitize`) when the
 # tree is configured with -DBRICKDL_SANITIZE_CI=ON.
 set -euo pipefail
 
 SRC_DIR=$(cd "${1:-$(dirname "$0")/..}" && pwd)
 JOBS=${JOBS:-$(nproc)}
+STAGES=${STAGES:-"tsan asan release"}
 
-echo "== [1/3] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs =="
-cmake -B "$SRC_DIR/build-tsan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=thread
-cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" \
-      --target brickdl_tests --target brickdl_resilience_tests \
-      --target brickdl_obs_tests
-ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure --timeout 600 \
-      -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs'
+run_stage() { [[ " $STAGES " == *" $1 "* ]]; }
 
-echo "== [2/3] ASan+UBSan: differential fuzz + resilience + obs suites =="
-cmake -B "$SRC_DIR/build-asan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=address,undefined
-cmake --build "$SRC_DIR/build-asan" -j "$JOBS" \
-      --target brickdl_differential_tests --target brickdl_resilience_tests \
-      --target brickdl_obs_tests --target mb_kernels
-# obs_smoke (the CLI end-to-end run) is excluded: it needs the CLI binaries
-# and is far too slow under ASan; the unit suite covers the same code paths.
-# perf = the fast-path-vs-generic kernel sweeps + mb_kernels smoke: cheap,
-# and exactly where an interior-loop indexing bug would surface.
-ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure --timeout 600 \
-      -L 'differential|resilience|obs|perf' -E obs_smoke
+if run_stage tsan; then
+  echo "== [tsan] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs / serve =="
+  cmake -B "$SRC_DIR/build-tsan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=thread
+  cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" \
+        --target brickdl_tests --target brickdl_resilience_tests \
+        --target brickdl_obs_tests --target brickdl_serve_tests
+  ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure --timeout 600 \
+        -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs|Serve'
+fi
 
-echo "== [3/3] Release -O3 -DNDEBUG: differential + perf labels =="
-cmake -B "$SRC_DIR/build-release" -S "$SRC_DIR" \
-      -DCMAKE_BUILD_TYPE=Release \
-      -DCMAKE_CXX_FLAGS_RELEASE="-O3 -DNDEBUG"
-cmake --build "$SRC_DIR/build-release" -j "$JOBS" \
-      --target brickdl_differential_tests --target mb_kernels
-ctest --test-dir "$SRC_DIR/build-release" --output-on-failure --timeout 600 \
-      -L 'differential|perf'
+if run_stage asan; then
+  echo "== [asan] ASan+UBSan: differential fuzz + resilience + obs + serve suites =="
+  cmake -B "$SRC_DIR/build-asan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=address,undefined
+  cmake --build "$SRC_DIR/build-asan" -j "$JOBS" \
+        --target brickdl_differential_tests --target brickdl_resilience_tests \
+        --target brickdl_obs_tests --target brickdl_serve_tests \
+        --target mb_kernels
+  # obs_smoke (the CLI end-to-end run) is excluded: it needs the CLI binaries
+  # and is far too slow under ASan; the unit suite covers the same code paths.
+  # perf = the fast-path-vs-generic kernel sweeps + mb_kernels smoke: cheap,
+  # and exactly where an interior-loop indexing bug would surface.
+  ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure --timeout 600 \
+        -L 'differential|resilience|obs|perf|serve' -E obs_smoke
+fi
 
-echo "sanitizer matrix passed"
+if run_stage release; then
+  echo "== [release] Release -O3 -DNDEBUG: differential + perf labels =="
+  cmake -B "$SRC_DIR/build-release" -S "$SRC_DIR" \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_CXX_FLAGS_RELEASE="-O3 -DNDEBUG"
+  cmake --build "$SRC_DIR/build-release" -j "$JOBS" \
+        --target brickdl_differential_tests --target mb_kernels
+  ctest --test-dir "$SRC_DIR/build-release" --output-on-failure --timeout 600 \
+        -L 'differential|perf'
+fi
+
+echo "sanitizer matrix passed (stages: $STAGES)"
