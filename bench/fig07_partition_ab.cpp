@@ -1,0 +1,148 @@
+// Figure 7 variant: paper vs greedy partitioner, end to end (A/B harness).
+//
+// Same model suite and workload scaling as fig07_end_to_end, but both bars
+// are BrickDL — only the graph partitioner changes. For each model it runs
+// the engine once with the paper's one-shot partitioner (§3.3.1) and once
+// with the benefit-driven greedy partitioner (DESIGN.md §11), reporting the
+// §4 model-predicted partition latency (the objective greedy optimizes),
+// the measured simulated end-to-end time, and the subgraph counts.
+//
+// This harness is a gate, not just a report: it exits non-zero if greedy's
+// predicted latency exceeds the paper partitioner's on any model — the
+// take-best guard in partition_greedy makes that impossible unless the
+// guard regresses. The Release CI stage (tools/ci_sanitize.sh) runs the
+// --quick sweep.
+#include <cstring>
+
+#include "bench_common.hpp"
+
+namespace brickdl::bench {
+namespace {
+
+struct ModelRun {
+  const char* name;
+  ModelBuilder builder;
+  ModelConfig config;
+  int max_layers;
+};
+
+std::vector<ModelRun> workloads(bool quick) {
+  auto cfg = [](i64 batch, i64 spatial, i64 width_div) {
+    ModelConfig c;
+    c.batch = batch;
+    c.spatial = spatial;
+    c.width_div = width_div;
+    c.classes = 100;
+    return c;
+  };
+  if (quick) {
+    return {
+        {"ResNet-50", &build_resnet50, cfg(16, 112, 2), 12},
+        {"DarkNet-53", &build_darknet53, cfg(16, 224, 4), 6},
+    };
+  }
+  return {
+      {"ResNet-50", &build_resnet50, cfg(8, 224, 1), 12},
+      {"DRN-26", &build_drn26, cfg(16, 224, 2), 8},
+      {"3D ResNet-34", &build_resnet34_3d, cfg(1, 96, 4), 8},
+      {"DarkNet-53", &build_darknet53, cfg(16, 224, 1), 6},
+      {"VGG-16", &build_vgg16, cfg(8, 224, 1), 8},
+      {"DeepCAM", &build_deepcam, cfg(16, 224, 2), 8},
+      {"InceptionNet-v4", &build_inception_v4, cfg(4, 224, 2), 12},
+  };
+}
+
+int run(bool quick) {
+  std::printf(
+      "== Figure 7 variant: Paper vs Greedy Partitioner, End to End "
+      "(simulated A100) ==\n\n");
+
+  TextTable table({"model", "subgraphs P/G", "predicted P (ms)",
+                   "predicted G (ms)", "pred ratio", "measured P (ms)",
+                   "measured G (ms)", "meas ratio"});
+  int violations = 0;
+
+  for (const ModelRun& run : workloads(quick)) {
+    // Same pre-partitioning rewrite as the engine path in fig07.
+    const Graph graph = fuse_conv_pointwise(run.builder(run.config));
+
+    PartitionOptions paper_opts;
+    paper_opts.max_layers = run.max_layers;
+    PartitionOptions greedy_opts = paper_opts;
+    greedy_opts.strategy = "greedy";
+
+    const Partition paper = partition_graph(graph, paper_opts);
+    const Partition greedy = partition_graph(graph, greedy_opts);
+    const double paper_pred =
+        predicted_partition_seconds(graph, paper, paper_opts.machine);
+    const double greedy_pred =
+        predicted_partition_seconds(graph, greedy, greedy_opts.machine);
+    if (greedy_pred > paper_pred) {
+      std::fprintf(stderr,
+                   "FAIL: %s greedy predicted %.6f ms > paper %.6f ms "
+                   "(take-best guard regressed)\n",
+                   run.name, greedy_pred * 1e3, paper_pred * 1e3);
+      ++violations;
+    }
+
+    EngineOptions paper_eng;
+    paper_eng.partition = paper_opts;
+    EngineOptions greedy_eng;
+    greedy_eng.partition = greedy_opts;
+    const RunResult measured_paper = run_brickdl(graph, paper_eng);
+    const RunResult measured_greedy = run_brickdl(graph, greedy_eng);
+
+    table.add_row(
+        {run.name,
+         std::to_string(paper.subgraphs.size()) + "/" +
+             std::to_string(greedy.subgraphs.size()),
+         ms(paper_pred), ms(greedy_pred), rel(greedy_pred, paper_pred),
+         ms(measured_paper.serial_total()), ms(measured_greedy.serial_total()),
+         rel(measured_greedy.serial_total(), measured_paper.serial_total())});
+    std::printf("%s: done\n", run.name);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nPaper (P) vs greedy (G) partitioner; ratios < 1.00 favor "
+              "greedy:\n%s\n",
+              table.render().c_str());
+  std::printf("greedy merge metrics: accepted=%lld rejected=%lld "
+              "cycle_rejects=%lld budget_rejects=%lld paper_fallbacks=%lld "
+              "cost_model_calls=%lld\n",
+              static_cast<long long>(
+                  obs::metrics().counter("partition.greedy.merges_accepted")
+                      .value()),
+              static_cast<long long>(
+                  obs::metrics().counter("partition.greedy.merges_rejected")
+                      .value()),
+              static_cast<long long>(
+                  obs::metrics().counter("partition.greedy.cycle_rejects")
+                      .value()),
+              static_cast<long long>(
+                  obs::metrics().counter("partition.greedy.budget_rejects")
+                      .value()),
+              static_cast<long long>(
+                  obs::metrics().counter("partition.greedy.paper_fallbacks")
+                      .value()),
+              static_cast<long long>(
+                  obs::metrics().counter("partition.greedy.cost_model_calls")
+                      .value()));
+  emit_bench_report("fig07_partition_ab");
+  if (violations > 0) {
+    std::fprintf(stderr, "%d model(s) violated greedy <= paper predicted\n",
+                 violations);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace brickdl::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  return brickdl::bench::run(quick);
+}

@@ -135,39 +135,51 @@ struct DiffRun {
         });
       }
     }
-    for (i64 side : o.brick_sides) {
-      const std::string b = "-b" + std::to_string(side);
-      variant("padded" + b, [&] {
-        EngineOptions eo;
-        eo.force_strategy = Strategy::kPadded;
-        eo.force_brick_side = side;
-        return engine_output(eo, 4);
-      });
-      variant("wavefront" + b, [&] {
-        EngineOptions eo;
-        eo.partition.enable_wavefront = true;
-        eo.force_strategy = Strategy::kWavefront;
-        eo.force_brick_side = side;
-        return engine_output(eo, 4);
-      });
-      for (int workers : o.worker_counts) {
-        const std::string w = "-w" + std::to_string(workers);
-        variant("memo" + b + w, [&] {
+    // Full strategy × partitioner × brick × worker matrix: the partition
+    // decision (paper's one-shot cut vs greedy benefit-driven merging)
+    // changes every subgraph boundary the executors see, so each partitioner
+    // must independently reproduce the oracle bit-exactly.
+    for (const std::string& partitioner : o.partition_strategies) {
+      const std::string p =
+          partitioner == "paper" ? std::string() : "-" + partitioner;
+      for (i64 side : o.brick_sides) {
+        const std::string b = "-b" + std::to_string(side);
+        variant("padded" + b + p, [&] {
           EngineOptions eo;
-          eo.force_strategy = Strategy::kMemoized;
+          eo.partition.strategy = partitioner;
+          eo.force_strategy = Strategy::kPadded;
           eo.force_brick_side = side;
-          eo.memo_workers = workers;
-          return engine_output(eo, workers);
+          return engine_output(eo, 4);
         });
-        if (o.memo_parallel) {
-          variant("memo-par" + b + w, [&] {
+        variant("wavefront" + b + p, [&] {
+          EngineOptions eo;
+          eo.partition.strategy = partitioner;
+          eo.partition.enable_wavefront = true;
+          eo.force_strategy = Strategy::kWavefront;
+          eo.force_brick_side = side;
+          return engine_output(eo, 4);
+        });
+        for (int workers : o.worker_counts) {
+          const std::string w = "-w" + std::to_string(workers);
+          variant("memo" + b + w + p, [&] {
             EngineOptions eo;
+            eo.partition.strategy = partitioner;
             eo.force_strategy = Strategy::kMemoized;
             eo.force_brick_side = side;
             eo.memo_workers = workers;
-            eo.memo_parallel = true;
             return engine_output(eo, workers);
           });
+          if (o.memo_parallel) {
+            variant("memo-par" + b + w + p, [&] {
+              EngineOptions eo;
+              eo.partition.strategy = partitioner;
+              eo.force_strategy = Strategy::kMemoized;
+              eo.force_brick_side = side;
+              eo.memo_workers = workers;
+              eo.memo_parallel = true;
+              return engine_output(eo, workers);
+            });
+          }
         }
       }
     }

@@ -3,9 +3,10 @@
 // Sweeps ≥50 seeded random graphs through every executor variant — kernel
 // reference, vendor fallback, the three fused-baseline rule sets, and the
 // Engine with padded / wavefront / memoized (virtual run() and real-thread
-// run_parallel()) forced across brick sides {4,8,16,32} × memo worker counts
-// {1,4,16} — asserting exact elementwise agreement with the independent
-// eager oracle. Failures print a replay command for tools/brickdl_fuzz.
+// run_parallel()) forced across partitioners {paper, greedy} × brick sides
+// {4,8,16,32} × memo worker counts {1,4,16} — asserting exact elementwise
+// agreement with the independent eager oracle. Failures print a replay
+// command for tools/brickdl_fuzz.
 //
 // The sweep is sharded so one bad graph fails one test with its replay line
 // instead of hiding the remaining graphs.

@@ -1,0 +1,222 @@
+// Property suite for the benefit-driven greedy partitioner (CTest label
+// `partition`, DESIGN.md §11).
+//
+// Over a seeded corpus of 200 random graphs the greedy partitioner must
+// uphold, on every merge result:
+//  * subgraph validity (topological node order, single terminal, external
+//    inputs declared) and acyclicity of the quotient DAG — checked as a
+//    valid topological subgraph order (every external input is produced by a
+//    graph input or an earlier subgraph's terminal);
+//  * exactly-once coverage: every non-input node in exactly one subgraph;
+//  * the L2 footprint budget as a hard cap on every merged subgraph;
+//  * the A/B objective: greedy's model-predicted total latency never worse
+//    than the paper partitioner's on the same graph and options.
+// Plus the cycle-safety BFS regression (diamond with a long side chain) and
+// the named-Status rejection of unknown partition-strategy names.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.hpp"
+#include "core/partitioner.hpp"
+#include "models/models.hpp"
+#include "obs/metrics.hpp"
+#include "testing/differential.hpp"
+#include "testing/graph_gen.hpp"
+
+namespace brickdl {
+namespace {
+
+constexpr u64 kSweepSeed = 2;  ///< decorrelated from the differential sweep
+
+/// Subgraph invariants + exactly-once coverage + quotient-DAG topological
+/// order. The order check is what rules out cycles: a cyclic quotient DAG
+/// has no ordering in which every external input is already produced.
+void check_greedy_invariants(const Graph& g, const Partition& p,
+                             i64 l2_budget) {
+  std::vector<int> covered(static_cast<size_t>(g.num_nodes()), 0);
+  std::vector<bool> produced(static_cast<size_t>(g.num_nodes()), false);
+  for (const Node& node : g.nodes()) {
+    if (node.kind == OpKind::kInput) produced[static_cast<size_t>(node.id)] = true;
+  }
+  for (const auto& planned : p.subgraphs) {
+    EXPECT_NO_THROW(validate_subgraph(g, planned.sg));
+    for (int n : planned.sg.nodes) covered[static_cast<size_t>(n)]++;
+    for (int ext : planned.sg.external_inputs) {
+      EXPECT_TRUE(produced[static_cast<size_t>(ext)])
+          << "subgraph terminating at '" << g.node(planned.sg.terminal()).name
+          << "' consumes '" << g.node(ext).name
+          << "' before any earlier subgraph produces it (quotient order "
+             "broken or cyclic)";
+    }
+    produced[static_cast<size_t>(planned.sg.terminal())] = true;
+    if (planned.strategy != Strategy::kVendor) {
+      EXPECT_LE(planned.footprint_bytes, l2_budget)
+          << "merged subgraph terminating at '"
+          << g.node(planned.sg.terminal()).name
+          << "' exceeds the footprint budget";
+    }
+  }
+  for (const Node& node : g.nodes()) {
+    const int expected = node.kind == OpKind::kInput ? 0 : 1;
+    EXPECT_EQ(covered[static_cast<size_t>(node.id)], expected)
+        << "node " << node.name << " covered "
+        << covered[static_cast<size_t>(node.id)] << " times";
+  }
+}
+
+void sweep_random_graphs(int lo, int hi) {
+  PartitionOptions greedy_options;
+  greedy_options.strategy = "greedy";
+  PartitionOptions paper_options;  // defaults: strategy = "paper"
+  for (int idx = lo; idx < hi; ++idx) {
+    const u64 seed = graph_seed(kSweepSeed, idx);
+    const Graph g = random_graph(seed);
+    SCOPED_TRACE("graph " + std::to_string(idx) + " (seed " +
+                 std::to_string(seed) + ")");
+    const Partition greedy = partition_graph(g, greedy_options);
+    check_greedy_invariants(g, greedy, greedy_options.l2_budget);
+
+    const Partition paper = partition_graph(g, paper_options);
+    const double greedy_s =
+        predicted_partition_seconds(g, greedy, greedy_options.machine);
+    const double paper_s =
+        predicted_partition_seconds(g, paper, paper_options.machine);
+    // The shared objective: greedy is never worse than paper (the A/B guard
+    // in partition_greedy returns the paper partition when it scores better).
+    EXPECT_LE(greedy_s, paper_s * (1.0 + 1e-9));
+  }
+}
+
+TEST(GreedyPartitioner, RandomGraphs000To049) { sweep_random_graphs(0, 50); }
+TEST(GreedyPartitioner, RandomGraphs050To099) { sweep_random_graphs(50, 100); }
+TEST(GreedyPartitioner, RandomGraphs100To149) { sweep_random_graphs(100, 150); }
+TEST(GreedyPartitioner, RandomGraphs150To199) { sweep_random_graphs(150, 200); }
+
+TEST(GreedyPartitioner, TightBudgetIsHardCap) {
+  // An absurdly small budget must keep every merged subgraph within it (in
+  // practice forcing single-layer or vendor groups), never violate coverage.
+  Graph g = build_conv_chain_2d(6, 1, 96, 64);
+  PartitionOptions options;
+  options.strategy = "greedy";
+  options.l2_budget = 1;
+  const Partition p = partition_graph(g, options);
+  check_greedy_invariants(g, p, options.l2_budget);
+}
+
+TEST(GreedyPartitioner, ModelZooPartitionsCleanly) {
+  ModelConfig config;
+  config.batch = 1;
+  config.spatial = 64;
+  config.width_div = 8;
+  PartitionOptions greedy_options;
+  greedy_options.strategy = "greedy";
+  for (const auto& [name, builder] : model_zoo()) {
+    const Graph g = builder(config);
+    SCOPED_TRACE(name);
+    const Partition p = partition_graph(g, greedy_options);
+    check_greedy_invariants(g, p, greedy_options.l2_budget);
+    const Partition paper = partition_graph(g, {});
+    EXPECT_LE(predicted_partition_seconds(g, p, greedy_options.machine),
+              predicted_partition_seconds(g, paper, greedy_options.machine) *
+                  (1.0 + 1e-9))
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-safety BFS regression: a diamond whose long side chain tempts a
+// cycle-creating merge.
+//
+//          ┌→ b ──────────────┐
+//   x → a ─┤                  ├→ d (add)
+//          └→ c1 → c2 → c3 ───┘
+//
+// Once b and d share a group G, merging {a} with G is exactly the tempting
+// move: the direct edge a→G exists and a's terminal is consumed inside G,
+// but the long side chain c1→c2→c3 still runs outside — the merged group
+// would both feed c1 and depend on c3, a cycle in the quotient DAG. The BFS
+// must reject it.
+Graph diamond_with_side_chain() {
+  Graph g("diamond_side_chain");
+  const int x = g.add_input("x", Shape{1, 8, 32, 32});
+  const int a = g.add_conv(x, "a", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  const int b = g.add_conv(a, "b", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  const int c1 = g.add_conv(a, "c1", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  const int c2 = g.add_conv(c1, "c2", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  const int c3 = g.add_conv(c2, "c3", Dims{3, 3}, 8, Dims{1, 1}, Dims{1, 1});
+  g.add_add(b, c3, "d");
+  return g;
+}
+
+TEST(GreedyPartitioner, CycleSafetyBfsRejectsDiamondMerge) {
+  const Graph g = diamond_with_side_chain();
+  // Node ids: 0=x, 1=a, 2=b, 3=c1, 4=c2, 5=c3, 6=d. Group state after the
+  // greedy loop merged b into d's group (group 1); the chain stays split.
+  //                 x   a  b  c1 c2 c3  d
+  std::vector<int> group_of = {-1, 0, 1, 2, 3, 4, 1};
+  EXPECT_TRUE(merge_creates_cycle(g, group_of, /*ga=*/0, /*gb=*/1))
+      << "merging a into {b, d} must be rejected: the side chain c1→c2→c3 "
+         "would sit both downstream and upstream of the merged group";
+  // With d still in its own group there is no escaping path — merging a and
+  // b alone is cycle-free (it fails only the single-terminal closure).
+  std::vector<int> split = {-1, 0, 1, 2, 3, 4, 5};
+  EXPECT_FALSE(merge_creates_cycle(g, split, /*ga=*/0, /*gb=*/1));
+  // Symmetric guard on the other diamond arm: a into {c1..c3, d} while b is
+  // still outside escapes through b.
+  std::vector<int> chain_merged = {-1, 0, 2, 1, 1, 1, 1};
+  EXPECT_TRUE(merge_creates_cycle(g, chain_merged, /*ga=*/0, /*gb=*/1));
+
+  // End to end, the greedy partitioner must still emit a valid acyclic
+  // partition of the diamond, whatever merge order the benefits pick.
+  PartitionOptions options;
+  options.strategy = "greedy";
+  const Partition p = partition_graph(g, options);
+  check_greedy_invariants(g, p, options.l2_budget);
+}
+
+// ---------------------------------------------------------------------------
+// Option validation: an unknown partition-strategy name is a named Status,
+// never a silent fallback to the default partitioner.
+
+TEST(GreedyPartitioner, UnknownStrategyNameRejected) {
+  EXPECT_TRUE(known_partition_strategy("paper"));
+  EXPECT_TRUE(known_partition_strategy("greedy"));
+  EXPECT_FALSE(known_partition_strategy(""));
+  EXPECT_FALSE(known_partition_strategy("Greedy"));
+  EXPECT_FALSE(known_partition_strategy("footprint"));
+
+  EngineOptions options;
+  options.partition.strategy = "footprint";
+  const Status status = validate_engine_options(options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidOptions);
+  EXPECT_NE(status.to_string().find("footprint"), std::string::npos)
+      << "status must name the offending strategy: " << status.to_string();
+
+  // The engine surfaces the same status instead of partitioning at all.
+  Graph g = build_conv_chain_2d(3, 1, 64, 16);
+  Engine engine(g, options);
+  EXPECT_EQ(engine.validate().code(), StatusCode::kInvalidOptions);
+  EXPECT_TRUE(engine.partition().subgraphs.empty());
+}
+
+TEST(GreedyPartitioner, MetricsPublished) {
+  auto& m = obs::metrics();
+  const i64 calls_before =
+      m.counter("partition.greedy.cost_model_calls").value();
+  const i64 accepted_before =
+      m.counter("partition.greedy.merges_accepted").value();
+  Graph g = build_conv_chain_2d(4, 1, 64, 16);
+  PartitionOptions options;
+  options.strategy = "greedy";
+  const Partition p = partition_graph(g, options);
+  check_greedy_invariants(g, p, options.l2_budget);
+  EXPECT_GT(m.counter("partition.greedy.cost_model_calls").value(),
+            calls_before);
+  // A pure conv chain at this scale merges at least once.
+  EXPECT_GT(m.counter("partition.greedy.merges_accepted").value(),
+            accepted_before);
+}
+
+}  // namespace
+}  // namespace brickdl

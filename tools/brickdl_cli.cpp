@@ -10,6 +10,9 @@
 //     --spatial N      input resolution per dim  (default 224; 3D models cube it)
 //     --width-div N    divide channel widths     (default 1)
 //     --system S       cudnn | torchscript | xla | brickdl | all  (default all)
+//     --partition-strategy S   paper | greedy — BrickDL graph partitioner
+//                      (default paper; see DESIGN.md §11). Unknown names are
+//                      rejected up front by validate_engine_options.
 //     --partition      print the partition plan and exit
 //     --dot            print the graph as Graphviz and exit
 //     --no-fuse        skip the conv+pointwise rewrite for BrickDL
@@ -41,6 +44,7 @@ struct Options {
   std::string model;
   ModelConfig config;
   std::string system = "all";
+  std::string partition_strategy = "paper";
   bool partition_only = false;
   bool dot = false;
   bool fuse = true;
@@ -78,6 +82,7 @@ int usage() {
                "[--width-div N]\n"
                "                   [--system cudnn|torchscript|xla|brickdl|all]"
                " [--partition] [--dot] [--no-fuse]\n"
+               "                   [--partition-strategy paper|greedy]\n"
                "                   [--trace[=t.json]] [--report[=r.json]]\n"
                "models: resnet50 drn26 resnet34_3d darknet53 vgg16 deepcam "
                "inception_v4\n");
@@ -91,11 +96,14 @@ struct Modeled {
   i64 dram_txns = 0;
 };
 
-Modeled run_system(const Graph& graph, const std::string& system) {
+Modeled run_system(const Graph& graph, const std::string& system,
+                   const std::string& partition_strategy) {
   MemoryHierarchySim sim(MachineParams::a100());
   ModelBackend backend(graph, sim);
   if (system == "brickdl") {
-    Engine engine(graph, {});
+    EngineOptions eopts;
+    eopts.partition.strategy = partition_strategy;
+    Engine engine(graph, eopts);
     engine.run(backend);
   } else {
     const FusionRules rules = system == "torchscript"
@@ -139,6 +147,10 @@ int main(int argc, char** argv) {
       opts.config.width_div = std::atol(next());
     } else if (arg == "--system") {
       opts.system = next();
+    } else if (arg == "--partition-strategy") {
+      const char* value = next();
+      if (!value) return usage();
+      opts.partition_strategy = value;
     } else if (arg == "--partition") {
       opts.partition_only = true;
     } else if (arg == "--dot") {
@@ -195,8 +207,20 @@ int main(int argc, char** argv) {
   const Graph brickdl_graph =
       opts.fuse ? fuse_conv_pointwise(graph) : graph;
   if (opts.partition_only) {
-    Engine engine(brickdl_graph, {});
+    EngineOptions eopts;
+    eopts.partition.strategy = opts.partition_strategy;
+    const Status preflight = validate_engine_options(eopts);
+    if (!preflight.ok()) {
+      std::fprintf(stderr, "%s\n", preflight.to_string().c_str());
+      return 1;
+    }
+    Engine engine(brickdl_graph, eopts);
     std::printf("\n%s", engine.partition().describe(brickdl_graph).c_str());
+    std::printf("predicted total: %.3f ms (%s partitioner)\n",
+                predicted_partition_seconds(brickdl_graph, engine.partition(),
+                                            eopts.partition.machine) *
+                    1e3,
+                opts.partition_strategy.c_str());
     return 0;
   }
 
@@ -207,6 +231,7 @@ int main(int argc, char** argv) {
     obs::Tracer::instance().set_enabled(!opts.trace_path.empty());
     EngineOptions eopts;
     eopts.profile = true;
+    eopts.partition.strategy = opts.partition_strategy;
     MemoryHierarchySim sim(MachineParams::a100());
     ModelBackend backend(brickdl_graph, sim);
     Engine engine(brickdl_graph, eopts);
@@ -247,7 +272,8 @@ int main(int argc, char** argv) {
   for (const char* system : {"cudnn", "torchscript", "xla", "brickdl"}) {
     if (opts.system != "all" && opts.system != system) continue;
     const Modeled m = run_system(
-        std::string(system) == "brickdl" ? brickdl_graph : graph, system);
+        std::string(system) == "brickdl" ? brickdl_graph : graph, system,
+        opts.partition_strategy);
     if (std::string(system) == "cudnn" || base.total_ms == 0.0) base = m;
     table.add_row({system, TextTable::num(m.total_ms),
                    TextTable::num(m.dram_ms), TextTable::num(m.compute_ms),

@@ -5,15 +5,18 @@
 #                         wavefront executor, thread pool, the resilience
 #                         suite (stall watchdog, tag repair, fault injection),
 #                         the observability suite (concurrent metrics,
-#                         trace ring buffers, mid-run stats snapshots), and
-#                         the serving suite (submitter threads racing the
-#                         batch scheduler).
+#                         trace ring buffers, mid-run stats snapshots), the
+#                         serving suite (submitter threads racing the batch
+#                         scheduler), and the greedy-partitioner property
+#                         suite (shared metrics registry traffic).
 #   2. ASan + UBSan:      the differential fuzz suite (random graphs through
-#                         every executor variant) plus the resilience,
-#                         observability, and serving suites (includes the
+#                         every executor variant, paper and greedy
+#                         partitioners) plus the resilience, observability,
+#                         serving, and partition suites (includes the
 #                         malformed-parse corpus and JSON parse-back).
 #   3. Release (-O3 -DNDEBUG): the differential + perf (fast-path vs generic
-#                         kernel) labels at the optimization level the fast
+#                         kernel, plus the fig07 paper-vs-greedy partition
+#                         A/B gate) labels at the optimization level the fast
 #                         paths ship at — vectorized interior loops can
 #                         behave differently from -O0/-O1 sanitizer builds.
 #
@@ -33,37 +36,41 @@ STAGES=${STAGES:-"tsan asan release"}
 run_stage() { [[ " $STAGES " == *" $1 "* ]]; }
 
 if run_stage tsan; then
-  echo "== [tsan] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs / serve =="
+  echo "== [tsan] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs / serve / partition =="
   cmake -B "$SRC_DIR/build-tsan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=thread
   cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" \
         --target brickdl_tests --target brickdl_resilience_tests \
-        --target brickdl_obs_tests --target brickdl_serve_tests
+        --target brickdl_obs_tests --target brickdl_serve_tests \
+        --target brickdl_partition_tests
   ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure --timeout 600 \
-        -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs|Serve'
+        -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs|Serve|GreedyPartitioner'
 fi
 
 if run_stage asan; then
-  echo "== [asan] ASan+UBSan: differential fuzz + resilience + obs + serve suites =="
+  echo "== [asan] ASan+UBSan: differential fuzz + resilience + obs + serve + partition suites =="
   cmake -B "$SRC_DIR/build-asan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=address,undefined
   cmake --build "$SRC_DIR/build-asan" -j "$JOBS" \
         --target brickdl_differential_tests --target brickdl_resilience_tests \
         --target brickdl_obs_tests --target brickdl_serve_tests \
-        --target mb_kernels
+        --target brickdl_partition_tests \
+        --target mb_kernels --target fig07_partition_ab
   # obs_smoke (the CLI end-to-end run) is excluded: it needs the CLI binaries
   # and is far too slow under ASan; the unit suite covers the same code paths.
   # perf = the fast-path-vs-generic kernel sweeps + mb_kernels smoke: cheap,
-  # and exactly where an interior-loop indexing bug would surface.
+  # and exactly where an interior-loop indexing bug would surface. partition
+  # adds the greedy property sweep and the fig07 partition A/B gate.
   ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure --timeout 600 \
-        -L 'differential|resilience|obs|perf|serve' -E obs_smoke
+        -L 'differential|resilience|obs|perf|serve|partition' -E obs_smoke
 fi
 
 if run_stage release; then
-  echo "== [release] Release -O3 -DNDEBUG: differential + perf labels =="
+  echo "== [release] Release -O3 -DNDEBUG: differential + perf labels (incl. fig07 partition A/B gate) =="
   cmake -B "$SRC_DIR/build-release" -S "$SRC_DIR" \
         -DCMAKE_BUILD_TYPE=Release \
         -DCMAKE_CXX_FLAGS_RELEASE="-O3 -DNDEBUG"
   cmake --build "$SRC_DIR/build-release" -j "$JOBS" \
-        --target brickdl_differential_tests --target mb_kernels
+        --target brickdl_differential_tests --target mb_kernels \
+        --target fig07_partition_ab
   ctest --test-dir "$SRC_DIR/build-release" --output-on-failure --timeout 600 \
         -L 'differential|perf'
 fi
