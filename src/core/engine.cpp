@@ -537,7 +537,8 @@ Tensor slice_batch(const Tensor& t, i64 row, i64 rows) {
 }
 
 Result<std::vector<Tensor>> Engine::run_batched_checked(
-    NumericBackend& backend, const std::vector<const Tensor*>& parts) {
+    NumericBackend& backend, const std::vector<const Tensor*>& parts,
+    EngineResult* engine_result) {
   const Node* input_node = nullptr;
   for (const Node& node : graph_.nodes()) {
     if (node.kind != OpKind::kInput) continue;
@@ -588,6 +589,7 @@ Result<std::vector<Tensor>> Engine::run_batched_checked(
     outputs.push_back(slice_batch(output, row, rows));
     row += rows;
   }
+  if (engine_result) *engine_result = std::move(run.value());
   return outputs;
 }
 

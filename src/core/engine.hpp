@@ -126,8 +126,14 @@ class Engine {
   /// kShapeMismatch names the offending part otherwise. Per-row results are
   /// bit-identical to a solo run of the same rows: every kernel treats batch
   /// as an independent blocked dimension (DESIGN.md §10).
+  ///
+  /// `engine_result` (optional) receives the underlying EngineResult on
+  /// success — the serving layer's circuit breaker (DESIGN.md §12) inspects
+  /// the per-subgraph `attempts` chains to learn whether the planned
+  /// strategy degraded, without re-running anything.
   Result<std::vector<Tensor>> run_batched_checked(
-      NumericBackend& backend, const std::vector<const Tensor*>& parts);
+      NumericBackend& backend, const std::vector<const Tensor*>& parts,
+      EngineResult* engine_result = nullptr);
 
  private:
   const Graph& graph_;

@@ -56,6 +56,20 @@ class FaultHooks {
     (void)worker;
     return false;
   }
+
+  // ---- serve-stage hook points (DESIGN.md §12) ----
+  // The serving front-end consults these so the overload and circuit-breaker
+  // paths can be driven deterministically: an injected admission delay makes
+  // the queue fill behind a known-slow submitter, and an injected batch stall
+  // models a slow plan that pushes queued requests past their deadlines.
+
+  /// Called in Server::submit() before the request is admitted; an
+  /// implementation may sleep to simulate a slow admission path.
+  virtual void on_serve_admit(u64 request_id) { (void)request_id; }
+
+  /// Called immediately before a coalesced batch executes on the engine; an
+  /// implementation may sleep to simulate a stalled batch execution.
+  virtual void on_serve_batch(i64 rows) { (void)rows; }
 };
 
 /// Currently installed hooks, or nullptr. Thread-safe to call anywhere.

@@ -28,12 +28,16 @@ Result<BatchPlanner::Cached*> BatchPlanner::cached_for(i64 total_rows) {
   Result<Graph> rebatched = rebatch_graph(model_, total_rows);
   BDL_RETURN_IF_ERROR(rebatched.status());
 
-  Cached cached;
+  Cached cached(options_.breaker_failures, options_.breaker_cooldown);
   cached.graph = std::make_unique<Graph>(rebatched.take());
   cached.engine = std::make_unique<Engine>(*cached.graph, options_.engine);
   cached.validated = cached.engine->validate();
   for (const PlannedSubgraph& planned :
        cached.engine->partition().subgraphs) {
+    cached.predicted_seconds +=
+        obs::predict_subgraph(*cached.graph, planned,
+                              options_.engine.partition.machine)
+            .seconds;
     if (planned.strategy == Strategy::kVendor) continue;
     cached.footprint =
         std::max(cached.footprint, planned.footprint_bytes);
@@ -105,6 +109,59 @@ Result<std::vector<BatchPlanner::Plan>> BatchPlanner::coalesce(
   std::vector<Plan> plans;
   BDL_RETURN_IF_ERROR(coalesce_into(rows, std::move(members), plans));
   return plans;
+}
+
+BatchPlanner::Cached* BatchPlanner::cached_for_plan(const Plan& plan) {
+  auto it = cache_.find(plan.rows);
+  BDL_CHECK_MSG(it != cache_.end(),
+                "plan for " << plan.rows << " rows has no cache entry");
+  return &it->second;
+}
+
+BatchPlanner::Selected BatchPlanner::select_engine(const Plan& plan) {
+  Cached* c = cached_for_plan(plan);
+  Selected selected;
+  selected.tier = c->breaker.tier();
+  selected.probe = c->breaker.probing();
+  if (selected.tier == 0) {
+    selected.engine = c->engine.get();
+    return selected;
+  }
+  std::unique_ptr<Engine>& slot = c->tier_engines[selected.tier - 1];
+  if (!slot) {
+    // Same cached graph, same knobs, but the degraded tier's strategy is
+    // forced — the run never pays the known-failing rung's attempt.
+    EngineOptions degraded = options_.engine;
+    degraded.force_strategy =
+        selected.tier == 1 ? Strategy::kPadded : Strategy::kVendor;
+    slot = std::make_unique<Engine>(*c->graph, degraded);
+  }
+  selected.engine = slot.get();
+  return selected;
+}
+
+void BatchPlanner::record_run(const Plan& plan, int tier, bool degraded,
+                              double measured_seconds) {
+  Cached* c = cached_for_plan(plan);
+  c->breaker.record(degraded);
+  // Correct the §4 prediction with what this plan actually costs on this
+  // host. Only clean tier-0 runs are representative of the planned
+  // strategy; a degraded or breaker-routed run would teach the predictor
+  // the cost of the wrong tier.
+  if (tier == 0 && !degraded && c->predicted_seconds > 0 &&
+      measured_seconds > 0) {
+    const double ratio = measured_seconds / c->predicted_seconds;
+    constexpr double kAlpha = 0.3;
+    c->ewma_ratio = c->ewma_seeded
+                        ? (1.0 - kAlpha) * c->ewma_ratio + kAlpha * ratio
+                        : ratio;
+    c->ewma_seeded = true;
+  }
+}
+
+double BatchPlanner::predicted_seconds(const Plan& plan) {
+  Cached* c = cached_for_plan(plan);
+  return c->predicted_seconds * c->ewma_ratio;
 }
 
 Result<BatchPlanner::Plan> BatchPlanner::solo(size_t member, i64 rows) {

@@ -13,12 +13,17 @@
 // recursively halved. A solo request can't be split further; it runs with
 // whatever plan the engine's own (budget-respecting) partitioner chose,
 // counted under serve.oversized_solo.
+// Overload resilience (DESIGN.md §12): every cached plan also carries its
+// §4 cost-model latency prediction (EWMA-corrected by measured wall time —
+// the admission/shedding signal) and a DegradationBreaker that routes a
+// plan whose strategy keeps failing straight to the next strategy tier.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "serve/breaker.hpp"
 #include "serve/serve.hpp"
 
 namespace brickdl::serve {
@@ -47,6 +52,28 @@ class BatchPlanner {
   /// Plan for one member alone (the solo-fallback path).
   Result<Plan> solo(size_t member, i64 rows);
 
+  /// Engine (and breaker tier) the plan should execute with *now*. While
+  /// the plan's breaker is open this is a lazily built engine over the same
+  /// cached graph with the degraded tier's strategy forced, so the run
+  /// skips the known-failing rung entirely.
+  struct Selected {
+    Engine* engine = nullptr;
+    int tier = 0;      ///< 0 = planned strategy (full §7 chain)
+    bool probe = false;  ///< half-open probe of the planned tier
+  };
+  Selected select_engine(const Plan& plan);
+
+  /// Record one executed run of `plan` at `tier`: feed the breaker
+  /// (`degraded` = the tier's strategy fell back or the run failed) and —
+  /// for clean tier-0 runs — fold `measured_seconds` into the EWMA
+  /// correction of the plan's §4 latency prediction.
+  void record_run(const Plan& plan, int tier, bool degraded,
+                  double measured_seconds);
+
+  /// EWMA-corrected predicted wall seconds for one run of `plan`
+  /// (0 when the §4 model predicts nothing for it, e.g. all-vendor).
+  double predicted_seconds(const Plan& plan);
+
   /// Stacked batches split so far (for tests; also serve.splits).
   i64 splits() const { return splits_; }
 
@@ -58,9 +85,22 @@ class BatchPlanner {
     /// Bytes to compare against the budget: max merged-subgraph footprint,
     /// or (all-vendor plans) the largest activation in the stacked graph.
     i64 footprint = 0;
+    /// §4 cost-model seconds summed over the planned subgraphs, and the
+    /// EWMA of measured/predicted from clean tier-0 runs correcting it.
+    double predicted_seconds = 0.0;
+    double ewma_ratio = 1.0;
+    bool ewma_seeded = false;
+    DegradationBreaker breaker;
+    /// Lazily built engines for the degraded tiers (index tier-1:
+    /// forced padded, forced vendor) over the same cached graph.
+    std::unique_ptr<Engine> tier_engines[DegradationBreaker::kMaxTier];
+
+    Cached(int breaker_failures, int breaker_cooldown)
+        : breaker(breaker_failures, breaker_cooldown) {}
   };
 
   Result<Cached*> cached_for(i64 total_rows);
+  Cached* cached_for_plan(const Plan& plan);
   Status coalesce_into(const std::vector<i64>& rows,
                        std::vector<size_t> members,
                        std::vector<Plan>& plans);

@@ -1,0 +1,57 @@
+#include "serve/breaker.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace brickdl::serve {
+
+void DegradationBreaker::record(bool degraded) {
+  if (threshold_ <= 0) return;  // disabled
+
+  if (probing()) {
+    ++probes_;
+    obs::metrics().counter("serve.breaker.probes").add(1);
+    if (!degraded) {
+      // Probe came back clean: the planned tier recovered.
+      tier_ = 0;
+      failures_ = 0;
+      ++closes_;
+      obs::metrics().counter("serve.breaker.closes").add(1);
+    } else {
+      // Still poisoned: re-open at the same tier for another cooldown.
+      cooldown_left_ = cooldown_;
+    }
+    return;
+  }
+
+  if (tier_ > 0) {
+    // Open: a run served at the degraded tier. If even the degraded tier
+    // walks its chain, escalate one more rung; either way the cooldown
+    // advances toward the next probe.
+    if (degraded && tier_ < kMaxTier) {
+      tier_ += 1;
+      cooldown_left_ = cooldown_;
+      ++opens_;
+      obs::metrics().counter("serve.breaker.opens").add(1);
+    } else {
+      cooldown_left_ = std::max(0, cooldown_left_ - 1);
+    }
+    return;
+  }
+
+  // Closed.
+  if (!degraded) {
+    failures_ = 0;
+    return;
+  }
+  if (++failures_ >= threshold_) {
+    tier_ = 1;
+    failures_ = 0;
+    cooldown_left_ = cooldown_;
+    ++opens_;
+    obs::metrics().counter("serve.breaker.opens").add(1);
+  }
+}
+
+}  // namespace brickdl::serve

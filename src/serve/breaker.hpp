@@ -1,0 +1,63 @@
+// Per-plan degradation circuit breaker (DESIGN.md §12).
+//
+// The engine's §7 fallback chain saves a request when its planned strategy
+// faults, but it saves each request *individually*: a cached plan whose
+// memoized attempt keeps failing pays the failed attempt on every run. The
+// breaker makes that failure a plan property instead of a request property —
+// after `failure_threshold` consecutive degraded runs it opens and the
+// planner routes the next `cooldown_requests` runs straight to the next
+// strategy tier (padded, then vendor), so a poisoned plan costs one full
+// degradation walk per breaker cycle, not one per request. A half-open probe
+// then retries the planned tier: a clean run closes the breaker, a degraded
+// one re-opens it for another cooldown.
+//
+// Single-threaded by design: the scheduler thread is the only caller (the
+// planner cache that owns each breaker is scheduler-private).
+#pragma once
+
+#include "util/common.hpp"
+
+namespace brickdl::serve {
+
+class DegradationBreaker {
+ public:
+  /// Tier indices into the degradation ladder: 0 = the planned strategy
+  /// with the full §7 fallback chain, 1 = forced padded, 2 = forced vendor.
+  static constexpr int kMaxTier = 2;
+
+  /// `failure_threshold` <= 0 disables the breaker (tier() stays 0).
+  DegradationBreaker(int failure_threshold, int cooldown_requests)
+      : threshold_(failure_threshold),
+        cooldown_(cooldown_requests < 1 ? 1 : cooldown_requests) {}
+
+  /// Strategy tier the next run should execute at. While open, the breaker
+  /// serves `cooldown_requests` runs at the degraded tier, then returns 0
+  /// once for the half-open probe.
+  int tier() const { return probing() ? 0 : tier_; }
+
+  /// True when the next tier-0 run is a half-open probe (the breaker is
+  /// open but its cooldown is exhausted).
+  bool probing() const { return tier_ > 0 && cooldown_left_ == 0; }
+
+  bool open() const { return tier_ > 0; }
+  i64 opens() const { return opens_; }
+  i64 probes() const { return probes_; }
+  i64 closes() const { return closes_; }
+
+  /// Record one run executed at tier(). `degraded` means the tier's own
+  /// strategy failed: the engine walked its fallback chain or the run
+  /// failed outright.
+  void record(bool degraded);
+
+ private:
+  const int threshold_;
+  const int cooldown_;
+  int tier_ = 0;            ///< forced tier while open (0 = closed)
+  int failures_ = 0;        ///< consecutive degraded runs at the current tier
+  int cooldown_left_ = 0;   ///< degraded-tier runs before the next probe
+  i64 opens_ = 0;
+  i64 probes_ = 0;
+  i64 closes_ = 0;
+};
+
+}  // namespace brickdl::serve

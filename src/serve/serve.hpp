@@ -30,6 +30,33 @@ struct ServeOptions {
   /// Worker count for the per-run NumericBackend.
   int backend_workers = 4;
 
+  // ---- overload resilience (DESIGN.md §12) ----
+
+  /// Bounded admission: submit() resolves immediately with kOverloaded when
+  /// this many requests are already queued (0 = unbounded, the PR 5
+  /// behaviour). When the queue is full and the incoming request has more
+  /// deadline slack than the queued request with the earliest deadline, the
+  /// earliest-deadline request is shed instead (oldest-deadline-first
+  /// shedding under sustained overload).
+  i64 max_queue_depth = 0;
+
+  /// Deadline applied to submit(Tensor) calls that do not carry their own
+  /// (0 = none). A request whose deadline passes before execution — or whose
+  /// plan's EWMA-corrected §4 predicted latency cannot fit before it — is
+  /// shed with kDeadlineExceeded instead of executed.
+  i64 default_deadline_us = 0;
+
+  /// Degradation circuit breaker: after this many consecutive runs in which
+  /// a cached plan's planned strategy failed (forcing the engine down its §7
+  /// fallback chain), route the plan straight to the next strategy tier
+  /// (padded, then vendor) instead of re-walking the chain per request
+  /// (0 = disabled).
+  int breaker_failures = 3;
+
+  /// Requests served at the degraded tier before a half-open probe retries
+  /// the planned strategy (a clean probe closes the breaker).
+  int breaker_cooldown = 16;
+
   /// Scan request inputs for NaN/Inf at admission, so one poisoned input is
   /// rejected alone instead of corrupting its whole batch.
   bool admission_finite_check = true;
@@ -56,6 +83,11 @@ struct RequestResult {
   /// solo runs and admission rejects.
   i64 batch_requests = 0;
   i64 batch_rows = 0;
+  /// True when the request was shed by an overload policy (admission
+  /// rejection, oldest-deadline eviction, deadline expiry, predicted-latency
+  /// miss, or drain-deadline shutdown) — i.e. it never executed. The status
+  /// is one of kOverloaded / kDeadlineExceeded / kShuttingDown.
+  bool shed = false;
 };
 
 }  // namespace brickdl::serve

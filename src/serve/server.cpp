@@ -1,8 +1,11 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
+#include "core/fault_hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -13,6 +16,11 @@ u64 now_ns() {
   return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                               std::chrono::steady_clock::now().time_since_epoch())
                               .count());
+}
+
+/// Deadline ordering key: "no deadline" sorts as infinitely late.
+u64 effective_deadline(u64 deadline_ns) {
+  return deadline_ns == 0 ? std::numeric_limits<u64>::max() : deadline_ns;
 }
 
 }  // namespace
@@ -38,19 +46,68 @@ Status validate_serve_options(const ServeOptions& options) {
                   "backend_workers must be >= 1, got " +
                       std::to_string(options.backend_workers));
   }
+  if (options.max_queue_depth < 0) {
+    return Status(StatusCode::kInvalidOptions,
+                  "max_queue_depth must be >= 0 (0 = unbounded)");
+  }
+  if (options.default_deadline_us < 0) {
+    return Status(StatusCode::kInvalidOptions,
+                  "default_deadline_us must be >= 0 (0 = none)");
+  }
+  if (options.breaker_failures < 0) {
+    return Status(StatusCode::kInvalidOptions,
+                  "breaker_failures must be >= 0 (0 = disabled)");
+  }
+  if (options.breaker_cooldown < 1) {
+    return Status(StatusCode::kInvalidOptions,
+                  "breaker_cooldown must be >= 1, got " +
+                      std::to_string(options.breaker_cooldown));
+  }
   return validate_engine_options(options.engine);
 }
 
 // ---- RequestQueue ----
 
-void RequestQueue::push(PendingRequest request) {
+void RequestQueue::publish_depth_locked() {
+  obs::metrics().gauge("serve.depth")
+      .set(static_cast<double>(queue_.size()));
+}
+
+Status RequestQueue::try_push(PendingRequest& request, i64 max_depth,
+                              std::optional<PendingRequest>& evicted) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status(StatusCode::kShuttingDown,
+                    "server is shutting down; request not admitted");
+    }
+    if (max_depth > 0 && static_cast<i64>(queue_.size()) >= max_depth) {
+      // Queue at capacity: shed oldest-deadline-first. The queued request
+      // with the earliest deadline is the least likely to be served in
+      // time; evict it when the newcomer has strictly more slack,
+      // otherwise refuse the newcomer.
+      auto victim = queue_.end();
+      u64 victim_deadline = effective_deadline(request.deadline_ns);
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (effective_deadline(it->deadline_ns) < victim_deadline) {
+          victim_deadline = effective_deadline(it->deadline_ns);
+          victim = it;
+        }
+      }
+      if (victim == queue_.end()) {
+        return Status(StatusCode::kOverloaded,
+                      "queue at capacity (" + std::to_string(max_depth) +
+                          " requests) and no queued request has an earlier "
+                          "deadline; request refused");
+      }
+      evicted = std::move(*victim);
+      queue_.erase(victim);
+    }
     queue_.push_back(std::move(request));
-    obs::metrics().gauge("serve.queue_depth")
-        .set(static_cast<double>(queue_.size()));
+    publish_depth_locked();
   }
   cv_.notify_all();
+  return Status();
 }
 
 std::vector<PendingRequest> RequestQueue::pop_batch(int max_batch,
@@ -76,9 +133,20 @@ std::vector<PendingRequest> RequestQueue::pop_batch(int max_batch,
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
-  obs::metrics().gauge("serve.queue_depth")
-      .set(static_cast<double>(queue_.size()));
+  publish_depth_locked();
   return batch;
+}
+
+std::vector<PendingRequest> RequestQueue::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingRequest> remaining;
+  remaining.reserve(queue_.size());
+  while (!queue_.empty()) {
+    remaining.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  publish_depth_locked();
+  return remaining;
 }
 
 void RequestQueue::close() {
@@ -125,16 +193,33 @@ Server::Server(const Graph& model, WeightStore& weights, ServeOptions options)
 
 Server::~Server() { shutdown(); }
 
-void Server::shutdown() {
+void Server::shutdown(i64 drain_deadline_us) {
+  if (drain_deadline_us >= 0) {
+    const u64 deadline =
+        now_ns() + static_cast<u64>(drain_deadline_us) * 1000;
+    // Keep the earliest deadline across repeated calls; 0 means "no
+    // deadline yet", so max() can double as the sentinel floor.
+    u64 prev = drain_deadline_ns_.load(std::memory_order_relaxed);
+    while ((prev == 0 || deadline < prev) &&
+           !drain_deadline_ns_.compare_exchange_weak(
+               prev, deadline, std::memory_order_relaxed)) {
+    }
+  }
   stopping_.store(true, std::memory_order_release);
   queue_.close();
   if (scheduler_.joinable()) scheduler_.join();
 }
 
+bool Server::past_drain_deadline() const {
+  const u64 deadline = drain_deadline_ns_.load(std::memory_order_relaxed);
+  return deadline != 0 && now_ns() >= deadline;
+}
+
 Status Server::admit(const Tensor& input) const {
   BDL_RETURN_IF_ERROR(preflight_);
   if (stopping_.load(std::memory_order_acquire)) {
-    return Status(StatusCode::kInvalidOptions, "server is shutting down");
+    return Status(StatusCode::kShuttingDown,
+                  "server is shutting down; request not admitted");
   }
   const Dims& expected = input_node_->out_shape.dims;
   const Dims& got = input.dims();
@@ -163,9 +248,15 @@ Status Server::admit(const Tensor& input) const {
 }
 
 std::future<RequestResult> Server::submit(Tensor input) {
+  return submit(std::move(input), options_.default_deadline_us);
+}
+
+std::future<RequestResult> Server::submit(Tensor input, i64 deadline_us) {
   PendingRequest request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   std::future<RequestResult> future = request.promise.get_future();
+
+  if (FaultHooks* hooks = fault_hooks()) hooks->on_serve_admit(request.id);
 
   const Status admitted = admit(input);
   if (!admitted.ok()) {
@@ -173,6 +264,7 @@ std::future<RequestResult> Server::submit(Tensor input) {
     obs::Tracer::instant("serve", "reject");
     RequestResult result;
     result.status = admitted;
+    result.shed = admitted.code() == StatusCode::kShuttingDown;
     request.promise.set_value(std::move(result));
     return future;
   }
@@ -180,20 +272,74 @@ std::future<RequestResult> Server::submit(Tensor input) {
   request.rows = input.dims()[0];
   request.input = std::move(input);
   request.enqueue_ns = now_ns();
+  if (deadline_us > 0) {
+    request.deadline_ns =
+        request.enqueue_ns + static_cast<u64>(deadline_us) * 1000;
+  }
+
+  std::optional<PendingRequest> evicted;
+  const Status pushed =
+      queue_.try_push(request, options_.max_queue_depth, evicted);
+  if (evicted) {
+    // The newcomer displaced the queued request with the least deadline
+    // slack: resolve the victim as shed.
+    shed(*evicted, StatusCode::kOverloaded, "overload",
+         "shed under overload: a newer request with more deadline slack "
+         "took the queue slot");
+  }
+  if (!pushed.ok()) {
+    obs::metrics().counter("serve.rejected").add(1);
+    if (pushed.code() == StatusCode::kOverloaded) {
+      obs::metrics().counter("serve.shed.overload").add(1);
+    }
+    obs::Tracer::instant("serve", "reject:overload");
+    RequestResult result;
+    result.status = pushed;
+    result.shed = true;
+    request.promise.set_value(std::move(result));
+    return future;
+  }
+
   obs::metrics().counter("serve.enqueued").add(1);
   obs::Tracer::instant("serve", "enqueue");
-  queue_.push(std::move(request));
   return future;
 }
 
 void Server::finish(PendingRequest& request, RequestResult result) {
+  const u64 finish_ns = now_ns();
   const i64 total_us =
-      static_cast<i64>((now_ns() - request.enqueue_ns) / 1000);
+      static_cast<i64>((finish_ns - request.enqueue_ns) / 1000);
   obs::metrics().histogram("serve.request_us").observe(total_us);
-  obs::metrics()
-      .counter(result.status.ok() ? "serve.completed" : "serve.failed")
-      .add(1);
+  if (result.shed) {
+    obs::metrics().counter("serve.shed").add(1);
+  } else {
+    obs::metrics()
+        .counter(result.status.ok() ? "serve.completed" : "serve.failed")
+        .add(1);
+  }
+  if (request.deadline_ns != 0 && !result.shed) {
+    // Slack at completion for executed deadline'd requests; a late finish
+    // clamps to zero slack and counts as a miss.
+    if (finish_ns <= request.deadline_ns) {
+      obs::metrics()
+          .histogram("serve.deadline.slack_us")
+          .observe(static_cast<i64>((request.deadline_ns - finish_ns) / 1000));
+    } else {
+      obs::metrics().histogram("serve.deadline.slack_us").observe(0);
+      obs::metrics().counter("serve.deadline.missed").add(1);
+    }
+  }
   request.promise.set_value(std::move(result));
+}
+
+void Server::shed(PendingRequest& request, StatusCode code, const char* what,
+                  std::string message) {
+  obs::metrics().counter(std::string("serve.shed.") + what).add(1);
+  obs::Tracer::instant("serve", std::string("shed:") + what);
+  RequestResult result;
+  result.status = Status(code, std::move(message));
+  result.shed = true;
+  finish(request, std::move(result));
 }
 
 void Server::scheduler_loop() {
@@ -202,6 +348,19 @@ void Server::scheduler_loop() {
     std::vector<PendingRequest> batch =
         queue_.pop_batch(options_.max_batch, options_.max_wait_us);
     if (batch.empty()) return;  // closed and drained
+    if (past_drain_deadline()) {
+      // Graceful-drain deadline passed: nothing else executes. Fail this
+      // batch and everything still queued with the named status.
+      for (PendingRequest& request : batch) {
+        shed(request, StatusCode::kShuttingDown, "shutdown",
+             "drain deadline passed before execution");
+      }
+      for (PendingRequest& request : queue_.drain()) {
+        shed(request, StatusCode::kShuttingDown, "shutdown",
+             "drain deadline passed before execution");
+      }
+      continue;  // pop_batch returns empty once closed and drained
+    }
     flush(batch);
   }
 }
@@ -212,32 +371,95 @@ void Server::flush(std::vector<PendingRequest>& batch) {
                       options_.engine.trace);
   obs::metrics().counter("serve.flushes").add(1);
   const u64 flush_ns = now_ns();
-  std::vector<i64> rows;
-  rows.reserve(batch.size());
-  for (const PendingRequest& request : batch) {
-    rows.push_back(request.rows);
+  std::vector<size_t> members;
+  members.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    members.push_back(i);
     // Coalesce latency: how long admission-to-flush batching held the
     // request back (the knob max_wait_us bounds this).
     obs::metrics()
         .histogram("serve.coalesce_us")
-        .observe(static_cast<i64>((flush_ns - request.enqueue_ns) / 1000));
+        .observe(static_cast<i64>((flush_ns - batch[i].enqueue_ns) / 1000));
   }
+  run_members(batch, members);
+}
+
+void Server::run_members(std::vector<PendingRequest>& batch,
+                         const std::vector<size_t>& members) {
+  // Shed pass 1: a deadline that has already passed cannot be served — the
+  // request is resolved without executing anything.
+  const u64 now = now_ns();
+  std::vector<size_t> live;
+  live.reserve(members.size());
+  for (size_t m : members) {
+    if (batch[m].deadline_ns != 0 && now >= batch[m].deadline_ns) {
+      shed(batch[m], StatusCode::kDeadlineExceeded, "deadline",
+           "deadline expired before execution");
+    } else {
+      live.push_back(m);
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<i64> rows;
+  rows.reserve(live.size());
+  for (size_t m : live) rows.push_back(batch[m].rows);
 
   Result<std::vector<BatchPlanner::Plan>> plans = planner_.coalesce(rows);
   if (!plans.ok()) {
-    for (PendingRequest& request : batch) {
+    for (size_t m : live) {
       RequestResult result;
       result.status = plans.status();
-      finish(request, std::move(result));
+      finish(batch[m], std::move(result));
     }
     return;
   }
+
   for (const BatchPlanner::Plan& plan : plans.value()) {
-    run_plan(batch, plan);
+    if (past_drain_deadline()) {
+      for (size_t i : plan.members) {
+        shed(batch[live[i]], StatusCode::kShuttingDown, "shutdown",
+             "drain deadline passed before execution");
+      }
+      continue;
+    }
+
+    // Shed pass 2: predicted-latency admission. The plan's §4 prediction
+    // (EWMA-corrected by measured wall time) says how long this run will
+    // take; members whose deadline cannot fit are shed now instead of
+    // holding a doomed slot in the batch.
+    const u64 predicted_ns = static_cast<u64>(
+        std::max(0.0, planner_.predicted_seconds(plan)) * 1e9);
+    std::vector<size_t> fit;
+    std::vector<size_t> unfit;
+    const u64 t = now_ns();
+    for (size_t i : plan.members) {
+      const PendingRequest& request = batch[live[i]];
+      if (predicted_ns > 0 && request.deadline_ns != 0 &&
+          t + predicted_ns > request.deadline_ns) {
+        unfit.push_back(live[i]);
+      } else {
+        fit.push_back(live[i]);
+      }
+    }
+    if (unfit.empty()) {
+      run_plan(batch, live, plan);
+      continue;
+    }
+    for (size_t m : unfit) {
+      shed(batch[m], StatusCode::kDeadlineExceeded, "predicted",
+           "predicted batch latency (" +
+               std::to_string(predicted_ns / 1000) +
+               " us) cannot meet the request deadline");
+    }
+    // The plan's stacked row count changed; re-coalesce the survivors
+    // (strictly fewer members each round, so this terminates).
+    if (!fit.empty()) run_members(batch, fit);
   }
 }
 
 void Server::run_plan(std::vector<PendingRequest>& batch,
+                      const std::vector<size_t>& live,
                       const BatchPlanner::Plan& plan) {
   const i64 occupancy = static_cast<i64>(plan.members.size());
   obs::metrics().counter("serve.batches").add(1);
@@ -246,20 +468,43 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
 
   std::vector<const Tensor*> parts;
   parts.reserve(plan.members.size());
-  for (size_t m : plan.members) parts.push_back(&batch[m].input);
+  for (size_t i : plan.members) parts.push_back(&batch[live[i]].input);
 
+  // Circuit breaker: a plan whose strategy keeps failing is routed straight
+  // to the degraded tier's engine instead of re-walking the §7 chain.
+  const BatchPlanner::Selected selected = planner_.select_engine(plan);
+  double run_seconds = 0.0;
+  EngineResult engine_result;
   Result<std::vector<Tensor>> outputs = [&] {
     obs::TraceSpan span("serve", "batch_run",
-                        {{"requests", occupancy}, {"rows", plan.rows}},
+                        {{"requests", occupancy},
+                         {"rows", plan.rows},
+                         {"tier", static_cast<i64>(selected.tier)}},
                         options_.engine.trace);
+    if (FaultHooks* hooks = fault_hooks()) hooks->on_serve_batch(plan.rows);
     const u64 t0 = now_ns();
     NumericBackend backend(*plan.graph, weights_, options_.backend_workers);
-    auto r = plan.engine->run_batched_checked(backend, parts);
+    auto r = selected.engine->run_batched_checked(backend, parts,
+                                                  &engine_result);
+    run_seconds = static_cast<double>(now_ns() - t0) * 1e-9;
     obs::metrics()
         .histogram("serve.run_us")
-        .observe(static_cast<i64>((now_ns() - t0) / 1000));
+        .observe(static_cast<i64>(run_seconds * 1e6));
     return r;
   }();
+
+  // "Degraded" = the tier's own strategy did not run clean: the engine
+  // walked its fallback chain on some subgraph, or the run failed outright.
+  bool degraded = !outputs.ok();
+  if (outputs.ok()) {
+    for (const SubgraphReport& report : engine_result.reports) {
+      if (report.attempts.size() > 1) {
+        degraded = true;
+        break;
+      }
+    }
+  }
+  planner_.record_run(plan, selected.tier, degraded, run_seconds);
 
   if (outputs.ok()) {
     BDL_CHECK(outputs.value().size() == plan.members.size());
@@ -268,17 +513,17 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
       result.output = std::move(outputs.value()[i]);
       result.batch_requests = occupancy;
       result.batch_rows = plan.rows;
-      finish(batch[plan.members[i]], std::move(result));
+      finish(batch[live[plan.members[i]]], std::move(result));
     }
     return;
   }
 
   obs::metrics().counter("serve.batch_failures").add(1);
   if (plan.members.size() == 1 || !options_.solo_fallback) {
-    for (size_t m : plan.members) {
+    for (size_t i : plan.members) {
       RequestResult result;
       result.status = outputs.status();
-      finish(batch[m], std::move(result));
+      finish(batch[live[i]], std::move(result));
     }
     return;
   }
@@ -286,13 +531,13 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
   // Per-request degradation: the batched run failed as a unit, so re-run
   // every member solo (in queue order) — only requests that fail on their
   // own fail, and each solo run still gets the engine's §7 strategy
-  // fallback chain.
+  // fallback chain (or its own breaker tier).
   obs::metrics().counter("serve.solo_fallbacks").add(1);
   obs::TraceSpan span("serve", "solo_fallback", {{"requests", occupancy}},
                       options_.engine.trace);
-  for (size_t m : plan.members) {
-    PendingRequest& request = batch[m];
-    Result<BatchPlanner::Plan> solo = planner_.solo(m, request.rows);
+  for (size_t i : plan.members) {
+    PendingRequest& request = batch[live[i]];
+    Result<BatchPlanner::Plan> solo = planner_.solo(i, request.rows);
     RequestResult result;
     result.batch_requests = 1;
     result.batch_rows = request.rows;
@@ -301,10 +546,27 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
       finish(request, std::move(result));
       continue;
     }
+    const BatchPlanner::Selected solo_selected =
+        planner_.select_engine(solo.value());
     NumericBackend backend(*solo.value().graph, weights_,
                            options_.backend_workers);
+    EngineResult solo_engine_result;
+    const u64 t0 = now_ns();
     Result<std::vector<Tensor>> out =
-        solo.value().engine->run_batched_checked(backend, {&request.input});
+        solo_selected.engine->run_batched_checked(backend, {&request.input},
+                                                  &solo_engine_result);
+    const double solo_seconds = static_cast<double>(now_ns() - t0) * 1e-9;
+    bool solo_degraded = !out.ok();
+    if (out.ok()) {
+      for (const SubgraphReport& report : solo_engine_result.reports) {
+        if (report.attempts.size() > 1) {
+          solo_degraded = true;
+          break;
+        }
+      }
+    }
+    planner_.record_run(solo.value(), solo_selected.tier, solo_degraded,
+                        solo_seconds);
     if (out.ok()) {
       result.output = std::move(out.value()[0]);
     } else {

@@ -1,4 +1,5 @@
-// Cross-request batching server (DESIGN.md §10).
+// Cross-request batching server (DESIGN.md §10) with overload resilience
+// (DESIGN.md §12).
 //
 // Server::submit() is the thread-safe front door: it validates the request
 // against the model's input contract at admission (shape compatibility,
@@ -10,8 +11,18 @@
 // run's output is sliced back per request. One request's failure never
 // fails its batch-mates: a failed batched run is retried solo per member.
 //
-// Observability: serve.* metrics (queue depth gauge; enqueue/complete/
-// reject/failure counters; batch occupancy, stacked rows, coalesce- and
+// Overload policy: admission is bounded (max_queue_depth; kOverloaded at
+// submit() instead of unbounded queueing, shedding the queued request with
+// the earliest deadline when the newcomer has more slack), every request may
+// carry a deadline (expired or predicted-unmeetable requests are shed with
+// kDeadlineExceeded before executing), a per-plan circuit breaker routes
+// persistently failing plans straight to a degraded strategy tier, and
+// shutdown(deadline) stops admission (kShuttingDown), drains what fits, and
+// fails the rest with a named status instead of hanging.
+//
+// Observability: serve.* metrics (serve.depth gauge; enqueue/complete/
+// reject/failure/shed counters; serve.shed.*, serve.deadline.*,
+// serve.breaker.* policies; batch occupancy, stacked rows, coalesce- and
 // run-latency histograms) and "serve" trace spans for enqueue → flush →
 // run → slice.
 #pragma once
@@ -21,6 +32,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "ops/dispatch.hpp"
@@ -32,8 +44,9 @@ namespace brickdl::serve {
 struct PendingRequest {
   u64 id = 0;
   Tensor input;
-  i64 rows = 0;        ///< batch rows this request contributes
-  u64 enqueue_ns = 0;  ///< steady-clock admission time
+  i64 rows = 0;         ///< batch rows this request contributes
+  u64 enqueue_ns = 0;   ///< steady-clock admission time
+  u64 deadline_ns = 0;  ///< absolute steady-clock deadline (0 = none)
   std::promise<RequestResult> promise;
 };
 
@@ -41,16 +54,30 @@ struct PendingRequest {
 /// implements the coalescing wait: it blocks until work exists, then keeps
 /// collecting until `max_batch` requests are pending or the oldest has aged
 /// past `max_wait_us` (shutdown flushes whatever is queued immediately).
+/// The `serve.depth` gauge tracks the queue size exactly: it is updated
+/// under the queue lock on every mutation (push, pop, evict, drain), so it
+/// can never drift on early-exit paths.
 class RequestQueue {
  public:
-  void push(PendingRequest request);
+  /// Bounded admission. With `max_depth` > 0 and the queue full, either the
+  /// incoming request is refused (kOverloaded, `request` left untouched) or
+  /// — when the incoming deadline has more slack than the queued request
+  /// with the earliest deadline — that queued request is moved to `*evicted`
+  /// and the newcomer admitted (oldest-deadline-first shedding). A closed
+  /// queue refuses with kShuttingDown.
+  Status try_push(PendingRequest& request, i64 max_depth,
+                  std::optional<PendingRequest>& evicted);
   /// Empty result means the queue is closed and drained.
   std::vector<PendingRequest> pop_batch(int max_batch, i64 max_wait_us);
+  /// Remove and return everything still queued (drain-deadline shutdown).
+  std::vector<PendingRequest> drain();
   /// Wake waiters; pop_batch drains the backlog, then returns empty.
   void close();
   i64 depth() const;
 
  private:
+  void publish_depth_locked();
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<PendingRequest> queue_;
@@ -68,24 +95,42 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Admit one request. Always returns a future that will be fulfilled:
-  /// admission failures (incompatible shape, non-finite input, server
-  /// shutting down) resolve immediately with a classifying Status.
+  /// Admit one request under the default deadline
+  /// (ServeOptions::default_deadline_us). Always returns a future that will
+  /// be fulfilled: admission failures (incompatible shape, non-finite
+  /// input, queue at capacity, server shutting down) resolve immediately
+  /// with a classifying Status.
   std::future<RequestResult> submit(Tensor input);
+  /// Same, with an explicit deadline (`deadline_us` from now; 0 = none).
+  std::future<RequestResult> submit(Tensor input, i64 deadline_us);
 
-  /// Stop admitting, serve everything already queued, join the scheduler.
-  /// Idempotent.
-  void shutdown();
+  /// Stop admitting (kShuttingDown), serve what is already queued, join the
+  /// scheduler. With `drain_deadline_us` >= 0, batches still execute until
+  /// the deadline; once it passes, in-flight batches finish but every
+  /// request still queued fails with kShuttingDown instead of executing
+  /// (-1 = drain everything, however long it takes). Idempotent.
+  void shutdown(i64 drain_deadline_us = -1);
 
   i64 queue_depth() const { return queue_.depth(); }
 
  private:
   Status admit(const Tensor& input) const;
+  bool past_drain_deadline() const;
   void scheduler_loop();
   void flush(std::vector<PendingRequest>& batch);
+  /// Shed-then-run: sheds expired members, coalesces the survivors, sheds
+  /// members whose plan's predicted latency cannot meet their deadline
+  /// (re-coalescing the rest), and executes the remaining plans.
+  void run_members(std::vector<PendingRequest>& batch,
+                   const std::vector<size_t>& members);
   void run_plan(std::vector<PendingRequest>& batch,
+                const std::vector<size_t>& live,
                 const BatchPlanner::Plan& plan);
   void finish(PendingRequest& request, RequestResult result);
+  /// Resolve `request` as shed (never executed) with `code`, bumping
+  /// `serve.shed.<what>`.
+  void shed(PendingRequest& request, StatusCode code, const char* what,
+            std::string message);
 
   const Graph& model_;
   WeightStore& weights_;
@@ -96,6 +141,7 @@ class Server {
   RequestQueue queue_;
   std::atomic<u64> next_id_{0};
   std::atomic<bool> stopping_{false};
+  std::atomic<u64> drain_deadline_ns_{0};  ///< 0 = drain without deadline
   std::thread scheduler_;
 };
 

@@ -1,6 +1,9 @@
 #include "testing/fault_injection.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
+#include <thread>
 
 namespace brickdl {
 
@@ -14,6 +17,10 @@ const char* fault_kind_name(FaultKind kind) {
       return "worker-stall";
     case FaultKind::kDropPublish:
       return "drop-publish";
+    case FaultKind::kAdmissionDelay:
+      return "admission-delay";
+    case FaultKind::kBatchStall:
+      return "batch-stall";
   }
   return "?";
 }
@@ -34,7 +41,7 @@ i64 FaultInjector::total_fires() const {
   return total;
 }
 
-bool FaultInjector::should_fire(FaultKind kind, int node_id) {
+bool FaultInjector::should_fire(FaultKind kind, int node_id, i64* delay_us) {
   bool fire = false;
   for (const auto& armed : armed_) {
     const FaultSpec& spec = armed->spec;
@@ -44,6 +51,7 @@ bool FaultInjector::should_fire(FaultKind kind, int node_id) {
     if (seen < spec.skip) continue;
     if (spec.max_fires >= 0 && seen - spec.skip >= spec.max_fires) continue;
     fire = true;
+    if (delay_us) *delay_us = std::max(*delay_us, spec.delay_us);
   }
   if (fire) {
     fired_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
@@ -72,6 +80,22 @@ bool FaultInjector::on_publish(int node_id, i64 /*brick*/, int /*worker*/) {
 bool FaultInjector::on_worker_stall(int node_id, i64 /*brick*/,
                                     int /*worker*/) {
   return should_fire(FaultKind::kWorkerStall, node_id);
+}
+
+void FaultInjector::on_serve_admit(u64 /*request_id*/) {
+  i64 delay_us = 0;
+  if (should_fire(FaultKind::kAdmissionDelay, /*node_id=*/-1, &delay_us) &&
+      delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+}
+
+void FaultInjector::on_serve_batch(i64 /*rows*/) {
+  i64 delay_us = 0;
+  if (should_fire(FaultKind::kBatchStall, /*node_id=*/-1, &delay_us) &&
+      delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
 }
 
 }  // namespace brickdl

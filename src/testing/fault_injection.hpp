@@ -21,11 +21,15 @@
 namespace brickdl {
 
 enum class FaultKind {
-  kKernelFailure,  ///< backend kernel faults (classified kKernelFailure)
-  kNaNPoison,      ///< kernel output silently corrupted with NaNs
-  kWorkerStall,    ///< memoized worker parks mid-InProgress (dead worker)
-  kDropPublish,    ///< memoized publish CAS lost (crash before publish)
+  kKernelFailure,   ///< backend kernel faults (classified kKernelFailure)
+  kNaNPoison,       ///< kernel output silently corrupted with NaNs
+  kWorkerStall,     ///< memoized worker parks mid-InProgress (dead worker)
+  kDropPublish,     ///< memoized publish CAS lost (crash before publish)
+  kAdmissionDelay,  ///< serve: submit() sleeps `delay_us` before admission
+  kBatchStall,      ///< serve: batch execution sleeps `delay_us` before running
 };
+
+constexpr size_t kNumFaultKinds = 6;
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -34,6 +38,7 @@ struct FaultSpec {
   int node_id = -1;   ///< restrict to one graph node (-1 = any node)
   i64 skip = 0;       ///< let this many matching events pass unharmed first
   i64 max_fires = 1;  ///< then fire on up to this many events (-1 = unlimited)
+  i64 delay_us = 0;   ///< sleep length for the serve delay/stall kinds
 };
 
 class FaultInjector : public FaultHooks {
@@ -53,6 +58,8 @@ class FaultInjector : public FaultHooks {
   void on_kernel_output(int node_id, int worker, float* data, i64 n) override;
   bool on_publish(int node_id, i64 brick, int worker) override;
   bool on_worker_stall(int node_id, i64 brick, int worker) override;
+  void on_serve_admit(u64 request_id) override;
+  void on_serve_batch(i64 rows) override;
 
  private:
   struct Armed {
@@ -60,11 +67,11 @@ class FaultInjector : public FaultHooks {
     std::atomic<i64> seen{0};
   };
 
-  bool should_fire(FaultKind kind, int node_id);
+  bool should_fire(FaultKind kind, int node_id, i64* delay_us = nullptr);
 
   u64 seed_;
   std::vector<std::unique_ptr<Armed>> armed_;
-  std::atomic<i64> fired_[4] = {};
+  std::atomic<i64> fired_[kNumFaultKinds] = {};
 };
 
 /// RAII installation of an injector as the process-global FaultHooks.

@@ -20,6 +20,12 @@ const char* status_code_name(StatusCode code) {
       return "kExecutorStall";
     case StatusCode::kBudgetExceeded:
       return "kBudgetExceeded";
+    case StatusCode::kOverloaded:
+      return "kOverloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case StatusCode::kShuttingDown:
+      return "kShuttingDown";
   }
   return "k?";
 }

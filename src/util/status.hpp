@@ -29,6 +29,9 @@ enum class StatusCode : u8 {
   kKernelFailure,    ///< a backend kernel faulted or produced non-finite data
   kExecutorStall,    ///< workers stopped making progress (watchdog exhausted)
   kBudgetExceeded,   ///< a planned subgraph footprint exceeds the on-chip budget
+  kOverloaded,       ///< admission refused: the serving queue is at capacity
+  kDeadlineExceeded, ///< a request's deadline passed (or cannot be met) — shed
+  kShuttingDown,     ///< the server is draining; no new work is admitted
 };
 
 const char* status_code_name(StatusCode code);

@@ -404,7 +404,8 @@ TEST(ServeBatching, ShutdownDrainsQueueAndRejectsLateSubmits) {
     EXPECT_TRUE(result.status.ok()) << result.status.to_string();
   }
   RequestResult late = server.submit(random_request(model, 1, 99)).get();
-  EXPECT_EQ(late.status.code(), StatusCode::kInvalidOptions);
+  EXPECT_EQ(late.status.code(), StatusCode::kShuttingDown);
+  EXPECT_TRUE(late.shed);
   EXPECT_NE(late.status.message().find("shutting down"), std::string::npos);
 }
 
@@ -439,7 +440,326 @@ TEST(ServeOptionsValidation, RejectsOutOfRangeKnobs) {
   opts = ServeOptions{};
   opts.engine.memo_workers = 0;  // engine knobs validated transitively
   EXPECT_EQ(validate_serve_options(opts).code(), StatusCode::kInvalidOptions);
+  opts = ServeOptions{};
+  opts.max_queue_depth = -1;
+  EXPECT_EQ(validate_serve_options(opts).code(), StatusCode::kInvalidOptions);
+  opts = ServeOptions{};
+  opts.default_deadline_us = -1;
+  EXPECT_EQ(validate_serve_options(opts).code(), StatusCode::kInvalidOptions);
+  opts = ServeOptions{};
+  opts.breaker_failures = -1;
+  EXPECT_EQ(validate_serve_options(opts).code(), StatusCode::kInvalidOptions);
+  opts = ServeOptions{};
+  opts.breaker_cooldown = 0;
+  EXPECT_EQ(validate_serve_options(opts).code(), StatusCode::kInvalidOptions);
   EXPECT_TRUE(validate_serve_options(ServeOptions{}).ok());
+}
+
+// ---- Overload / chaos suite (DESIGN.md §12) ----
+//
+// Determinism recipe: max_batch = 1 serializes the scheduler, and an armed
+// kBatchStall fault makes each batch execution sleep a fixed wall-clock
+// interval before running — so the test controls exactly how long requests
+// sit in the queue, independent of machine speed or sanitizer slowdown.
+
+namespace {
+
+/// Spin until the scheduler has popped everything (depth 0) — i.e. the
+/// in-flight batch is executing (or stalled in the injected fault).
+void wait_for_empty_queue(Server& server) {
+  while (server.queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace
+
+TEST(ServeOverload, BoundedAdmissionShedsWithNamedStatusAndStaysBitIdentical) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 1;  // serialize: one request per batch
+  opts.max_wait_us = 0;
+  opts.max_queue_depth = 4;
+  WeightStore ws(kWeightSeed);
+
+  ScopedFaultInjection injection;
+  FaultSpec stall;
+  stall.kind = FaultKind::kBatchStall;
+  stall.max_fires = -1;
+  stall.delay_us = 150'000;  // every batch sleeps 150 ms before running
+  injection.injector().arm(stall);
+
+  Server server(model, ws, opts);
+
+  // Blocker: admitted, popped, now stalled in execution — the queue is empty
+  // and the scheduler is busy for 150 ms.
+  Tensor blocker_input = random_request(model, 1, 500);
+  auto blocker = server.submit(blocker_input);
+  wait_for_empty_queue(server);
+
+  // 4x overload burst: 8 requests against a queue of 4. Exactly 4 are
+  // admitted; the rest are refused at submit() with the named status (no
+  // deadlines anywhere, so EDF eviction can never prefer a newcomer).
+  std::vector<Tensor> inputs;
+  std::vector<std::future<RequestResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(random_request(model, 1, 510 + static_cast<u64>(i)));
+    futures.push_back(server.submit(inputs.back()));
+    EXPECT_LE(server.queue_depth(), opts.max_queue_depth)
+        << "queue exceeded max_queue_depth";
+  }
+
+  int admitted = 0;
+  int shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    RequestResult result = futures[static_cast<size_t>(i)].get();
+    if (result.status.ok()) {
+      ++admitted;
+      // Admission pressure must never change numerics: every served
+      // request is still bit-identical to its solo run.
+      EXPECT_EQ(max_abs_diff(result.output,
+                             solo_reference(model, inputs[static_cast<size_t>(i)],
+                                            opts.engine)),
+                0.0);
+    } else {
+      ++shed;
+      EXPECT_EQ(result.status.code(), StatusCode::kOverloaded);
+      EXPECT_TRUE(result.shed);
+      EXPECT_NE(result.status.message().find("queue at capacity"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(admitted, 4);
+  EXPECT_EQ(shed, 4);
+  EXPECT_TRUE(blocker.get().status.ok());
+
+  server.shutdown();
+  EXPECT_EQ(counter_value("serve.shed.overload"), 4);
+  EXPECT_EQ(counter_value("serve.rejected"), 4);
+  EXPECT_EQ(counter_value("serve.completed"), 5);
+  // Satellite: the depth gauge is updated on every queue mutation, so after
+  // a full drain it reads exactly zero.
+  EXPECT_EQ(obs::metrics().gauge("serve.depth").value(), 0.0);
+}
+
+TEST(ServeOverload, ExpiredDeadlineShedsWithoutExecuting) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  WeightStore ws(kWeightSeed);
+
+  ScopedFaultInjection injection;
+  FaultSpec stall;
+  stall.kind = FaultKind::kBatchStall;
+  stall.max_fires = 1;  // only the blocker's batch stalls
+  stall.delay_us = 300'000;
+  injection.injector().arm(stall);
+
+  Server server(model, ws, opts);
+  auto blocker = server.submit(random_request(model, 1, 600));
+  wait_for_empty_queue(server);
+
+  // 50 ms deadline against a 300 ms stall: the deadline is long gone by the
+  // time the scheduler gets to this request, so it must be shed *without
+  // executing* — serve.batches stays at the blocker's 1.
+  auto doomed = server.submit(random_request(model, 1, 601),
+                              /*deadline_us=*/50'000);
+  RequestResult result = doomed.get();
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(result.shed);
+  EXPECT_NE(result.status.message().find("deadline expired"),
+            std::string::npos);
+  EXPECT_TRUE(blocker.get().status.ok());
+
+  server.shutdown();
+  EXPECT_EQ(counter_value("serve.shed.deadline"), 1);
+  EXPECT_EQ(counter_value("serve.batches"), 1) << "shed request executed";
+  EXPECT_EQ(counter_value("serve.completed"), 1);
+  EXPECT_EQ(obs::metrics().gauge("serve.depth").value(), 0.0);
+}
+
+TEST(ServeOverload, EdfEvictionPrefersNewcomerWithMoreSlack) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.max_queue_depth = 2;
+  WeightStore ws(kWeightSeed);
+
+  ScopedFaultInjection injection;
+  FaultSpec stall;
+  stall.kind = FaultKind::kBatchStall;
+  stall.max_fires = -1;
+  stall.delay_us = 250'000;
+  injection.injector().arm(stall);
+
+  Server server(model, ws, opts);
+  auto blocker = server.submit(random_request(model, 1, 700));
+  wait_for_empty_queue(server);
+
+  // Queue fills with a 30 ms and a 60 ms deadline.
+  auto fa = server.submit(random_request(model, 1, 701), 30'000);
+  auto fb = server.submit(random_request(model, 1, 702), 60'000);
+  EXPECT_EQ(server.queue_depth(), 2);
+
+  // A 5 s newcomer has far more slack than the queued 30 ms request, so the
+  // 30 ms one (least likely to be served in time) is evicted for it.
+  auto fc = server.submit(random_request(model, 1, 703), 5'000'000);
+  RequestResult ra = fa.get();  // resolved synchronously by the eviction
+  EXPECT_EQ(ra.status.code(), StatusCode::kOverloaded);
+  EXPECT_TRUE(ra.shed);
+  EXPECT_NE(ra.status.message().find("took the queue slot"),
+            std::string::npos);
+  EXPECT_EQ(server.queue_depth(), 2);
+
+  // A 1 ms newcomer has *less* slack than anything queued: refused, queue
+  // untouched.
+  RequestResult rd =
+      server.submit(random_request(model, 1, 704), 1'000).get();
+  EXPECT_EQ(rd.status.code(), StatusCode::kOverloaded);
+  EXPECT_TRUE(rd.shed);
+  EXPECT_NE(rd.status.message().find("no queued request has an earlier"),
+            std::string::npos);
+  EXPECT_EQ(server.queue_depth(), 2);
+
+  // The 60 ms request expires during the blocker's 250 ms stall and is shed
+  // at flush; the 5 s one survives the stall and is served.
+  EXPECT_TRUE(blocker.get().status.ok());
+  EXPECT_EQ(fb.get().status.code(), StatusCode::kDeadlineExceeded);
+  RequestResult rc = fc.get();
+  EXPECT_TRUE(rc.status.ok()) << rc.status.to_string();
+
+  server.shutdown();
+  EXPECT_EQ(counter_value("serve.shed.overload"), 2);  // eviction + refusal
+  EXPECT_EQ(counter_value("serve.rejected"), 1);       // only the refusal
+  EXPECT_EQ(obs::metrics().gauge("serve.depth").value(), 0.0);
+}
+
+TEST(ServeOverload, BreakerOpensRoutesDegradedAndRecoversViaProbe) {
+  obs::metrics().reset();
+  // 20x20x3: large enough that the 1-row plan stays merged (the 16x16 chain
+  // model hits the brick model's vendor fallback at 1 row, which would leave
+  // no memoized subgraph for the stall to poison).
+  const Graph model = build_conv_chain_2d(3, 1, 20, 3);
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.breaker_failures = 2;  // K: open after 2 consecutive degraded runs
+  opts.breaker_cooldown = 2;  // N: probe after 2 degraded-tier runs
+  // Tier 0 plans memoized; an armed unlimited worker stall makes every
+  // memoized attempt fail, so each tier-0 run walks the §7 chain to padded
+  // (degraded but served). The breaker's tier-1 engine forces padded, which
+  // runs clean — no walk.
+  opts.engine.partition.cost_aware = false;  // merge even at test scale
+  opts.engine.force_strategy = Strategy::kMemoized;
+  opts.engine.memo_workers = 4;
+  opts.engine.memo_parallel = false;         // deterministic stall detection
+  opts.engine.memo_watchdog = {64, 200};
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  auto serve_one = [&](u64 seed) {
+    RequestResult r = server.submit(random_request(model, 1, seed)).get();
+    ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+  };
+  auto fallbacks = [] { return counter_value("engine.fallbacks"); };
+
+  {
+    ScopedFaultInjection injection;
+    FaultSpec stall;
+    stall.kind = FaultKind::kWorkerStall;
+    stall.max_fires = -1;
+    injection.injector().arm(stall);
+
+    // Runs 1-2: closed breaker, each run walks memoized -> padded.
+    serve_one(800);
+    serve_one(801);
+    EXPECT_EQ(counter_value("serve.breaker.opens"), 1);
+    const i64 walks_while_closed = fallbacks();
+    EXPECT_GE(walks_while_closed, 2);
+    // A single run walks the chain once per merged subgraph.
+    const i64 walks_per_run = walks_while_closed / 2;
+
+    // Runs 3-4: breaker open — routed straight to the padded tier. The
+    // acceptance criterion: one degradation walk per breaker cycle, not one
+    // per request, so the fallback counter must not move here.
+    serve_one(802);
+    serve_one(803);
+    EXPECT_EQ(fallbacks(), walks_while_closed)
+        << "breaker-open runs still walked the degradation chain";
+
+    // Run 5: cooldown elapsed -> half-open probe of the planned tier. The
+    // stall is still armed, so the probe walks the chain once and re-opens.
+    serve_one(804);
+    EXPECT_EQ(counter_value("serve.breaker.probes"), 1);
+    EXPECT_EQ(counter_value("serve.breaker.closes"), 0);
+    EXPECT_EQ(fallbacks(), walks_while_closed + walks_per_run);
+
+    // Runs 6-7: re-opened — degraded tier again, still no walks.
+    serve_one(805);
+    serve_one(806);
+    EXPECT_EQ(fallbacks(), walks_while_closed + walks_per_run);
+  }  // stall disarmed: the planned tier is healthy again
+
+  // Run 8: next probe succeeds cleanly -> breaker closes.
+  serve_one(807);
+  EXPECT_EQ(counter_value("serve.breaker.probes"), 2);
+  EXPECT_EQ(counter_value("serve.breaker.closes"), 1);
+
+  // Run 9: closed again, planned tier serves clean (no walk).
+  const i64 walks_after_close = counter_value("engine.fallbacks");
+  serve_one(808);
+  EXPECT_EQ(counter_value("engine.fallbacks"), walks_after_close);
+  EXPECT_EQ(counter_value("serve.breaker.opens"), 1)
+      << "breaker re-opened after recovery";
+  server.shutdown();
+  EXPECT_EQ(counter_value("serve.failed"), 0);
+}
+
+TEST(ServeOverload, ShutdownDrainDeadlineFailsRemainingWithNamedStatus) {
+  obs::metrics().reset();
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  WeightStore ws(kWeightSeed);
+
+  ScopedFaultInjection injection;
+  FaultSpec stall;
+  stall.kind = FaultKind::kBatchStall;
+  stall.max_fires = -1;
+  stall.delay_us = 200'000;
+  injection.injector().arm(stall);
+
+  Server server(model, ws, opts);
+  auto in_flight = server.submit(random_request(model, 1, 900));
+  wait_for_empty_queue(server);
+
+  std::vector<std::future<RequestResult>> queued;
+  for (int i = 0; i < 5; ++i) {
+    queued.push_back(server.submit(random_request(model, 1, 901 + static_cast<u64>(i))));
+  }
+
+  // Drain deadline far shorter than the in-flight batch's stall: the
+  // in-flight request still completes (in-flight work is never abandoned),
+  // but everything queued behind it fails with the named status.
+  server.shutdown(/*drain_deadline_us=*/10'000);
+
+  RequestResult first = in_flight.get();
+  EXPECT_TRUE(first.status.ok()) << first.status.to_string();
+  for (auto& f : queued) {
+    RequestResult r = f.get();  // shutdown() joined: resolved, no blocking
+    EXPECT_EQ(r.status.code(), StatusCode::kShuttingDown);
+    EXPECT_TRUE(r.shed);
+    EXPECT_NE(r.status.message().find("drain deadline"), std::string::npos);
+  }
+  EXPECT_EQ(counter_value("serve.shed.shutdown"), 5);
+  EXPECT_EQ(counter_value("serve.completed"), 1);
+  EXPECT_EQ(obs::metrics().gauge("serve.depth").value(), 0.0);
 }
 
 }  // namespace brickdl

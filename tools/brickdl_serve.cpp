@@ -1,8 +1,10 @@
 // brickdl_serve — replay a request trace through the serving front-end
-// (DESIGN.md §10) and report batching behaviour.
+// (DESIGN.md §10), or drive it into open-loop overload (DESIGN.md §12),
+// and report batching + shedding behaviour.
 //
 //   brickdl_serve <trace-file> [options]
 //   brickdl_serve --demo N     [options]
+//   brickdl_serve --overload M [options]
 //
 // Trace file: one request per line, `#` starts a comment:
 //
@@ -13,6 +15,15 @@
 // tensor. `--demo N` synthesizes an N-request trace instead (200 us apart,
 // rows cycling 1..3).
 //
+// `--overload M` ignores the trace: it first estimates the server's solo
+// service time, then submits bursts at M× that capacity for --duration-ms,
+// with two deadline classes (tight = 3× service time, loose = 30×), and
+// reports served/shed counts, SLO attainment, and latency percentiles per
+// class. Shed requests (kOverloaded / kDeadlineExceeded / kShuttingDown)
+// are the *expected* outcome under overload and do not fail the exit code;
+// any other failure does. In replay/demo mode every request is expected to
+// be served, so failures AND sheds exit non-zero.
+//
 //   options:
 //     --layers N        conv-chain depth for the served model  (default 3)
 //     --spatial N       input resolution                       (default 16)
@@ -21,6 +32,14 @@
 //     --max-wait-us N   flush when the oldest waited this long (default 2000)
 //     --max-rows N      split batches above N stacked rows     (default 0 = off)
 //     --budget N        footprint budget in bytes (0 = engine's L2 budget)
+//     --queue-depth N   bounded admission: max queued requests (default 0 = off;
+//                       overload mode defaults to 4*max-batch)
+//     --deadline-us N   default per-request deadline           (default 0 = off)
+//     --breaker-k N     breaker opens after N failed runs      (default 3)
+//     --breaker-cooldown N  degraded runs before a probe       (default 16)
+//     --overload M      open-loop overload at M x capacity
+//     --duration-ms N   overload run length                    (default 1000)
+//     --drain-ms N      shutdown drain deadline in overload mode (default 500)
 //     --strategy S      padded | memoized | wavefront  (default: engine picks)
 //     --workers N       backend workers per run                (default 4)
 //     --seed N          base seed for weights + demo inputs    (default 42)
@@ -28,8 +47,10 @@
 //     --trace[=PATH]    write a Chrome/Perfetto trace of the serve spans
 //                       (default serve_trace.json)
 //
-// The exit status is nonzero if any request fails, so the tool doubles as a
-// smoke check for the serving path.
+// The exit status is nonzero if any request fails (replay mode: fails or is
+// shed), so the tool doubles as a smoke check for the serving path.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -59,6 +80,10 @@ struct TraceEntry {
 struct Options {
   std::string trace_file;
   int demo = 0;
+  double overload = 0.0;  // > 0 selects open-loop overload mode
+  i64 duration_ms = 1000;
+  i64 drain_ms = 500;
+  bool queue_depth_set = false;
   int layers = 3;
   i64 spatial = 16;
   i64 channels = 2;
@@ -70,10 +95,13 @@ struct Options {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: brickdl_serve <trace-file> | --demo N\n"
+               "usage: brickdl_serve <trace-file> | --demo N | --overload M\n"
                "  [--layers N] [--spatial N] [--channels N]\n"
                "  [--max-batch N] [--max-wait-us N] [--max-rows N] "
                "[--budget BYTES]\n"
+               "  [--queue-depth N] [--deadline-us N]\n"
+               "  [--breaker-k N] [--breaker-cooldown N]\n"
+               "  [--duration-ms N] [--drain-ms N]\n"
                "  [--strategy padded|memoized|wavefront] [--workers N]\n"
                "  [--seed N] [--fast] [--trace[=serve_trace.json]]\n"
                "trace file: `<offset_us> <rows> [<seed>]` per line, "
@@ -139,6 +167,218 @@ bool write_text_file(const std::string& path, const std::string& text) {
   return std::fclose(f) == 0 && n == text.size();
 }
 
+i64 counter_value(const char* name) {
+  return obs::metrics().counter(name).value();
+}
+
+void add_shed_rows(TextTable& table) {
+  obs::MetricsRegistry& m = obs::metrics();
+  table.add_row({"shed (overload)",
+                 std::to_string(m.counter("serve.shed.overload").value())});
+  table.add_row({"shed (deadline expired)",
+                 std::to_string(m.counter("serve.shed.deadline").value())});
+  table.add_row({"shed (predicted unmeetable)",
+                 std::to_string(m.counter("serve.shed.predicted").value())});
+  table.add_row({"shed (shutdown drain)",
+                 std::to_string(m.counter("serve.shed.shutdown").value())});
+  table.add_row({"deadline missed (served late)",
+                 std::to_string(m.counter("serve.deadline.missed").value())});
+  table.add_row(
+      {"breaker opens/probes/closes",
+       std::to_string(m.counter("serve.breaker.opens").value()) + "/" +
+           std::to_string(m.counter("serve.breaker.probes").value()) + "/" +
+           std::to_string(m.counter("serve.breaker.closes").value())});
+}
+
+u64 now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+// ---- open-loop overload mode ----
+
+struct Outcome {
+  std::future<serve::RequestResult> future;
+  int cls = 0;  // 0 = tight deadline, 1 = loose deadline
+  u64 submit_ns = 0;
+  u64 ready_ns = 0;
+  serve::RequestResult result;
+};
+
+i64 percentile_us(std::vector<i64>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+int run_overload(const Graph& model, const Options& opts) {
+  serve::ServeOptions sopts = opts.serve;
+  if (!opts.queue_depth_set) sopts.max_queue_depth = 4 * sopts.max_batch;
+
+  WeightStore weights(opts.seed);
+
+  // Capacity estimate: batched throughput, not solo latency — coalescing
+  // amortizes planning and stacks rows, so the server's real capacity is
+  // what a full batch sustains. One warmup wave pays plan construction;
+  // the second wave's wall time / request count is the steady per-request
+  // service time at capacity.
+  i64 service_us = 0;
+  {
+    serve::Server probe(model, weights, sopts);
+    const int wave = 2 * sopts.max_batch;
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<std::future<serve::RequestResult>> waves;
+      waves.reserve(static_cast<size_t>(wave));
+      const u64 t0 = now_ns();
+      for (int i = 0; i < wave; ++i) {
+        waves.push_back(probe.submit(make_request(
+            model, 1,
+            opts.seed + 1000 + static_cast<u64>(pass * wave + i))));
+      }
+      for (auto& f : waves) {
+        auto r = f.get();
+        if (!r.status.ok()) {
+          std::fprintf(stderr, "capacity probe failed: %s\n",
+                       r.status.to_string().c_str());
+          return 1;
+        }
+      }
+      if (pass == 1) {
+        service_us = static_cast<i64>((now_ns() - t0) / 1000) / wave;
+      }
+    }
+    probe.shutdown();
+    service_us = std::max<i64>(1, service_us);
+  }
+
+  const i64 tight_us = 3 * service_us;
+  const i64 loose_us = opts.serve.default_deadline_us > 0
+                           ? opts.serve.default_deadline_us
+                           : 30 * service_us;
+  const int burst = std::max(1, static_cast<int>(opts.overload + 0.5));
+  const i64 bursts = std::max<i64>(1, opts.duration_ms * 1000 / service_us);
+  std::printf(
+      "overload: service ~%lld us/request, %.1fx capacity -> burst of %d "
+      "every %lld us for %lld bursts\n"
+      "deadlines: tight %lld us, loose %lld us; queue depth cap %lld\n",
+      static_cast<long long>(service_us), opts.overload, burst,
+      static_cast<long long>(service_us), static_cast<long long>(bursts),
+      static_cast<long long>(tight_us), static_cast<long long>(loose_us),
+      static_cast<long long>(sopts.max_queue_depth));
+
+  obs::metrics().reset();
+  serve::Server server(model, weights, sopts);
+
+  const size_t total = static_cast<size_t>(bursts) * static_cast<size_t>(burst);
+  std::vector<Outcome> outcomes(total);
+  std::atomic<size_t> submitted{0};
+
+  // The collector runs concurrently with submission so ready_ns reflects
+  // when each future actually resolved, not when the run ended. Requests
+  // resolve near-FIFO (batches execute in queue order; sheds resolve
+  // immediately), so waiting in submission order keeps the timestamps
+  // honest.
+  std::thread collector([&] {
+    for (size_t i = 0; i < total; ++i) {
+      while (submitted.load(std::memory_order_acquire) <= i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      outcomes[i].result = outcomes[i].future.get();
+      outcomes[i].ready_ns = now_ns();
+    }
+  });
+
+  i64 max_depth_seen = 0;
+  const auto start = std::chrono::steady_clock::now();
+  u64 next_seed = opts.seed + 5000;
+  for (i64 b = 0; b < bursts; ++b) {
+    std::this_thread::sleep_until(
+        start + std::chrono::microseconds(b * service_us));
+    for (int i = 0; i < burst; ++i) {
+      const size_t idx = submitted.load(std::memory_order_relaxed);
+      Outcome& o = outcomes[idx];
+      o.cls = static_cast<int>(idx % 2);
+      o.submit_ns = now_ns();
+      o.future = server.submit(make_request(model, 1, next_seed++),
+                               o.cls == 0 ? tight_us : loose_us);
+      submitted.store(idx + 1, std::memory_order_release);
+    }
+    max_depth_seen = std::max(max_depth_seen, server.queue_depth());
+  }
+  server.shutdown(/*drain_deadline_us=*/opts.drain_ms * 1000);
+  collector.join();
+
+  // Per-class accounting.
+  const char* cls_name[2] = {"tight", "loose"};
+  const i64 cls_deadline[2] = {tight_us, loose_us};
+  int failed = 0;
+  TextTable table({"class", "submitted", "served", "shed", "failed",
+                   "SLO met", "p50", "p95", "p99 (us)"});
+  for (int cls = 0; cls < 2; ++cls) {
+    i64 submitted = 0, served = 0, shed = 0, cls_failed = 0, slo_met = 0;
+    std::vector<i64> latency_us;
+    for (const Outcome& o : outcomes) {
+      if (o.cls != cls) continue;
+      ++submitted;
+      const i64 us = static_cast<i64>((o.ready_ns - o.submit_ns) / 1000);
+      if (o.result.status.ok()) {
+        ++served;
+        latency_us.push_back(us);
+        if (us <= cls_deadline[cls]) ++slo_met;
+      } else if (o.result.shed) {
+        ++shed;
+      } else {
+        ++cls_failed;
+        ++failed;
+        std::fprintf(stderr, "request (class %s) failed: %s\n",
+                     cls_name[cls], o.result.status.to_string().c_str());
+      }
+    }
+    std::sort(latency_us.begin(), latency_us.end());
+    const double slo = submitted > 0 ? 100.0 * static_cast<double>(slo_met) /
+                                           static_cast<double>(submitted)
+                                     : 0.0;
+    table.add_row({cls_name[cls], std::to_string(submitted),
+                   std::to_string(served), std::to_string(shed),
+                   std::to_string(cls_failed),
+                   TextTable::num(slo) + "%",
+                   std::to_string(percentile_us(latency_us, 0.50)),
+                   std::to_string(percentile_us(latency_us, 0.95)),
+                   std::to_string(percentile_us(latency_us, 0.99))});
+  }
+  std::printf("\n%s", table.render().c_str());
+
+  TextTable summary({"metric", "value"});
+  summary.add_row({"requests", std::to_string(outcomes.size())});
+  summary.add_row({"completed", std::to_string(counter_value("serve.completed"))});
+  summary.add_row({"failed", std::to_string(counter_value("serve.failed"))});
+  summary.add_row({"rejected", std::to_string(counter_value("serve.rejected"))});
+  add_shed_rows(summary);
+  summary.add_row({"max queue depth seen",
+                   std::to_string(max_depth_seen) + " (cap " +
+                       std::to_string(sopts.max_queue_depth) + ")"});
+  summary.add_row({"request latency (all)",
+                   pctl(obs::metrics().histogram("serve.request_us"))});
+  std::printf("\n%s", summary.render().c_str());
+
+  if (sopts.max_queue_depth > 0 && max_depth_seen > sopts.max_queue_depth) {
+    std::fprintf(stderr,
+                 "FAIL: observed queue depth %lld exceeds max_queue_depth "
+                 "%lld\n",
+                 static_cast<long long>(max_depth_seen),
+                 static_cast<long long>(sopts.max_queue_depth));
+    return 1;
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "FAIL: %d request(s) failed with non-shed status\n",
+                 failed);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +395,12 @@ int main(int argc, char** argv) {
     };
     if (arg == "--demo") {
       opts.demo = std::atoi(next());
+    } else if (arg == "--overload") {
+      opts.overload = std::atof(next());
+    } else if (arg == "--duration-ms") {
+      opts.duration_ms = std::atol(next());
+    } else if (arg == "--drain-ms") {
+      opts.drain_ms = std::atol(next());
     } else if (arg == "--layers") {
       opts.layers = std::atoi(next());
     } else if (arg == "--spatial") {
@@ -169,6 +415,15 @@ int main(int argc, char** argv) {
       opts.serve.max_batch_rows = std::atol(next());
     } else if (arg == "--budget") {
       opts.serve.footprint_budget = std::atol(next());
+    } else if (arg == "--queue-depth") {
+      opts.serve.max_queue_depth = std::atol(next());
+      opts.queue_depth_set = true;
+    } else if (arg == "--deadline-us") {
+      opts.serve.default_deadline_us = std::atol(next());
+    } else if (arg == "--breaker-k") {
+      opts.serve.breaker_failures = std::atoi(next());
+    } else if (arg == "--breaker-cooldown") {
+      opts.serve.breaker_cooldown = std::atoi(next());
     } else if (arg == "--workers") {
       opts.serve.backend_workers = std::atoi(next());
     } else if (arg == "--seed") {
@@ -196,7 +451,36 @@ int main(int argc, char** argv) {
     }
   }
   if (missing_value) return usage();
-  if (opts.trace_file.empty() && opts.demo <= 0) return usage();
+  if (opts.trace_file.empty() && opts.demo <= 0 && opts.overload <= 0.0) {
+    return usage();
+  }
+
+  const Graph model = build_conv_chain_2d(opts.layers, /*batch=*/1,
+                                          opts.spatial, opts.channels);
+
+  if (!opts.trace_path.empty()) {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(true);
+  }
+
+  if (opts.overload > 0.0) {
+    std::printf("%s: %d nodes, input %s, overload mode\n",
+                model.name().c_str(), model.num_nodes(),
+                model.node(0).out_shape.dims.str().c_str());
+    const int rc = run_overload(model, opts);
+    obs::Tracer::instance().set_enabled(false);
+    if (!opts.trace_path.empty()) {
+      if (!write_text_file(opts.trace_path,
+                           obs::Tracer::instance().export_chrome_json())) {
+        std::fprintf(stderr, "cannot write trace to '%s'\n",
+                     opts.trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace: %s (open at https://ui.perfetto.dev)\n",
+                  opts.trace_path.c_str());
+    }
+    return rc;
+  }
 
   std::vector<TraceEntry> trace;
   if (!opts.trace_file.empty()) {
@@ -205,17 +489,11 @@ int main(int argc, char** argv) {
     trace = demo_trace(opts.demo, opts.seed);
   }
 
-  const Graph model = build_conv_chain_2d(opts.layers, /*batch=*/1,
-                                          opts.spatial, opts.channels);
   std::printf("%s: %d nodes, input %s, %zu request(s)\n",
               model.name().c_str(), model.num_nodes(),
               model.node(0).out_shape.dims.str().c_str(), trace.size());
 
   obs::metrics().reset();
-  if (!opts.trace_path.empty()) {
-    obs::Tracer::instance().clear();
-    obs::Tracer::instance().set_enabled(true);
-  }
 
   WeightStore weights(opts.seed);
   serve::Server server(model, weights, opts.serve);
@@ -232,12 +510,18 @@ int main(int argc, char** argv) {
         server.submit(make_request(model, entry.rows, entry.seed)));
   }
 
+  // In replay mode every request is expected to be served: a shed request
+  // (overload/deadline policies armed via the knobs) is still a failed
+  // replay, but is reported under its own count.
   int failed = 0;
+  int shed = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
     const serve::RequestResult result = futures[i].get();
     if (!result.status.ok()) {
       ++failed;
-      std::fprintf(stderr, "request %zu failed: %s\n", i,
+      if (result.shed) ++shed;
+      std::fprintf(stderr, "request %zu %s: %s\n", i,
+                   result.shed ? "shed" : "failed",
                    result.status.to_string().c_str());
     }
   }
@@ -250,6 +534,7 @@ int main(int argc, char** argv) {
   table.add_row({"completed", std::to_string(m.counter("serve.completed").value())});
   table.add_row({"failed", std::to_string(m.counter("serve.failed").value())});
   table.add_row({"rejected", std::to_string(m.counter("serve.rejected").value())});
+  add_shed_rows(table);
   table.add_row({"flushes", std::to_string(m.counter("serve.flushes").value())});
   table.add_row({"batches", std::to_string(m.counter("serve.batches").value())});
   table.add_row({"splits", std::to_string(m.counter("serve.splits").value())});
@@ -278,6 +563,9 @@ int main(int argc, char** argv) {
     }
     std::printf("trace: %s (open at https://ui.perfetto.dev)\n",
                 opts.trace_path.c_str());
+  }
+  if (shed > 0) {
+    std::fprintf(stderr, "%d replayed request(s) shed (see summary)\n", shed);
   }
   return failed == 0 ? 0 : 1;
 }

@@ -53,7 +53,8 @@ if run_stage asan; then
         --target brickdl_differential_tests --target brickdl_resilience_tests \
         --target brickdl_obs_tests --target brickdl_serve_tests \
         --target brickdl_partition_tests \
-        --target mb_kernels --target fig07_partition_ab
+        --target mb_kernels --target fig07_partition_ab \
+        --target brickdl_serve
   # obs_smoke (the CLI end-to-end run) is excluded: it needs the CLI binaries
   # and is far too slow under ASan; the unit suite covers the same code paths.
   # perf = the fast-path-vs-generic kernel sweeps + mb_kernels smoke: cheap,
@@ -70,7 +71,9 @@ if run_stage release; then
         -DCMAKE_CXX_FLAGS_RELEASE="-O3 -DNDEBUG"
   cmake --build "$SRC_DIR/build-release" -j "$JOBS" \
         --target brickdl_differential_tests --target mb_kernels \
-        --target fig07_partition_ab
+        --target fig07_partition_ab --target brickdl_serve
+  # perf includes serve_overload_smoke: the open-loop overload run (bounded
+  # queue, shed taxonomy, drain) at the optimization level serving ships at.
   ctest --test-dir "$SRC_DIR/build-release" --output-on-failure --timeout 600 \
         -L 'differential|perf'
 fi
