@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Serving telemetry smoke (DESIGN.md §13): drive brickdl_serve in both
+# overload and replay modes with the full telemetry pipeline armed, then
+# validate every artifact — the Perfetto trace (request flow links + queue
+# spans), the structured event log, the Prometheus exposition, the JSONL
+# metrics snapshots, and the brickdl-serve-bench-v1 stats document the
+# advisory bench gate consumes. Registered as the `serve_telemetry_smoke`
+# CTest (labels: obs;serve); also runnable by hand:
+#
+#   bench/smoke_serve_telemetry.sh [build-dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+serve="$build_dir/tools/brickdl_serve"
+check="$build_dir/tools/brickdl_report_check"
+for bin in "$serve" "$check"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "smoke_serve_telemetry: missing binary $bin (build the tree first)" >&2
+    exit 1
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Overload mode with every telemetry flag armed.
+"$serve" --overload 3 --duration-ms 200 --queue-depth 8 --max-batch 4 \
+  --trace="$tmp/trace.json" --events="$tmp/events.json" \
+  --prom "$tmp/metrics.prom" --metrics-out "$tmp/metrics.jsonl" \
+  --flight-dir "$tmp/flights" --json "$tmp/stats.json"
+
+"$check" --trace "$tmp/trace.json"
+
+# The trace carries per-request flow links (ph s/t/f keyed by request id)
+# and the retroactive queue-wait spans.
+grep -q '"ph": "s"' "$tmp/trace.json"
+grep -q '"ph": "t"' "$tmp/trace.json"
+grep -q '"ph": "f"' "$tmp/trace.json"
+grep -q '"name": "queue:req' "$tmp/trace.json"
+
+# Structured event log: typed serving decisions made it to the export.
+grep -q '"event": "enqueue"' "$tmp/events.json"
+grep -q '"event": "flush"' "$tmp/events.json"
+grep -q '"event": "batch.run"' "$tmp/events.json"
+
+# Prometheus exposition: plain series plus the histogram triple with exact
+# log-linear bucket bounds.
+grep -q '^serve_completed ' "$tmp/metrics.prom"
+grep -q '^serve_request_us_bucket{le="+Inf"}' "$tmp/metrics.prom"
+grep -q '^serve_request_us_count ' "$tmp/metrics.prom"
+grep -q '^serve_request_us_sum ' "$tmp/metrics.prom"
+
+# JSONL snapshots: non-empty, every line carries the schema tag.
+[[ -s "$tmp/metrics.jsonl" ]]
+grep -q '"schema":"brickdl-metrics-v1"' "$tmp/metrics.jsonl"
+
+# Machine-readable overload stats for the advisory serve bench gate.
+grep -q '"schema": "brickdl-serve-bench-v1"' "$tmp/stats.json"
+grep -q '"classes"' "$tmp/stats.json"
+
+# Any flight record the run happened to produce must schema-validate.
+if [[ -d "$tmp/flights" ]]; then
+  for record in "$tmp"/flights/*.json; do
+    [[ -e "$record" ]] || continue
+    "$check" --flight "$record"
+  done
+fi
+
+# Replay mode exports through the same shared path.
+"$serve" --demo 6 --fast --max-batch 4 --trace="$tmp/replay_trace.json" \
+  --events="$tmp/replay_events.json" --prom "$tmp/replay.prom"
+"$check" --trace "$tmp/replay_trace.json"
+grep -q '"ph": "f"' "$tmp/replay_trace.json"
+grep -q '"event": "complete"' "$tmp/replay_events.json"
+grep -q '^serve_completed 6' "$tmp/replay.prom"
+
+echo "smoke_serve_telemetry: ok"

@@ -538,7 +538,7 @@ Tensor slice_batch(const Tensor& t, i64 row, i64 rows) {
 
 Result<std::vector<Tensor>> Engine::run_batched_checked(
     NumericBackend& backend, const std::vector<const Tensor*>& parts,
-    EngineResult* engine_result) {
+    EngineResult* engine_result, const RunContext* ctx) {
   const Node* input_node = nullptr;
   for (const Node& node : graph_.nodes()) {
     if (node.kind != OpKind::kInput) continue;
@@ -566,7 +566,22 @@ Result<std::vector<Tensor>> Engine::run_batched_checked(
                       input_node->out_shape.dims.str());
   }
 
-  Result<EngineResult> run = run_checked(backend, &stacked.value());
+  Result<EngineResult> run = [&] {
+    // The batch span anchors the per-request flow steps: Perfetto binds a
+    // 't' event to the slice open on its thread, so the flows must be
+    // emitted while this span is live and before the nested run span closes.
+    obs::TraceSpan batch_span(
+        "serve", "batch",
+        {{"batch", ctx ? static_cast<i64>(ctx->batch_id) : 0},
+         {"parts", static_cast<i64>(parts.size())}},
+        options_.trace && ctx != nullptr);
+    if (ctx && ctx->request_ids && options_.trace) {
+      for (const u64 id : *ctx->request_ids) {
+        obs::Tracer::flow("serve", "req", id, 't');
+      }
+    }
+    return run_checked(backend, &stacked.value());
+  }();
   BDL_RETURN_IF_ERROR(run.status());
 
   const Tensor output = backend.read(run.value().output);

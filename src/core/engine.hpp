@@ -90,6 +90,18 @@ struct EngineResult {
   ComputeTally total_tally;
 };
 
+/// Serving context threaded into a batched run for request-scoped tracing
+/// (DESIGN.md §13). When present, run_batched_checked opens a "batch" span
+/// around the engine run and steps each request's flow ('t' phase, keyed by
+/// request id) inside it, so the Perfetto arrows connect a request's submit
+/// span to the engine run that served it across threads.
+struct RunContext {
+  u64 batch_id = 0;  ///< scheduler's flush sequence number
+  /// Ids of the requests whose rows make up `parts`, in part order.
+  /// May be null (no flow events are emitted then).
+  const std::vector<u64>* request_ids = nullptr;
+};
+
 class Engine {
  public:
   explicit Engine(const Graph& graph, EngineOptions options = {});
@@ -131,9 +143,12 @@ class Engine {
   /// success — the serving layer's circuit breaker (DESIGN.md §12) inspects
   /// the per-subgraph `attempts` chains to learn whether the planned
   /// strategy degraded, without re-running anything.
+  ///
+  /// `ctx` (optional) carries the serving request context: the batch span it
+  /// opens is the anchor the per-request trace flows bind to.
   Result<std::vector<Tensor>> run_batched_checked(
       NumericBackend& backend, const std::vector<const Tensor*>& parts,
-      EngineResult* engine_result = nullptr);
+      EngineResult* engine_result = nullptr, const RunContext* ctx = nullptr);
 
  private:
   const Graph& graph_;

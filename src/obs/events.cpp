@@ -1,0 +1,113 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace brickdl::obs {
+
+const char* serve_event_name(ServeEvent kind) {
+  switch (kind) {
+    case ServeEvent::kAdmit: return "admit";
+    case ServeEvent::kReject: return "reject";
+    case ServeEvent::kEnqueue: return "enqueue";
+    case ServeEvent::kShedOverload: return "shed.overload";
+    case ServeEvent::kShedDeadline: return "shed.deadline";
+    case ServeEvent::kShedPredicted: return "shed.predicted";
+    case ServeEvent::kShedShutdown: return "shed.shutdown";
+    case ServeEvent::kEvict: return "evict";
+    case ServeEvent::kFlush: return "flush";
+    case ServeEvent::kSplit: return "split";
+    case ServeEvent::kBatchRun: return "batch.run";
+    case ServeEvent::kSoloFallback: return "solo.fallback";
+    case ServeEvent::kBreakerOpen: return "breaker.open";
+    case ServeEvent::kBreakerProbe: return "breaker.probe";
+    case ServeEvent::kBreakerClose: return "breaker.close";
+    case ServeEvent::kDrain: return "drain";
+    case ServeEvent::kComplete: return "complete";
+    case ServeEvent::kFailure: return "failure";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(size_t capacity) : slots_(std::max<size_t>(capacity, 16)) {}
+
+void EventLog::record(ServeEvent kind, u64 request_id, i64 a, i64 b) {
+  const u64 ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<size_t>(ticket % slots_.size())];
+  const u64 stamp = ticket + 1;  // 1-based so 0 always means "never written"
+  slot.start.store(stamp, std::memory_order_relaxed);
+  // Order the start stamp before the payload stores: a reader that sees any
+  // of this write's payload is then guaranteed to also see its start stamp
+  // (paired with the acquire fence in snapshot_last).
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.ts_ns.store(Tracer::now_ns(), std::memory_order_relaxed);
+  slot.kind.store(static_cast<int>(kind), std::memory_order_relaxed);
+  slot.request_id.store(request_id, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.done.store(stamp, std::memory_order_release);
+}
+
+std::vector<EventRecord> EventLog::snapshot_last(size_t n) const {
+  const u64 head = head_.load(std::memory_order_acquire);
+  const u64 held = std::min<u64>(head, slots_.size());
+  const u64 want = std::min<u64>(held, n);
+  std::vector<EventRecord> out;
+  out.reserve(static_cast<size_t>(want));
+  for (u64 ticket = head - want; ticket < head; ++ticket) {
+    const Slot& slot = slots_[static_cast<size_t>(ticket % slots_.size())];
+    // Read done first, payload, then start: if both stamps match this
+    // ticket, no writer touched the slot in between (a newer writer would
+    // have bumped start first).
+    const u64 done = slot.done.load(std::memory_order_acquire);
+    if (done != ticket + 1) continue;  // torn or already lapped
+    EventRecord rec;
+    rec.seq = ticket + 1;
+    rec.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    rec.kind = static_cast<ServeEvent>(slot.kind.load(std::memory_order_relaxed));
+    rec.request_id = slot.request_id.load(std::memory_order_relaxed);
+    rec.a = slot.a.load(std::memory_order_relaxed);
+    rec.b = slot.b.load(std::memory_order_relaxed);
+    // Pairs with the release fence in record(): if the payload reads above
+    // observed a newer writer's stores, the start load below sees that
+    // writer's (newer) stamp and the slot is rejected.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const u64 start = slot.start.load(std::memory_order_relaxed);
+    if (start != done) continue;  // writer raced in during our read
+    out.push_back(rec);
+  }
+  return out;
+}
+
+Json EventLog::to_json(size_t last_n) const {
+  Json arr = Json::array();
+  for (const EventRecord& rec : snapshot_last(last_n)) {
+    Json e = Json::object();
+    e.set("seq", static_cast<i64>(rec.seq));
+    e.set("ts_us", static_cast<double>(rec.ts_ns) / 1e3);
+    e.set("event", serve_event_name(rec.kind));
+    e.set("req", static_cast<i64>(rec.request_id));
+    e.set("a", rec.a);
+    e.set("b", rec.b);
+    arr.push_back(std::move(e));
+  }
+  Json doc = Json::object();
+  doc.set("events", std::move(arr));
+  return doc;
+}
+
+void EventLog::clear() {
+  for (Slot& slot : slots_) {
+    slot.start.store(0, std::memory_order_relaxed);
+    slot.done.store(0, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_release);
+}
+
+EventLog& events() {
+  static EventLog* log = new EventLog();  // leaked: outlives serving threads
+  return *log;
+}
+
+}  // namespace brickdl::obs

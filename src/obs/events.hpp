@@ -1,0 +1,114 @@
+// Structured serving event log (DESIGN.md §13).
+//
+// Where the tracer answers "what was running when", this log answers "what
+// happened to request #4812": a typed, bounded, lock-free ring of serving
+// decisions — admit, shed (with reason), EDF evict, split, breaker
+// transitions, drain — each stamped with the request id it concerns and the
+// tracer's nanosecond clock, so event timestamps line up with span
+// timestamps in the same export.
+//
+// Concurrency: multi-writer, wait-free on the write path. A writer claims a
+// slot with one fetch_add on the head ticket, then publishes through a
+// per-slot seqlock (start/done stamps around relaxed payload stores). A
+// snapshot reader accepts a slot only when both stamps agree and are
+// non-zero — a torn slot (writer mid-flight, or lapped by a newer ticket) is
+// simply skipped. Payload fields are relaxed atomics, so concurrent
+// read/write of a torn slot is race-free by construction (and TSan-clean);
+// the stamp protocol just decides whether the value is coherent.
+//
+// The ring is deliberately small (default 4096): it is the flight recorder's
+// look-back window, not durable storage. Exported via to_json() alongside
+// the trace and inside every flight record (obs/flight.hpp).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace brickdl::obs {
+
+/// Serving event taxonomy. Names are stable export surface
+/// (serve_event_name); extend at the end to keep recorded logs comparable.
+enum class ServeEvent : int {
+  kAdmit = 0,       ///< submit() accepted a request          a=rows
+  kReject,          ///< submit() refused before queueing     a=status code
+  kEnqueue,         ///< request entered the queue            a=queue depth
+  kShedOverload,    ///< bounded-admission shed               a=queue depth
+  kShedDeadline,    ///< deadline already blown at flush      a=slack overrun us
+  kShedPredicted,   ///< predicted completion past deadline   a=predicted us
+  kShedShutdown,    ///< drain refused or dropped the request
+  kEvict,           ///< EDF evict: pushed out by a tighter deadline
+  kFlush,           ///< scheduler picked up a coalesced batch  a=batch id, b=members
+  kSplit,           ///< planner halved an oversized batch      a=rows, b=half rows
+  kBatchRun,        ///< batch handed to the engine            a=batch id, b=tier
+  kSoloFallback,    ///< member re-run solo after batch failure a=batch id
+  kBreakerOpen,     ///< breaker opened (or escalated a tier)  a=plan rows, b=tier
+  kBreakerProbe,    ///< cooled-down breaker probing its tier  a=plan rows, b=tier
+  kBreakerClose,    ///< probe chain recovered to tier 0       a=plan rows
+  kDrain,           ///< server drain started                 a=requests in flight
+  kComplete,        ///< request finished OK                   a=service us, b=degraded
+  kFailure,         ///< request failed (non-shed)             a=status code
+};
+
+/// Stable lowercase name for an event kind ("admit", "shed.deadline", ...).
+const char* serve_event_name(ServeEvent kind);
+
+/// One recorded event. Plain values (snapshot form).
+struct EventRecord {
+  u64 seq = 0;    ///< global order ticket (1-based, dense)
+  u64 ts_ns = 0;  ///< Tracer::now_ns() — same epoch as trace spans
+  ServeEvent kind = ServeEvent::kAdmit;
+  u64 request_id = 0;  ///< 0 when the event is not about one request
+  i64 a = 0;           ///< kind-specific payload (see taxonomy above)
+  i64 b = 0;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 4096);
+
+  /// Record one event. Wait-free; never blocks a serving thread. When the
+  /// ring laps, the oldest events are overwritten.
+  void record(ServeEvent kind, u64 request_id = 0, i64 a = 0, i64 b = 0);
+
+  /// Total events ever recorded (monotonic; exceeds capacity after a lap).
+  u64 total() const { return head_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return slots_.size(); }
+
+  /// The last `n` coherent events, oldest first. Slots a writer is still
+  /// filling (or that were lapped mid-read) are skipped, so under heavy
+  /// concurrent writing the snapshot may briefly hold fewer than n events.
+  std::vector<EventRecord> snapshot_last(size_t n) const;
+
+  /// {"events": [{seq, ts_us, event, req, a, b}...]} for the last `n`.
+  Json to_json(size_t last_n) const;
+
+  /// Forget everything (tests). Not safe concurrent with record().
+  void clear();
+
+ private:
+  /// Seqlock slot: `start` is stamped before the payload (ordered by a
+  /// release fence), `done` (release) after it. A reader accepts the payload
+  /// iff start == done == its ticket, reading done first (acquire) and start
+  /// last (behind an acquire fence).
+  struct Slot {
+    std::atomic<u64> start{0};
+    std::atomic<u64> done{0};
+    std::atomic<u64> ts_ns{0};
+    std::atomic<int> kind{0};
+    std::atomic<u64> request_id{0};
+    std::atomic<i64> a{0};
+    std::atomic<i64> b{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<u64> head_{0};  ///< next ticket
+};
+
+/// Process-wide serving event log (the serve layer records here; the flight
+/// recorder and brickdl_serve export from here).
+EventLog& events();
+
+}  // namespace brickdl::obs

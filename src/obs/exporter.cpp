@@ -1,0 +1,158 @@
+#include "obs/exporter.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace brickdl::obs {
+
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (our
+/// namespace separator) and anything else exotic become underscores.
+std::string mangle(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    const bool digit = (c >= '0' && c <= '9');
+    out.push_back(alpha || (digit && i > 0) ? c : '_');
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  // Integral doubles print without a trailing ".000000" so counter samples
+  // stay exact-looking; everything else keeps full precision.
+  if (v == static_cast<double>(static_cast<i64>(v))) {
+    return std::to_string(static_cast<i64>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Write `text` to `path` atomically (tmp file + rename): readers never see
+/// a partial file. Returns false on any I/O failure.
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    if (!out.flush()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+u64 wall_ms() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::string out;
+  registry.for_each([&out](const std::string& name, const Counter* counter,
+                           const Gauge* gauge, const Histogram* histogram) {
+    const std::string mangled = mangle(name);
+    if (counter) {
+      out += "# TYPE " + mangled + " counter\n";
+      out += mangled + " " + std::to_string(counter->value()) + "\n";
+    } else if (gauge) {
+      out += "# TYPE " + mangled + " gauge\n";
+      out += mangled + " " + format_number(gauge->value()) + "\n";
+    } else if (histogram) {
+      out += "# TYPE " + mangled + " histogram\n";
+      i64 cumulative = 0;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const i64 in_bucket = histogram->bucket_count(b);
+        if (in_bucket == 0) continue;
+        cumulative += in_bucket;
+        out += mangled + "_bucket{le=\"" +
+               std::to_string(Histogram::bucket_upper(b)) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += mangled + "_bucket{le=\"+Inf\"} " +
+             std::to_string(histogram->count()) + "\n";
+      out += mangled + "_sum " + std::to_string(histogram->sum()) + "\n";
+      out += mangled + "_count " + std::to_string(histogram->count()) + "\n";
+    }
+  });
+  return out;
+}
+
+Json metrics_snapshot(const MetricsRegistry& registry, u64 seq) {
+  Json line = Json::object();
+  line.set("schema", "brickdl-metrics-v1");
+  line.set("seq", static_cast<i64>(seq));
+  line.set("wall_ms", static_cast<i64>(wall_ms()));
+  line.set("metrics", registry.to_json());
+  return line;
+}
+
+MetricsExporter::MetricsExporter(Options options,
+                                 const MetricsRegistry* registry)
+    : options_(std::move(options)),
+      registry_(registry ? registry : &metrics()) {
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+void MetricsExporter::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void MetricsExporter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  take_snapshot();  // final state always lands in the sink
+}
+
+void MetricsExporter::snapshot_now() { take_snapshot(); }
+
+void MetricsExporter::run_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    take_snapshot();
+    lock.lock();
+  }
+}
+
+void MetricsExporter::take_snapshot() {
+  const u64 seq = snapshots_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string line = metrics_snapshot(*registry_, seq).dump();
+  if (!options_.jsonl_path.empty()) {
+    std::ofstream out(options_.jsonl_path, std::ios::app);
+    if (out) out << line << "\n";
+  }
+  if (!options_.prom_path.empty()) {
+    write_file_atomic(options_.prom_path, prometheus_text(*registry_));
+  }
+  if (options_.sink) options_.sink(line);
+}
+
+}  // namespace brickdl::obs

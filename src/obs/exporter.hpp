@@ -1,0 +1,91 @@
+// Live metrics export (DESIGN.md §13).
+//
+// Two renderings of the metrics registry:
+//  * prometheus_text() — the Prometheus text exposition format, one call,
+//    no background machinery. Dotted metric names are mangled to the
+//    Prometheus charset (`serve.request_us` → `serve_request_us`);
+//    histograms render as the conventional cumulative `_bucket{le="..."}` /
+//    `_sum` / `_count` triple using the exact log-linear boundaries, so a
+//    scraper recovers the same quantiles the registry reports.
+//  * MetricsExporter — a periodic snapshotter: every interval it renders the
+//    registry as one JSONL line (schema `brickdl-metrics-v1`) to a file
+//    and/or callback sink, and optionally rewrites a Prometheus textfile for
+//    node-exporter-style collection. stop() (and the destructor) always
+//    takes one final snapshot, so short runs still export.
+//
+// The exporter only ever *reads* instruments (all relaxed atomic loads);
+// running it alongside a serving workload perturbs nothing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace brickdl::obs {
+
+/// Render `registry` in the Prometheus text exposition format. Series are
+/// emitted in registry (name) order with `# TYPE` headers; empty histograms
+/// still emit their `_sum`/`_count` (both 0) plus the `+Inf` bucket.
+std::string prometheus_text(const MetricsRegistry& registry);
+
+/// One JSONL snapshot line: {"schema":"brickdl-metrics-v1","seq":...,
+/// "wall_ms":...,"metrics":{...registry.to_json()...}}.
+Json metrics_snapshot(const MetricsRegistry& registry, u64 seq);
+
+class MetricsExporter {
+ public:
+  struct Options {
+    /// Snapshot period. Values < 1 are clamped to 1.
+    i64 interval_ms = 1000;
+    /// Append one `brickdl-metrics-v1` JSON line per snapshot here ("" = off).
+    std::string jsonl_path;
+    /// Atomically rewrite this file with prometheus_text() each snapshot
+    /// ("" = off). Written via tmp-file + rename, so scrapers never see a
+    /// partial exposition.
+    std::string prom_path;
+    /// Called with each snapshot line (without trailing newline). May be
+    /// empty. Invoked on the exporter thread; keep it cheap.
+    std::function<void(const std::string& jsonl_line)> sink;
+  };
+
+  /// Exports `registry` (defaults to the process-wide metrics()).
+  explicit MetricsExporter(Options options,
+                           const MetricsRegistry* registry = nullptr);
+  ~MetricsExporter();  ///< stops (final snapshot included)
+
+  /// Launch the background thread. No-op if already running.
+  void start();
+  /// Stop the thread after taking one final snapshot. Idempotent.
+  void stop();
+
+  /// Take one snapshot right now, on the calling thread. Usable without
+  /// start() for poll-style export.
+  void snapshot_now();
+
+  u64 snapshots_taken() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+ private:
+  void run_loop();
+  void take_snapshot();
+
+  Options options_;
+  const MetricsRegistry* registry_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::atomic<u64> snapshots_{0};
+};
+
+}  // namespace brickdl::obs

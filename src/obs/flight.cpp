@@ -1,0 +1,232 @@
+#include "obs/flight.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace brickdl::obs {
+
+namespace {
+
+constexpr const char* kSchema = "brickdl-flight-v1";
+
+/// Trace events that belong to `request_id`: flow events carrying it as
+/// their id, and spans tagged with a {"req": id} argument.
+bool trace_event_is_for(const Json& e, u64 request_id) {
+  const Json* ph = e.find("ph");
+  if (!ph || !ph->is_string() || ph->str().size() != 1) return false;
+  const char phase = ph->str()[0];
+  if (phase == 's' || phase == 't' || phase == 'f') {
+    const Json* id = e.find("id");
+    return id && id->is_number() &&
+           id->integer() == static_cast<i64>(request_id);
+  }
+  const Json* args = e.find("args");
+  if (!args || !args->is_object()) return false;
+  const Json* req = args->find("req");
+  return req && req->is_number() &&
+         req->integer() == static_cast<i64>(request_id);
+}
+
+u64 wall_ms() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* flight_trigger_name(FlightTrigger trigger) {
+  switch (trigger) {
+    case FlightTrigger::kBreakerOpen: return "breaker.open";
+    case FlightTrigger::kDegradedRun: return "degraded";
+    case FlightTrigger::kFailure: return "failure";
+  }
+  return "unknown";
+}
+
+Json make_flight_record(FlightTrigger trigger, u64 request_id,
+                        const std::string& detail, size_t last_events) {
+  Json doc = Json::object();
+  doc.set("schema", kSchema);
+  doc.set("trigger", flight_trigger_name(trigger));
+  doc.set("detail", detail);
+  doc.set("request", static_cast<i64>(request_id));
+  doc.set("ts_us", static_cast<double>(Tracer::now_ns()) / 1e3);
+  doc.set("wall_ms", static_cast<i64>(wall_ms()));
+
+  const std::vector<EventRecord> tail = events().snapshot_last(last_events);
+  Json all = Json::array();
+  Json mine = Json::array();
+  for (const EventRecord& rec : tail) {
+    Json e = Json::object();
+    e.set("seq", static_cast<i64>(rec.seq));
+    e.set("ts_us", static_cast<double>(rec.ts_ns) / 1e3);
+    e.set("event", serve_event_name(rec.kind));
+    e.set("req", static_cast<i64>(rec.request_id));
+    e.set("a", rec.a);
+    e.set("b", rec.b);
+    if (request_id != 0 && rec.request_id == request_id) {
+      mine.push_back(e);
+    }
+    all.push_back(std::move(e));
+  }
+  doc.set("events", std::move(all));
+  doc.set("request_events", std::move(mine));
+
+  // The offending request's span timeline, pulled out of the tracer by flow
+  // id / span "req" args. Empty when tracing is off or the request was never
+  // traced — the record stays valid either way.
+  Json spans = Json::array();
+  if (request_id != 0) {
+    const Json trace = Tracer::instance().export_chrome_trace();
+    const Json* trace_events = trace.find("traceEvents");
+    if (trace_events && trace_events->is_array()) {
+      for (const Json& e : trace_events->elements()) {
+        if (e.is_object() && trace_event_is_for(e, request_id)) {
+          spans.push_back(e);
+        }
+      }
+    }
+  }
+  doc.set("spans", std::move(spans));
+
+  doc.set("metrics", metrics().to_json());
+  return doc;
+}
+
+Status validate_flight_record(const Json& record) {
+  if (!record.is_object()) {
+    return Status(StatusCode::kInvalidGraph, "flight: root is not an object");
+  }
+  const Json* schema = record.find("schema");
+  if (!schema || !schema->is_string()) {
+    return Status(StatusCode::kInvalidGraph,
+                  "flight: missing or mistyped key 'schema'");
+  }
+  if (schema->str() != kSchema) {
+    return Status(StatusCode::kUnknownSchema,
+                  "flight: unknown schema '" + schema->str() +
+                      "' (expected '" + kSchema + "')");
+  }
+  const Json* trigger = record.find("trigger");
+  if (!trigger || !trigger->is_string() || trigger->str().empty()) {
+    return Status(StatusCode::kInvalidGraph,
+                  "flight: missing or mistyped key 'trigger'");
+  }
+  for (const char* key : {"request", "ts_us", "wall_ms"}) {
+    const Json* v = record.find(key);
+    if (!v || !v->is_number()) {
+      return Status(StatusCode::kInvalidGraph,
+                    std::string("flight: missing or mistyped key '") + key +
+                        "'");
+    }
+  }
+  for (const char* key : {"events", "request_events", "spans"}) {
+    const Json* v = record.find(key);
+    if (!v || !v->is_array()) {
+      return Status(StatusCode::kInvalidGraph,
+                    std::string("flight: missing or mistyped key '") + key +
+                        "'");
+    }
+  }
+  const Json* m = record.find("metrics");
+  if (!m || !m->is_object()) {
+    return Status(StatusCode::kInvalidGraph,
+                  "flight: missing or mistyped key 'metrics'");
+  }
+  for (const Json& e : record.find("events")->elements()) {
+    if (!e.is_object() || !e.find("seq") || !e.find("event") ||
+        !e.find("ts_us")) {
+      return Status(StatusCode::kInvalidGraph,
+                    "flight: malformed entry in 'events'");
+    }
+  }
+  return Status();
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked
+  return *recorder;
+}
+
+void FlightRecorder::configure(Options options) {
+  if (!options.dir.empty()) {
+    std::error_code ec;  // best effort; dump() reports the I/O failure
+    std::filesystem::create_directories(options.dir, ec);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  options_ = std::move(options);
+}
+
+bool FlightRecorder::enabled() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return !options_.dir.empty();
+}
+
+std::string FlightRecorder::dump(FlightTrigger trigger, u64 request_id,
+                                 const std::string& detail) {
+  Options options;
+  u64 seq = 0;
+  u64& written = written_by_trigger_[static_cast<int>(trigger)];
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (options_.dir.empty() || written >= options_.max_records) {
+      ++suppressed_;
+      return "";
+    }
+    options = options_;
+    ++written;
+    seq = ++seq_;
+  }
+
+  const Json record =
+      make_flight_record(trigger, request_id, detail, options.last_events);
+  char name[64];
+  std::snprintf(name, sizeof(name), "flight-%04llu-%s.json",
+                static_cast<unsigned long long>(seq),
+                flight_trigger_name(trigger));
+  const std::string path = options.dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  const auto fail = [&] {
+    const std::lock_guard<std::mutex> lock(mu_);
+    --written;
+    ++suppressed_;
+    return std::string();
+  };
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return fail();
+    out << record.dump(1) << "\n";
+    if (!out.flush()) return fail();
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) return fail();
+  return path;
+}
+
+u64 FlightRecorder::records_written() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return written_by_trigger_[0] + written_by_trigger_[1] +
+         written_by_trigger_[2];
+}
+
+u64 FlightRecorder::records_suppressed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+void FlightRecorder::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  options_ = Options();
+  for (u64& w : written_by_trigger_) w = 0;
+  seq_ = 0;
+  suppressed_ = 0;
+}
+
+}  // namespace brickdl::obs

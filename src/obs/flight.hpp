@@ -1,0 +1,86 @@
+// Degradation flight recorder (DESIGN.md §13).
+//
+// When serving degrades — a breaker opens, a run falls down the degradation
+// chain, a request fails for a non-shed reason — the aggregate counters say
+// *that* it happened but not *why*. The flight recorder answers why: at the
+// moment of the trigger it atomically dumps one versioned
+// `brickdl-flight-v1` JSON holding (a) the last-N structured serving events
+// (obs/events.hpp), (b) the offending request's own event timeline and trace
+// spans (filtered by request id / flow id), and (c) a full metrics snapshot.
+// Post-mortem needs nothing else: the record is self-contained.
+//
+// Dumps are rate-limited by a per-process record cap (default 16) so a
+// breaker flapping under sustained overload cannot fill a disk, and written
+// via tmp-file + rename so a record on disk is always complete. The dump
+// path runs on the serving scheduler thread, which by construction is
+// quiescent with respect to engine tracing when a trigger fires (the engine
+// run has returned and its pool joined), so reading the tracer is safe.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace brickdl::obs {
+
+enum class FlightTrigger : int {
+  kBreakerOpen = 0,  ///< a plan's DegradationBreaker opened (or escalated)
+  kDegradedRun,      ///< a batch completed only via the fallback chain
+  kFailure,          ///< a request failed with a non-shed status
+};
+
+/// Stable lowercase name ("breaker.open", "degraded", "failure").
+const char* flight_trigger_name(FlightTrigger trigger);
+
+/// Assemble a flight record from the process-wide event log, metrics
+/// registry, and tracer. `request_id` selects the request whose timeline is
+/// extracted (0 = no single offending request, e.g. a breaker opened by
+/// accumulated batches). `detail` is free-form human context ("plan rows=7
+/// opened at tier 1").
+Json make_flight_record(FlightTrigger trigger, u64 request_id,
+                        const std::string& detail, size_t last_events = 256);
+
+/// Schema check for a (re)loaded flight record. kUnknownSchema when the
+/// schema string is not `brickdl-flight-v1`; kInvalidGraph with a pointed
+/// message for structural problems (missing trigger/events/metrics/spans).
+Status validate_flight_record(const Json& record);
+
+class FlightRecorder {
+ public:
+  struct Options {
+    std::string dir;          ///< "" disables dumping (the default)
+    size_t last_events = 256; ///< event-log look-back per record
+    /// Dump cap *per trigger kind* (flap protection): a storm of degraded
+    /// runs cannot starve the budget for breaker-open records.
+    size_t max_records = 16;
+  };
+
+  /// Process-wide instance the serve layer dumps through.
+  static FlightRecorder& instance();
+
+  void configure(Options options);
+  bool enabled() const;
+
+  /// Dump one record if enabled and under the cap. Returns the path written,
+  /// or "" when disabled, capped, or on I/O failure. Thread-safe.
+  std::string dump(FlightTrigger trigger, u64 request_id,
+                   const std::string& detail);
+
+  u64 records_written() const;
+  u64 records_suppressed() const;  ///< triggers dropped by the cap / disable
+
+  /// Back to disabled defaults with zeroed counters (tests).
+  void reset();
+
+ private:
+  FlightRecorder() = default;
+
+  mutable std::mutex mu_;
+  Options options_;
+  u64 written_by_trigger_[3] = {0, 0, 0};
+  u64 seq_ = 0;  ///< filename sequence across all triggers
+  u64 suppressed_ = 0;
+};
+
+}  // namespace brickdl::obs

@@ -6,23 +6,6 @@ namespace brickdl::obs {
 
 namespace {
 
-int bucket_of(i64 value) {
-  if (value <= 0) return 0;
-  int bits = 0;
-  u64 v = static_cast<u64>(value);
-  while (v) {
-    ++bits;
-    v >>= 1;
-  }
-  return std::min(bits, Histogram::kBuckets - 1);
-}
-
-i64 bucket_upper(int bucket) {
-  if (bucket <= 0) return 0;
-  if (bucket >= 63) return std::numeric_limits<i64>::max();
-  return (i64{1} << bucket) - 1;
-}
-
 void cas_min(std::atomic<i64>& slot, i64 value) {
   i64 seen = slot.load(std::memory_order_relaxed);
   while (value < seen &&
@@ -38,6 +21,39 @@ void cas_max(std::atomic<i64>& slot, i64 value) {
 }
 
 }  // namespace
+
+// Log-linear bucket layout: values below 2*kSubBuckets get one bucket each
+// (exact); every higher power-of-two octave h (the sample's MSB position) is
+// split into kSubBuckets linear sub-buckets of width 2^(h - kSubBits). With
+// g = bucket / kSubBuckets and sub = bucket % kSubBuckets, the bucket covers
+// [(kSubBuckets + sub) << (g - 1), ...] — the two views agree on the linear
+// range because g = 1 shifts by zero.
+int Histogram::bucket_of(i64 value) {
+  if (value < 2 * kSubBuckets) return static_cast<int>(std::max<i64>(value, 0));
+  int msb = 0;
+  for (u64 v = static_cast<u64>(value); v > 1; v >>= 1) ++msb;
+  const int shift = msb - kSubBits;
+  const int sub =
+      static_cast<int>((static_cast<u64>(value) >> shift) & (kSubBuckets - 1));
+  return std::min(kSubBuckets + (msb - kSubBits) * kSubBuckets + sub,
+                  kBuckets - 1);
+}
+
+i64 Histogram::bucket_lower(int bucket) {
+  BDL_CHECK(bucket >= 0 && bucket < kBuckets);
+  if (bucket < kSubBuckets) return bucket;
+  const int g = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  return static_cast<i64>(kSubBuckets + sub) << (g - 1);
+}
+
+i64 Histogram::bucket_upper(int bucket) {
+  BDL_CHECK(bucket >= 0 && bucket < kBuckets);
+  if (bucket < kSubBuckets) return bucket;
+  if (bucket == kBuckets - 1) return std::numeric_limits<i64>::max();
+  const int g = bucket / kSubBuckets;
+  return bucket_lower(bucket) + (i64{1} << (g - 1)) - 1;
+}
 
 void Histogram::observe(i64 value) {
   const i64 v = std::max<i64>(value, 0);
@@ -75,7 +91,9 @@ i64 Histogram::percentile(double p) const {
   i64 seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += bucket_count(b);
-    if (seen >= rank) return bucket_upper(b);
+    // Never report past the true max: the last bucket's upper bound can
+    // overshoot the largest sample by the sub-bucket width.
+    if (seen >= rank) return std::min(bucket_upper(b), max());
   }
   return max();
 }
@@ -119,6 +137,15 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *entry(name, Kind::kHistogram).histogram;
 }
 
+void MetricsRegistry::for_each(
+    const std::function<void(const std::string&, const Counter*, const Gauge*,
+                             const Histogram*)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : entries_) {
+    fn(name, e.counter.get(), e.gauge.get(), e.histogram.get());
+  }
+}
+
 std::vector<std::string> MetricsRegistry::names() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
@@ -146,6 +173,7 @@ Json MetricsRegistry::to_json() const {
         h.set("min", e.histogram->min());
         h.set("max", e.histogram->max());
         h.set("p50", e.histogram->percentile(0.50));
+        h.set("p95", e.histogram->percentile(0.95));
         h.set("p99", e.histogram->percentile(0.99));
         out.set(name, std::move(h));
         break;

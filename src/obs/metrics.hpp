@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -46,12 +47,25 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Power-of-two-bucketed histogram of non-negative i64 samples. Bucket `i`
-/// holds samples whose value needs `i` bits (0 → value 0, 1 → 1, 2 → 2..3,
-/// 3 → 4..7, ...). Exact count/sum; min/max maintained with CAS.
+/// Log-linear (HDR-style) histogram of non-negative i64 samples: each
+/// power-of-two octave is subdivided into 2^kSubBits linear sub-buckets, so
+/// any quantile read off a bucket boundary carries a bounded relative error
+/// of at most 1/2^kSubBits (6.25%) instead of quantizing to powers of two.
+/// Values 0..2*kSubBuckets-1 land in their own bucket (exact). Count and sum
+/// are exact under any number of concurrent writers; min/max use CAS.
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 16
+  /// Octaves 4..62 of an i64 each contribute kSubBuckets buckets on top of
+  /// the exact 0..15 range: 16 + (62 - 4 + 1) * 16.
+  static constexpr int kBuckets = kSubBuckets + (63 - kSubBits) * kSubBuckets;
+
+  /// Bucket index for a (clamped non-negative) value.
+  static int bucket_of(i64 value);
+  /// Smallest / largest value mapping to `bucket`.
+  static i64 bucket_lower(int bucket);
+  static i64 bucket_upper(int bucket);
 
   void observe(i64 value);
   i64 count() const { return count_.load(std::memory_order_relaxed); }
@@ -61,6 +75,7 @@ class Histogram {
   i64 max() const;  ///< 0 when empty
   i64 bucket_count(int bucket) const;
   /// Upper bound of the bucket containing the p-th percentile (p in [0,1]).
+  /// Relative error vs the true quantile is bounded by 1/kSubBuckets.
   i64 percentile(double p) const;
   void reset();
 
@@ -86,8 +101,18 @@ class MetricsRegistry {
   std::vector<std::string> names() const;
 
   /// Counters/gauges as numbers; histograms as
-  /// {count, sum, mean, min, max, p50, p99}.
+  /// {count, sum, mean, min, max, p50, p95, p99}.
   Json to_json() const;
+
+  /// Visit every instrument in name order. Exactly one of the instrument
+  /// pointers is non-null per call. Used by the exporter (obs/exporter.hpp)
+  /// to render kinds the JSON snapshot flattens away (histogram buckets).
+  /// The callback must not re-enter the registry (the lock is held).
+  void for_each(const std::function<void(const std::string& name,
+                                         const Counter* counter,
+                                         const Gauge* gauge,
+                                         const Histogram* histogram)>& fn)
+      const;
 
   /// Zero every instrument (registrations survive).
   void reset();

@@ -151,8 +151,9 @@ Status validate_run_report(const Json& report) {
   const Json* schema =
       need(&report, "schema", Json::Kind::kString, "root", &status);
   if (schema && schema->str() != kSchema) {
-    return Status(StatusCode::kInvalidGraph,
-                  "report: unknown schema '" + schema->str() + "'");
+    return Status(StatusCode::kUnknownSchema,
+                  "report: unknown schema '" + schema->str() + "' (expected '" +
+                      kSchema + "')");
   }
   const Json* graph =
       need(&report, "graph", Json::Kind::kObject, "root", &status);

@@ -31,7 +31,8 @@ Json make_run_report(const Graph& graph, const EngineResult& result,
 /// Schema check: versioned header, graph summary, and for every subgraph a
 /// predicted and an observed block each carrying the comparison quantities
 /// (invocations, bytes read/written/moved, atomics, seconds).
-/// kInvalidGraph with a pointed message otherwise.
+/// kUnknownSchema when the schema string is not the version this build
+/// writes; kInvalidGraph with a pointed message for structural problems.
 Status validate_run_report(const Json& report);
 
 /// Render the per-subgraph predicted-vs-observed comparison as a fixed-width

@@ -19,10 +19,15 @@ struct TraceEvent {
   const char* cat = nullptr;
   u64 ts_ns = 0;
   u64 dur_ns = 0;
+  u64 flow_id = 0;  ///< meaningful for flow phases ('s'/'t'/'f') only
   char phase = 'X';
   int n_args = 0;
   TraceArg args[3];
 };
+
+bool is_flow_phase(char phase) {
+  return phase == 's' || phase == 't' || phase == 'f';
+}
 
 /// Single-writer ring. The owning thread stores the slot, then bumps
 /// `count` with release; the exporter reads `count` with acquire at a
@@ -173,6 +178,19 @@ void Tracer::instant(const char* cat, const std::string& name) {
   thread_buffer()->push(std::move(event));
 }
 
+void Tracer::flow(const char* cat, const std::string& name, u64 flow_id,
+                  char phase) {
+  if (!enabled()) return;
+  BDL_CHECK_MSG(is_flow_phase(phase), "flow phase must be 's', 't' or 'f'");
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts_ns = now_ns();
+  event.flow_id = flow_id;
+  event.phase = phase;
+  thread_buffer()->push(std::move(event));
+}
+
 Json Tracer::export_chrome_trace() const {
   TracerState& s = state();
   std::vector<std::shared_ptr<TraceBuffer>> buffers;
@@ -213,6 +231,12 @@ Json Tracer::export_chrome_trace() const {
       }
       je.set("pid", 0);
       je.set("tid", buffer->track_id);
+      if (is_flow_phase(e.phase)) {
+        je.set("id", static_cast<i64>(e.flow_id));
+        // Bind the terminating arrow to the enclosing slice, not the next
+        // one, so the flow ends where the request actually finished.
+        if (e.phase == 'f') je.set("bp", "e");
+      }
       if (e.n_args > 0) {
         Json args = Json::object();
         for (int a = 0; a < e.n_args; ++a) {
@@ -285,6 +309,14 @@ Status validate_chrome_trace(const Json& trace) {
       if (!dur || !dur->is_number() || dur->number() < 0) {
         return Status(StatusCode::kInvalidGraph,
                       where + " ('X' phase) has a bad dur");
+      }
+    }
+    if (ph->str().size() == 1 && is_flow_phase(ph->str()[0])) {
+      const Json* id = e.find("id");
+      if (!id || !id->is_number() || id->number() < 0) {
+        return Status(StatusCode::kInvalidGraph,
+                      where + " (flow phase '" + ph->str() +
+                          "') has no non-negative numeric id");
       }
     }
     ++index;

@@ -88,6 +88,16 @@ class Tracer {
   /// Record an instantaneous event on the calling thread.
   static void instant(const char* cat, const std::string& name);
 
+  /// Record a flow event on the calling thread: Chrome/Perfetto draws an
+  /// arrow between the spans enclosing the flow events that share `flow_id`
+  /// (phase 's' starts the flow, 't' steps it, 'f' ends it). This is how a
+  /// request id links its submit span to the scheduler's flush, the engine
+  /// run on the batch, and the final slice-out across threads
+  /// (DESIGN.md §13). Must be emitted while a span is open on the calling
+  /// thread so the flow has a slice to bind to.
+  static void flow(const char* cat, const std::string& name, u64 flow_id,
+                   char phase);
+
   /// Nanoseconds since the tracer epoch (steady clock).
   static u64 now_ns();
 
@@ -152,7 +162,8 @@ class TraceSpan {
 
 /// Well-formedness check for an exported (or reloaded) Chrome-trace
 /// document: traceEvents array present, every event carries name/ph/pid/tid/
-/// ts, and "X" events carry a non-negative dur. Shared by tests and
+/// ts, "X" events carry a non-negative dur, and flow events ("s"/"t"/"f")
+/// carry a non-negative numeric id. Shared by tests and
 /// tools/brickdl_report_check.
 Status validate_chrome_trace(const Json& trace);
 

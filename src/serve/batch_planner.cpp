@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "graph/rewrite.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -78,6 +79,8 @@ Status BatchPlanner::coalesce_into(const std::vector<i64>& rows,
   if (oversized && members.size() > 1) {
     ++splits_;
     obs::metrics().counter("serve.splits").add(1);
+    obs::events().record(obs::ServeEvent::kSplit, 0, total_rows,
+                         static_cast<i64>(members.size()));
     const size_t half = members.size() / 2;
     std::vector<size_t> lo(members.begin(), members.begin() + half);
     std::vector<size_t> hi(members.begin() + half, members.end());
@@ -140,10 +143,11 @@ BatchPlanner::Selected BatchPlanner::select_engine(const Plan& plan) {
   return selected;
 }
 
-void BatchPlanner::record_run(const Plan& plan, int tier, bool degraded,
-                              double measured_seconds) {
+DegradationBreaker::Transition BatchPlanner::record_run(
+    const Plan& plan, int tier, bool degraded, double measured_seconds) {
   Cached* c = cached_for_plan(plan);
-  c->breaker.record(degraded);
+  const DegradationBreaker::Transition transition =
+      c->breaker.record(degraded);
   // Correct the §4 prediction with what this plan actually costs on this
   // host. Only clean tier-0 runs are representative of the planned
   // strategy; a degraded or breaker-routed run would teach the predictor
@@ -157,6 +161,7 @@ void BatchPlanner::record_run(const Plan& plan, int tier, bool degraded,
                         : ratio;
     c->ewma_seeded = true;
   }
+  return transition;
 }
 
 double BatchPlanner::predicted_seconds(const Plan& plan) {

@@ -66,9 +66,12 @@ class BatchPlanner {
   /// Record one executed run of `plan` at `tier`: feed the breaker
   /// (`degraded` = the tier's strategy fell back or the run failed) and —
   /// for clean tier-0 runs — fold `measured_seconds` into the EWMA
-  /// correction of the plan's §4 latency prediction.
-  void record_run(const Plan& plan, int tier, bool degraded,
-                  double measured_seconds);
+  /// correction of the plan's §4 latency prediction. Returns the breaker
+  /// transition so the server can event-log it and trigger the flight
+  /// recorder on opens (DESIGN.md §13).
+  DegradationBreaker::Transition record_run(const Plan& plan, int tier,
+                                            bool degraded,
+                                            double measured_seconds);
 
   /// EWMA-corrected predicted wall seconds for one run of `plan`
   /// (0 when the §4 model predicts nothing for it, e.g. all-vendor).

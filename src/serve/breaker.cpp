@@ -6,8 +6,8 @@
 
 namespace brickdl::serve {
 
-void DegradationBreaker::record(bool degraded) {
-  if (threshold_ <= 0) return;  // disabled
+DegradationBreaker::Transition DegradationBreaker::record(bool degraded) {
+  if (threshold_ <= 0) return Transition::kNone;  // disabled
 
   if (probing()) {
     ++probes_;
@@ -18,11 +18,11 @@ void DegradationBreaker::record(bool degraded) {
       failures_ = 0;
       ++closes_;
       obs::metrics().counter("serve.breaker.closes").add(1);
-    } else {
-      // Still poisoned: re-open at the same tier for another cooldown.
-      cooldown_left_ = cooldown_;
+      return Transition::kClosed;
     }
-    return;
+    // Still poisoned: re-open at the same tier for another cooldown.
+    cooldown_left_ = cooldown_;
+    return Transition::kNone;
   }
 
   if (tier_ > 0) {
@@ -34,16 +34,16 @@ void DegradationBreaker::record(bool degraded) {
       cooldown_left_ = cooldown_;
       ++opens_;
       obs::metrics().counter("serve.breaker.opens").add(1);
-    } else {
-      cooldown_left_ = std::max(0, cooldown_left_ - 1);
+      return Transition::kOpened;
     }
-    return;
+    cooldown_left_ = std::max(0, cooldown_left_ - 1);
+    return Transition::kNone;
   }
 
   // Closed.
   if (!degraded) {
     failures_ = 0;
-    return;
+    return Transition::kNone;
   }
   if (++failures_ >= threshold_) {
     tier_ = 1;
@@ -51,7 +51,9 @@ void DegradationBreaker::record(bool degraded) {
     cooldown_left_ = cooldown_;
     ++opens_;
     obs::metrics().counter("serve.breaker.opens").add(1);
+    return Transition::kOpened;
   }
+  return Transition::kNone;
 }
 
 }  // namespace brickdl::serve

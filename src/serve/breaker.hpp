@@ -44,10 +44,18 @@ class DegradationBreaker {
   i64 probes() const { return probes_; }
   i64 closes() const { return closes_; }
 
+  /// What a record() call did to the breaker — the serve layer turns these
+  /// into structured events and flight-recorder dumps (DESIGN.md §13).
+  enum class Transition {
+    kNone = 0,  ///< no state change worth reporting
+    kOpened,    ///< opened from closed, or escalated one tier (opens()++)
+    kClosed,    ///< a half-open probe came back clean (closes()++)
+  };
+
   /// Record one run executed at tier(). `degraded` means the tier's own
   /// strategy failed: the engine walked its fallback chain or the run
-  /// failed outright.
-  void record(bool degraded);
+  /// failed outright. Returns the transition this run caused.
+  Transition record(bool degraded);
 
  private:
   const int threshold_;

@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "core/fault_hooks.hpp"
+#include "obs/events.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -205,7 +207,10 @@ void Server::shutdown(i64 drain_deadline_us) {
                prev, deadline, std::memory_order_relaxed)) {
     }
   }
-  stopping_.store(true, std::memory_order_release);
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    obs::events().record(obs::ServeEvent::kDrain, 0, queue_.depth(),
+                         drain_deadline_us);
+  }
   queue_.close();
   if (scheduler_.joinable()) scheduler_.join();
 }
@@ -261,13 +266,15 @@ std::future<RequestResult> Server::submit(Tensor input, i64 deadline_us) {
   const Status admitted = admit(input);
   if (!admitted.ok()) {
     obs::metrics().counter("serve.rejected").add(1);
-    obs::Tracer::instant("serve", "reject");
+    obs::events().record(obs::ServeEvent::kReject, request.id,
+                         static_cast<i64>(admitted.code()));
     RequestResult result;
     result.status = admitted;
     result.shed = admitted.code() == StatusCode::kShuttingDown;
     request.promise.set_value(std::move(result));
     return future;
   }
+  obs::events().record(obs::ServeEvent::kAdmit, request.id, input.dims()[0]);
 
   request.rows = input.dims()[0];
   request.input = std::move(input);
@@ -283,6 +290,8 @@ std::future<RequestResult> Server::submit(Tensor input, i64 deadline_us) {
   if (evicted) {
     // The newcomer displaced the queued request with the least deadline
     // slack: resolve the victim as shed.
+    obs::events().record(obs::ServeEvent::kEvict, evicted->id,
+                         static_cast<i64>(request.id));
     shed(*evicted, StatusCode::kOverloaded, "overload",
          "shed under overload: a newer request with more deadline slack "
          "took the queue slot");
@@ -291,8 +300,12 @@ std::future<RequestResult> Server::submit(Tensor input, i64 deadline_us) {
     obs::metrics().counter("serve.rejected").add(1);
     if (pushed.code() == StatusCode::kOverloaded) {
       obs::metrics().counter("serve.shed.overload").add(1);
+      obs::events().record(obs::ServeEvent::kShedOverload, request.id,
+                           queue_.depth());
+    } else {
+      obs::events().record(obs::ServeEvent::kReject, request.id,
+                           static_cast<i64>(pushed.code()));
     }
-    obs::Tracer::instant("serve", "reject:overload");
     RequestResult result;
     result.status = pushed;
     result.shed = true;
@@ -301,7 +314,7 @@ std::future<RequestResult> Server::submit(Tensor input, i64 deadline_us) {
   }
 
   obs::metrics().counter("serve.enqueued").add(1);
-  obs::Tracer::instant("serve", "enqueue");
+  obs::events().record(obs::ServeEvent::kEnqueue, request.id, queue_.depth());
   return future;
 }
 
@@ -316,6 +329,25 @@ void Server::finish(PendingRequest& request, RequestResult result) {
     obs::metrics()
         .counter(result.status.ok() ? "serve.completed" : "serve.failed")
         .add(1);
+    // Non-shed finishes only happen on the scheduler thread, so ending the
+    // request's trace flow here is safe (submit-thread sheds never trace).
+    {
+      obs::TraceSpan span("serve", "finish:req" + std::to_string(request.id),
+                          {{"req", static_cast<i64>(request.id)}},
+                          options_.engine.trace);
+      if (options_.engine.trace) {
+        obs::Tracer::flow("serve", "req", request.id, 'f');
+      }
+    }
+    if (result.status.ok()) {
+      obs::events().record(obs::ServeEvent::kComplete, request.id, total_us);
+    } else {
+      obs::events().record(obs::ServeEvent::kFailure, request.id,
+                           static_cast<i64>(result.status.code()));
+      obs::FlightRecorder::instance().dump(
+          obs::FlightTrigger::kFailure, request.id,
+          "request failed: " + result.status.to_string());
+    }
   }
   if (request.deadline_ns != 0 && !result.shed) {
     // Slack at completion for executed deadline'd requests; a late finish
@@ -335,7 +367,13 @@ void Server::finish(PendingRequest& request, RequestResult result) {
 void Server::shed(PendingRequest& request, StatusCode code, const char* what,
                   std::string message) {
   obs::metrics().counter(std::string("serve.shed.") + what).add(1);
-  obs::Tracer::instant("serve", std::string("shed:") + what);
+  const std::string reason(what);
+  obs::events().record(reason == "overload"  ? obs::ServeEvent::kShedOverload
+                       : reason == "predicted"
+                           ? obs::ServeEvent::kShedPredicted
+                       : reason == "shutdown" ? obs::ServeEvent::kShedShutdown
+                                              : obs::ServeEvent::kShedDeadline,
+                       request.id, static_cast<i64>(code));
   RequestResult result;
   result.status = Status(code, std::move(message));
   result.shed = true;
@@ -366,11 +404,37 @@ void Server::scheduler_loop() {
 }
 
 void Server::flush(std::vector<PendingRequest>& batch) {
+  const u64 batch_id = ++flush_seq_;
+  const u64 flush_ns = now_ns();
+  const bool tracing = options_.engine.trace && obs::Tracer::enabled();
+  if (tracing) {
+    // Each request's queue wait, recorded retroactively by the scheduler on
+    // its own thread (submit threads never touch the tracer, keeping its
+    // rings single-writer): the steady clock the queue stamps with and the
+    // tracer's epoch-relative clock differ by a constant, so the span can
+    // carry the request's real admission time. Recorded *before* the flush
+    // span opens so slices on this track nest instead of overlapping.
+    const u64 trace_now = obs::Tracer::now_ns();
+    const u64 clock_offset = flush_ns > trace_now ? flush_ns - trace_now : 0;
+    for (const PendingRequest& request : batch) {
+      const u64 start = request.enqueue_ns > clock_offset
+                            ? request.enqueue_ns - clock_offset
+                            : 0;
+      obs::TraceArg arg{"req", static_cast<i64>(request.id)};
+      obs::Tracer::record_complete(
+          "serve", "queue:req" + std::to_string(request.id), start,
+          trace_now > start ? trace_now - start : 0, &arg, 1);
+    }
+  }
+
   obs::TraceSpan span("serve", "flush",
-                      {{"requests", static_cast<i64>(batch.size())}},
+                      {{"requests", static_cast<i64>(batch.size())},
+                       {"batch", static_cast<i64>(batch_id)}},
                       options_.engine.trace);
   obs::metrics().counter("serve.flushes").add(1);
-  const u64 flush_ns = now_ns();
+  obs::events().record(obs::ServeEvent::kFlush, 0,
+                       static_cast<i64>(batch_id),
+                       static_cast<i64>(batch.size()));
   std::vector<size_t> members;
   members.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -380,6 +444,10 @@ void Server::flush(std::vector<PendingRequest>& batch) {
     obs::metrics()
         .histogram("serve.coalesce_us")
         .observe(static_cast<i64>((flush_ns - batch[i].enqueue_ns) / 1000));
+    // Start of the request's flow: the 's' binds to the enclosing flush
+    // span, the engine's batch span steps it ('t'), and finish() ends it
+    // ('f'), so Perfetto draws queue → batch → engine arrows per request id.
+    if (tracing) obs::Tracer::flow("serve", "req", batch[i].id, 's');
   }
   run_members(batch, members);
 }
@@ -458,6 +526,37 @@ void Server::run_members(std::vector<PendingRequest>& batch,
   }
 }
 
+void Server::record_outcome(const BatchPlanner::Plan& plan,
+                            const BatchPlanner::Selected& selected,
+                            bool degraded, double run_seconds,
+                            u64 request_id) {
+  const DegradationBreaker::Transition transition =
+      planner_.record_run(plan, selected.tier, degraded, run_seconds);
+  switch (transition) {
+    case DegradationBreaker::Transition::kOpened:
+      obs::events().record(obs::ServeEvent::kBreakerOpen, request_id,
+                           plan.rows, selected.tier);
+      obs::FlightRecorder::instance().dump(
+          obs::FlightTrigger::kBreakerOpen, request_id,
+          "breaker opened for plan rows=" + std::to_string(plan.rows) +
+              " after a degraded run at tier " +
+              std::to_string(selected.tier));
+      return;
+    case DegradationBreaker::Transition::kClosed:
+      obs::events().record(obs::ServeEvent::kBreakerClose, request_id,
+                           plan.rows);
+      return;
+    case DegradationBreaker::Transition::kNone:
+      break;
+  }
+  if (degraded) {
+    obs::FlightRecorder::instance().dump(
+        obs::FlightTrigger::kDegradedRun, request_id,
+        "batch of rows=" + std::to_string(plan.rows) +
+            " ran degraded at tier " + std::to_string(selected.tier));
+  }
+}
+
 void Server::run_plan(std::vector<PendingRequest>& batch,
                       const std::vector<size_t>& live,
                       const BatchPlanner::Plan& plan) {
@@ -473,6 +572,16 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
   // Circuit breaker: a plan whose strategy keeps failing is routed straight
   // to the degraded tier's engine instead of re-walking the §7 chain.
   const BatchPlanner::Selected selected = planner_.select_engine(plan);
+  if (selected.probe) {
+    obs::events().record(obs::ServeEvent::kBreakerProbe, 0, plan.rows,
+                         selected.tier);
+  }
+  std::vector<u64> request_ids;
+  request_ids.reserve(plan.members.size());
+  for (size_t i : plan.members) request_ids.push_back(batch[live[i]].id);
+  obs::events().record(obs::ServeEvent::kBatchRun, request_ids.front(),
+                       static_cast<i64>(flush_seq_), selected.tier);
+
   double run_seconds = 0.0;
   EngineResult engine_result;
   Result<std::vector<Tensor>> outputs = [&] {
@@ -484,8 +593,11 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
     if (FaultHooks* hooks = fault_hooks()) hooks->on_serve_batch(plan.rows);
     const u64 t0 = now_ns();
     NumericBackend backend(*plan.graph, weights_, options_.backend_workers);
+    RunContext ctx;
+    ctx.batch_id = flush_seq_;
+    ctx.request_ids = &request_ids;
     auto r = selected.engine->run_batched_checked(backend, parts,
-                                                  &engine_result);
+                                                  &engine_result, &ctx);
     run_seconds = static_cast<double>(now_ns() - t0) * 1e-9;
     obs::metrics()
         .histogram("serve.run_us")
@@ -504,7 +616,7 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
       }
     }
   }
-  planner_.record_run(plan, selected.tier, degraded, run_seconds);
+  record_outcome(plan, selected, degraded, run_seconds, request_ids.front());
 
   if (outputs.ok()) {
     BDL_CHECK(outputs.value().size() == plan.members.size());
@@ -533,6 +645,8 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
   // own fail, and each solo run still gets the engine's §7 strategy
   // fallback chain (or its own breaker tier).
   obs::metrics().counter("serve.solo_fallbacks").add(1);
+  obs::events().record(obs::ServeEvent::kSoloFallback, request_ids.front(),
+                       static_cast<i64>(flush_seq_), occupancy);
   obs::TraceSpan span("serve", "solo_fallback", {{"requests", occupancy}},
                       options_.engine.trace);
   for (size_t i : plan.members) {
@@ -551,10 +665,15 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
     NumericBackend backend(*solo.value().graph, weights_,
                            options_.backend_workers);
     EngineResult solo_engine_result;
+    const std::vector<u64> solo_ids = {request.id};
+    RunContext solo_ctx;
+    solo_ctx.batch_id = flush_seq_;
+    solo_ctx.request_ids = &solo_ids;
     const u64 t0 = now_ns();
     Result<std::vector<Tensor>> out =
         solo_selected.engine->run_batched_checked(backend, {&request.input},
-                                                  &solo_engine_result);
+                                                  &solo_engine_result,
+                                                  &solo_ctx);
     const double solo_seconds = static_cast<double>(now_ns() - t0) * 1e-9;
     bool solo_degraded = !out.ok();
     if (out.ok()) {
@@ -565,8 +684,8 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
         }
       }
     }
-    planner_.record_run(solo.value(), solo_selected.tier, solo_degraded,
-                        solo_seconds);
+    record_outcome(solo.value(), solo_selected, solo_degraded, solo_seconds,
+                   request.id);
     if (out.ok()) {
       result.output = std::move(out.value()[0]);
     } else {

@@ -20,11 +20,17 @@
 // shutdown(deadline) stops admission (kShuttingDown), drains what fits, and
 // fails the rest with a named status instead of hanging.
 //
-// Observability: serve.* metrics (serve.depth gauge; enqueue/complete/
-// reject/failure/shed counters; serve.shed.*, serve.deadline.*,
-// serve.breaker.* policies; batch occupancy, stacked rows, coalesce- and
-// run-latency histograms) and "serve" trace spans for enqueue → flush →
-// run → slice.
+// Observability (DESIGN.md §13): serve.* metrics (serve.depth gauge;
+// enqueue/complete/reject/failure/shed counters; serve.shed.*,
+// serve.deadline.*, serve.breaker.* policies; batch occupancy, stacked
+// rows, coalesce- and run-latency histograms), typed serving events in the
+// process event log (obs/events.hpp), "serve" trace spans for
+// queue → flush → run → slice with per-request flow links (the request id
+// is the Perfetto flow id), and flight-recorder dumps on breaker opens,
+// degraded runs, and non-shed failures (obs/flight.hpp). All spans, flows,
+// and flight dumps happen on the scheduler thread, which keeps the tracer
+// export quiescent by construction; submit threads only touch the metrics
+// registry and the lock-free event log.
 #pragma once
 
 #include <atomic>
@@ -126,6 +132,12 @@ class Server {
   void run_plan(std::vector<PendingRequest>& batch,
                 const std::vector<size_t>& live,
                 const BatchPlanner::Plan& plan);
+  /// Feed the plan's breaker/EWMA with one executed run and turn the
+  /// breaker's transition into events and flight-recorder dumps.
+  /// `request_id` names the run's first member for the post-mortem.
+  void record_outcome(const BatchPlanner::Plan& plan,
+                      const BatchPlanner::Selected& selected, bool degraded,
+                      double run_seconds, u64 request_id);
   void finish(PendingRequest& request, RequestResult result);
   /// Resolve `request` as shed (never executed) with `code`, bumping
   /// `serve.shed.<what>`.
@@ -139,6 +151,7 @@ class Server {
   const Node* input_node_ = nullptr;
   BatchPlanner planner_;  ///< scheduler-thread only after construction
   RequestQueue queue_;
+  u64 flush_seq_ = 0;  ///< scheduler-thread only: batch id for tracing/events
   std::atomic<u64> next_id_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<u64> drain_deadline_ns_{0};  ///< 0 = drain without deadline

@@ -26,6 +26,8 @@ const char* status_code_name(StatusCode code) {
       return "kDeadlineExceeded";
     case StatusCode::kShuttingDown:
       return "kShuttingDown";
+    case StatusCode::kUnknownSchema:
+      return "kUnknownSchema";
   }
   return "k?";
 }

@@ -32,6 +32,7 @@ enum class StatusCode : u8 {
   kOverloaded,       ///< admission refused: the serving queue is at capacity
   kDeadlineExceeded, ///< a request's deadline passed (or cannot be met) — shed
   kShuttingDown,     ///< the server is draining; no new work is admitted
+  kUnknownSchema,    ///< a versioned artifact carries an unrecognized schema
 };
 
 const char* status_code_name(StatusCode code);

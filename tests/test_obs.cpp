@@ -3,13 +3,21 @@
 // snapshots, model-vs-measured golden comparisons, and run-report schema.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "models/models.hpp"
+#include "obs/events.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -272,12 +280,19 @@ TEST(ObsMetrics, HistogramBucketsAndPercentiles) {
   EXPECT_EQ(hist.sum(), 1025);
   EXPECT_EQ(hist.min(), 0);
   EXPECT_EQ(hist.max(), 1000);
-  EXPECT_EQ(hist.bucket_count(0), 1);  // value 0
-  EXPECT_EQ(hist.bucket_count(1), 1);  // value 1
-  EXPECT_EQ(hist.bucket_count(2), 2);  // 2..3
-  EXPECT_EQ(hist.bucket_count(3), 2);  // 4..7 (samples 4 and 7)
-  EXPECT_EQ(hist.bucket_count(4), 1);  // 8..15
-  EXPECT_GE(hist.percentile(0.99), 512);
+  // Log-linear buckets: values below 2*kSubBuckets are exact, one per
+  // bucket (index == value).
+  for (i64 v : {0, 1, 2, 3, 4, 7, 8}) {
+    EXPECT_EQ(obs::Histogram::bucket_of(v), v);
+    EXPECT_EQ(hist.bucket_count(static_cast<int>(v)), 1) << v;
+  }
+  // 1000 lands in its octave's 16-way linear subdivision: [992, 1023].
+  const int b = obs::Histogram::bucket_of(1000);
+  EXPECT_EQ(obs::Histogram::bucket_lower(b), 992);
+  EXPECT_EQ(obs::Histogram::bucket_upper(b), 1023);
+  EXPECT_EQ(hist.bucket_count(b), 1);
+  // The quantile read clamps the bucket's upper bound to the observed max.
+  EXPECT_EQ(hist.percentile(0.99), 1000);
   hist.reset();
   EXPECT_EQ(hist.count(), 0);
   EXPECT_EQ(hist.min(), 0);
@@ -285,6 +300,96 @@ TEST(ObsMetrics, HistogramBucketsAndPercentiles) {
   hist.observe(5);  // post-reset sentinel behavior
   EXPECT_EQ(hist.min(), 5);
   EXPECT_EQ(hist.max(), 5);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundsPartitionTheRange) {
+  // Every bucket's [lower, upper] must tile the i64 range: bucket_of maps
+  // both endpoints back to the bucket, and upper+1 is the next lower.
+  i64 expected_lower = 0;
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+    const i64 lo = obs::Histogram::bucket_lower(b);
+    const i64 hi = obs::Histogram::bucket_upper(b);
+    ASSERT_EQ(lo, expected_lower) << "bucket " << b;
+    ASSERT_LE(lo, hi) << "bucket " << b;
+    ASSERT_EQ(obs::Histogram::bucket_of(lo), b);
+    ASSERT_EQ(obs::Histogram::bucket_of(hi), b);
+    if (b + 1 == obs::Histogram::kBuckets) break;
+    expected_lower = hi + 1;
+  }
+  // Relative quantile error is bounded by the sub-bucket width: for any
+  // value >= 32, upper/lower stays below 1 + 1/kSubBuckets.
+  for (i64 v : {i64{32}, i64{1000}, i64{123456789}, i64{1} << 40}) {
+    const int b = obs::Histogram::bucket_of(v);
+    const double lo = static_cast<double>(obs::Histogram::bucket_lower(b));
+    const double hi = static_cast<double>(obs::Histogram::bucket_upper(b));
+    EXPECT_LE(hi / lo, 1.0 + 1.0 / obs::Histogram::kSubBuckets + 1e-9) << v;
+  }
+}
+
+TEST(ObsMetrics, HistogramExactUnderConcurrentWriters) {
+  // 16 writers x 20k samples from disjoint deterministic streams: count and
+  // sum must be exact, every per-thread sample must land in the bucket
+  // bucket_of says, and quantiles must respect the log-linear error bound.
+  reset_obs();
+  constexpr int kThreads = 16;
+  constexpr int kIters = 20000;
+  obs::Histogram& hist = obs::metrics().histogram("test.concurrent_exact");
+
+  std::vector<i64> sums(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      u64 state = 0x9e3779b97f4a7c15ull + static_cast<u64>(t);
+      i64 local_sum = 0;
+      for (int i = 0; i < kIters; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        // Spread samples across octaves: low 20 bits, shifted by 0..15.
+        const i64 v = static_cast<i64>((state >> 24) & 0xfffff) >>
+                      ((state >> 8) & 15);
+        hist.observe(v);
+        local_sum += v;
+      }
+      sums[t] = local_sum;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  i64 total = 0;
+  for (i64 s : sums) total += s;
+  EXPECT_EQ(hist.count(), i64{kThreads} * kIters);
+  EXPECT_EQ(hist.sum(), total);
+
+  // Bucket counts sum to count() (no lost or double-counted samples).
+  i64 bucketed = 0;
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+    bucketed += hist.bucket_count(b);
+  }
+  EXPECT_EQ(bucketed, hist.count());
+
+  // Quantile error bound: replay the same streams, compute the exact
+  // quantiles, and require the histogram read within 1/kSubBuckets.
+  std::vector<i64> all;
+  all.reserve(static_cast<size_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    u64 state = 0x9e3779b97f4a7c15ull + static_cast<u64>(t);
+    for (int i = 0; i < kIters; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      all.push_back(static_cast<i64>((state >> 24) & 0xfffff) >>
+                    ((state >> 8) & 15));
+    }
+  }
+  std::sort(all.begin(), all.end());
+  for (double p : {0.5, 0.95, 0.99}) {
+    const i64 exact =
+        all[static_cast<size_t>(p * static_cast<double>(all.size() - 1))];
+    const i64 approx = hist.percentile(p);
+    EXPECT_GE(approx, exact) << p;  // upper-bound read
+    const double bound =
+        (1.0 + 1.0 / obs::Histogram::kSubBuckets) *
+            static_cast<double>(std::max<i64>(exact, 1)) +
+        1.0;
+    EXPECT_LE(static_cast<double>(approx), bound) << p;
+  }
 }
 
 TEST(ObsMetrics, RegistryJsonSnapshot) {
@@ -522,11 +627,355 @@ TEST(ObsReport, ValidatorRejectsMalformedReports) {
   EXPECT_FALSE(obs::validate_run_report(Json()).ok());
   Json wrong = Json::object();
   wrong.set("schema", "not-a-report");
-  EXPECT_FALSE(obs::validate_run_report(wrong).ok());
+  const Status unknown = obs::validate_run_report(wrong);
+  EXPECT_FALSE(unknown.ok());
+  // An unrecognized schema version is a *named* failure, distinct from
+  // structural breakage, so callers can branch on forward-compat.
+  EXPECT_EQ(unknown.code(), StatusCode::kUnknownSchema);
 
   Json missing = Json::object();
   missing.set("schema", "brickdl-run-report-v1");
-  EXPECT_FALSE(obs::validate_run_report(missing).ok());
+  const Status structural = obs::validate_run_report(missing);
+  EXPECT_FALSE(structural.ok());
+  EXPECT_EQ(structural.code(), StatusCode::kInvalidGraph);
+}
+
+// ------------------------------------------------------------ Flow links
+
+TEST(ObsTrace, FlowEventsExportAndValidate) {
+  reset_obs();
+  obs::Tracer::instance().set_enabled(true);
+  {
+    obs::TraceSpan producer("serve", "flush");
+    obs::Tracer::flow("serve", "req", 42, 's');
+  }
+  {
+    obs::TraceSpan relay("serve", "batch");
+    obs::Tracer::flow("serve", "req", 42, 't');
+  }
+  {
+    obs::TraceSpan consumer("serve", "finish");
+    obs::Tracer::flow("serve", "req", 42, 'f');
+  }
+  obs::Tracer::instance().set_enabled(false);
+
+  const Json trace = obs::Tracer::instance().export_chrome_trace();
+  ASSERT_TRUE(obs::validate_chrome_trace(trace).ok())
+      << obs::validate_chrome_trace(trace).to_string();
+
+  int starts = 0, steps = 0, finishes = 0;
+  for (const Json& e : trace.find("traceEvents")->elements()) {
+    const std::string& ph = e.find("ph")->str();
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    ASSERT_NE(e.find("id"), nullptr);
+    EXPECT_EQ(e.find("id")->integer(), 42);
+    if (ph == "s") ++starts;
+    if (ph == "t") ++steps;
+    if (ph == "f") {
+      ++finishes;
+      // Terminating flow events must bind to the enclosing slice.
+      ASSERT_NE(e.find("bp"), nullptr);
+      EXPECT_EQ(e.find("bp")->str(), "e");
+    }
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(steps, 1);
+  EXPECT_EQ(finishes, 1);
+}
+
+TEST(ObsTrace, ValidatorRejectsFlowEventWithoutId) {
+  Json bad = Json::object();
+  Json events = Json::array();
+  Json e = Json::object();
+  e.set("name", "req");
+  e.set("cat", "serve");
+  e.set("ph", "s");
+  e.set("ts", 1.0);
+  e.set("pid", i64{1});
+  e.set("tid", i64{1});
+  events.push_back(std::move(e));
+  bad.set("traceEvents", std::move(events));
+  const Status status = obs::validate_chrome_trace(bad);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidGraph);
+}
+
+// ------------------------------------------------------------- Event log
+
+TEST(ObsEvents, RecordSnapshotRoundTrip) {
+  obs::EventLog log(64);
+  log.record(obs::ServeEvent::kAdmit, 7, 3, 0);
+  log.record(obs::ServeEvent::kShedOverload, 8, 12, 0);
+  log.record(obs::ServeEvent::kBreakerOpen, 0, 4, 1);
+  EXPECT_EQ(log.total(), 3u);
+
+  const std::vector<obs::EventRecord> tail = log.snapshot_last(10);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].kind, obs::ServeEvent::kAdmit);
+  EXPECT_EQ(tail[0].request_id, 7u);
+  EXPECT_EQ(tail[0].a, 3);
+  EXPECT_EQ(tail[1].kind, obs::ServeEvent::kShedOverload);
+  EXPECT_EQ(tail[2].kind, obs::ServeEvent::kBreakerOpen);
+  EXPECT_LT(tail[0].seq, tail[1].seq);
+  EXPECT_LT(tail[1].seq, tail[2].seq);
+  EXPECT_LE(tail[0].ts_ns, tail[2].ts_ns);
+
+  const Json doc = log.to_json(10);
+  const Json* events = doc.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 3u);
+  EXPECT_EQ(events->elements()[0].find("event")->str(), "admit");
+  EXPECT_EQ(events->elements()[1].find("event")->str(), "shed.overload");
+  EXPECT_EQ(events->elements()[2].find("event")->str(), "breaker.open");
+}
+
+TEST(ObsEvents, ConcurrentWritersNeverTearSnapshots) {
+  // 8 writers lap a small ring while a reader snapshots continuously. Every
+  // accepted record must be internally consistent (payload fields encode the
+  // writer id) and seqs must be strictly increasing within a snapshot.
+  obs::EventLog log(128);
+  constexpr int kWriters = 8;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<u64> torn{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<obs::EventRecord> snap = log.snapshot_last(64);
+      u64 prev_seq = 0;
+      for (const obs::EventRecord& r : snap) {
+        if (r.seq <= prev_seq) torn.fetch_add(1);
+        prev_seq = r.seq;
+        // Writer w records (request_id=w, a=w*2, b=w*3): any mismatch is a
+        // torn read the seqlock should have rejected.
+        const i64 w = static_cast<i64>(r.request_id);
+        if (r.a != w * 2 || r.b != w * 3) torn.fetch_add(1);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        log.record(obs::ServeEvent::kEnqueue, static_cast<u64>(w), w * 2,
+                   w * 3);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(log.total(), static_cast<u64>(kWriters) * kPerWriter);
+  // Quiescent ring: a full snapshot is coherent and dense at the tail.
+  const std::vector<obs::EventRecord> snap = log.snapshot_last(128);
+  EXPECT_EQ(snap.size(), 128u);
+  EXPECT_EQ(snap.back().seq, static_cast<u64>(kWriters) * kPerWriter);
+}
+
+// -------------------------------------------------------------- Exporter
+
+TEST(ObsExporter, PrometheusTextMatchesRegistryExactly) {
+  obs::MetricsRegistry reg;
+  reg.counter("serve.completed").add(41);
+  reg.gauge("serve.depth").set(2.5);
+  obs::Histogram& h = reg.histogram("serve.request_us");
+  for (i64 v : {3, 3, 40, 1000}) h.observe(v);
+
+  const std::string text = obs::prometheus_text(reg);
+
+  // Parse the exposition back into name -> value.
+  std::map<std::string, double> series;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    series[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+
+  // Dotted names are mangled; values match the instruments exactly.
+  EXPECT_EQ(series.at("serve_completed"), 41.0);
+  EXPECT_EQ(series.at("serve_depth"), 2.5);
+  EXPECT_EQ(series.at("serve_request_us_count"), 4.0);
+  EXPECT_EQ(series.at("serve_request_us_sum"), 1046.0);
+  EXPECT_EQ(series.at("serve_request_us_bucket{le=\"+Inf\"}"), 4.0);
+
+  // Cumulative buckets reconstruct the histogram: each non-empty bucket
+  // appears with the exact log-linear upper bound and running total.
+  i64 running = 0;
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+    const i64 c = h.bucket_count(b);
+    if (c == 0) continue;
+    running += c;
+    const std::string key = "serve_request_us_bucket{le=\"" +
+                            std::to_string(obs::Histogram::bucket_upper(b)) +
+                            "\"}";
+    ASSERT_TRUE(series.count(key)) << key;
+    EXPECT_EQ(series.at(key), static_cast<double>(running)) << key;
+  }
+
+  // Nothing in the exposition beyond the three instruments' series.
+  for (const auto& [name, value] : series) {
+    EXPECT_TRUE(name.rfind("serve_completed", 0) == 0 ||
+                name.rfind("serve_depth", 0) == 0 ||
+                name.rfind("serve_request_us", 0) == 0)
+        << name;
+  }
+}
+
+TEST(ObsExporter, JsonlSnapshotsAndSinkDeliverSchema) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "brickdl_exporter_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string jsonl = (dir / "metrics.jsonl").string();
+  const std::string prom = (dir / "metrics.prom").string();
+
+  obs::MetricsRegistry reg;
+  reg.counter("test.ticks").add(5);
+
+  std::atomic<int> sink_calls{0};
+  obs::MetricsExporter::Options options;
+  options.interval_ms = 10;
+  options.jsonl_path = jsonl;
+  options.prom_path = prom;
+  options.sink = [&](const std::string& line) {
+    ++sink_calls;
+    Result<Json> doc = Json::parse(line);
+    ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+    EXPECT_EQ(doc.value().find("schema")->str(), "brickdl-metrics-v1");
+  };
+  {
+    obs::MetricsExporter exporter(options, &reg);
+    exporter.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(35));
+    reg.counter("test.ticks").add(2);
+    exporter.stop();  // final snapshot
+    EXPECT_GE(exporter.snapshots_taken(), 2u);
+    EXPECT_EQ(static_cast<u64>(sink_calls.load()),
+              exporter.snapshots_taken());
+  }
+
+  // Each JSONL line parses; seq increases; the last reflects the final add.
+  std::ifstream in(jsonl);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  i64 prev_seq = 0;
+  Json last;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    Result<Json> doc = Json::parse(line);
+    ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+    const i64 seq = doc.value().find("seq")->integer();
+    EXPECT_GT(seq, prev_seq);
+    prev_seq = seq;
+    last = std::move(doc.value());
+    ++lines;
+  }
+  ASSERT_GE(lines, 2u);
+  EXPECT_EQ(last.find("metrics")->find("test.ticks")->integer(), 7);
+
+  // The Prometheus textfile holds the final state too.
+  std::ifstream pin(prom);
+  ASSERT_TRUE(pin.good());
+  std::stringstream buffer;
+  buffer << pin.rdbuf();
+  EXPECT_NE(buffer.str().find("test_ticks 7"), std::string::npos)
+      << buffer.str();
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------------- Flight
+
+TEST(ObsFlight, RecordRoundTripsAndValidates) {
+  reset_obs();
+  obs::events().clear();
+  obs::events().record(obs::ServeEvent::kAdmit, 9, 1, 0);
+  obs::events().record(obs::ServeEvent::kBreakerOpen, 9, 4, 1);
+  obs::metrics().counter("serve.breaker.opens").add(1);
+
+  const Json record = obs::make_flight_record(
+      obs::FlightTrigger::kBreakerOpen, 9, "test trigger");
+  ASSERT_TRUE(obs::validate_flight_record(record).ok())
+      << obs::validate_flight_record(record).to_string();
+  EXPECT_EQ(record.find("trigger")->str(), "breaker.open");
+  EXPECT_EQ(record.find("request")->integer(), 9);
+  EXPECT_EQ(record.find("events")->size(), 2u);
+  // Both logged events concern request 9, so the filtered view holds both.
+  EXPECT_EQ(record.find("request_events")->size(), 2u);
+  EXPECT_EQ(
+      record.find("metrics")->find("serve.breaker.opens")->integer(), 1);
+
+  // Survives serialization.
+  Result<Json> back = Json::parse(record.dump(1));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(obs::validate_flight_record(back.value()).ok());
+
+  // Unknown schema versions are the named kUnknownSchema failure.
+  Json future = record;
+  future.set("schema", "brickdl-flight-v2");
+  const Status status = obs::validate_flight_record(future);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnknownSchema);
+
+  // Structural breakage stays kInvalidGraph.
+  Json broken = record;
+  broken.set("events", "not-an-array");
+  EXPECT_EQ(obs::validate_flight_record(broken).code(),
+            StatusCode::kInvalidGraph);
+  obs::events().clear();
+}
+
+TEST(ObsFlight, RecorderDumpsUnderPerTriggerCap) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "brickdl_flight_test";
+  std::filesystem::remove_all(dir);
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.reset();
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_EQ(recorder.dump(obs::FlightTrigger::kFailure, 1, "disabled"), "");
+  EXPECT_EQ(recorder.records_written(), 0u);
+  EXPECT_EQ(recorder.records_suppressed(), 1u);
+
+  obs::FlightRecorder::Options options;
+  options.dir = dir.string();
+  options.max_records = 1;  // per trigger kind
+  recorder.configure(options);
+  ASSERT_TRUE(recorder.enabled());
+
+  const std::string p1 =
+      recorder.dump(obs::FlightTrigger::kDegradedRun, 2, "first degraded");
+  ASSERT_FALSE(p1.empty());
+  // Cap reached for kDegradedRun: second dump is suppressed...
+  EXPECT_EQ(
+      recorder.dump(obs::FlightTrigger::kDegradedRun, 3, "second degraded"),
+      "");
+  // ...but a breaker-open record still gets through (per-trigger budget).
+  const std::string p2 =
+      recorder.dump(obs::FlightTrigger::kBreakerOpen, 4, "breaker");
+  ASSERT_FALSE(p2.empty());
+  EXPECT_EQ(recorder.records_written(), 2u);
+  EXPECT_EQ(recorder.records_suppressed(), 2u);
+
+  for (const std::string& path : {p1, p2}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<Json> doc = Json::parse(buffer.str());
+    ASSERT_TRUE(doc.ok()) << doc.status().to_string();
+    EXPECT_TRUE(obs::validate_flight_record(doc.value()).ok())
+        << obs::validate_flight_record(doc.value()).to_string();
+  }
+
+  recorder.reset();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -10,13 +10,21 @@
 // only the request that faults solo while its batch-mates succeed.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <limits>
+#include <map>
+#include <set>
+#include <sstream>
 #include <thread>
 
 #include "graph/rewrite.hpp"
 #include "models/models.hpp"
+#include "obs/events.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "testing/fault_injection.hpp"
 
@@ -760,6 +768,161 @@ TEST(ServeOverload, ShutdownDrainDeadlineFailsRemainingWithNamedStatus) {
   EXPECT_EQ(counter_value("serve.shed.shutdown"), 5);
   EXPECT_EQ(counter_value("serve.completed"), 1);
   EXPECT_EQ(obs::metrics().gauge("serve.depth").value(), 0.0);
+}
+
+// ------------------------------------------------ Serving telemetry (§13)
+
+TEST(ServeTelemetry, TraceLinksRequestsAcrossStagesByFlowId) {
+  obs::metrics().reset();
+  obs::events().clear();
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().set_enabled(true);
+
+  const Graph model = chain_model();
+  ServeOptions opts;
+  opts.max_batch = 4;
+  opts.max_wait_us = 2000;
+  opts.engine.trace = true;
+  constexpr int kRequests = 6;
+  WeightStore ws(kWeightSeed);
+  {
+    Server server(model, ws, opts);
+    std::vector<std::future<RequestResult>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+      futures.push_back(server.submit(
+          random_request(model, 1, 700 + static_cast<u64>(i))));
+    }
+    for (auto& f : futures) {
+      RequestResult r = f.get();
+      ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+    }
+    server.shutdown();
+  }
+  obs::Tracer::instance().set_enabled(false);
+
+  const obs::Json trace = obs::Tracer::instance().export_chrome_trace();
+  ASSERT_TRUE(obs::validate_chrome_trace(trace).ok())
+      << obs::validate_chrome_trace(trace).to_string();
+
+  // Every served request must leave a complete flow chain keyed by its
+  // request id — start in the flush span ('s'), step in the engine batch
+  // span ('t'), finish alongside its resolution ('f') — plus a retroactive
+  // queue-wait span tagged {"req": id}. Request ids are assigned densely
+  // from 0 in submit order.
+  std::map<i64, std::set<char>> flows;
+  std::set<i64> queue_spans;
+  for (const obs::Json& e : trace.find("traceEvents")->elements()) {
+    const std::string& ph = e.find("ph")->str();
+    if (ph == "s" || ph == "t" || ph == "f") {
+      ASSERT_NE(e.find("id"), nullptr);
+      flows[e.find("id")->integer()].insert(ph[0]);
+    } else if (ph == "X" &&
+               e.find("name")->str().rfind("queue:req", 0) == 0) {
+      const obs::Json* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("req"), nullptr);
+      queue_spans.insert(args->find("req")->integer());
+    }
+  }
+  const std::set<char> full_chain{'s', 't', 'f'};
+  for (i64 id = 0; id < kRequests; ++id) {
+    EXPECT_EQ(flows[id], full_chain) << "request " << id;
+    EXPECT_TRUE(queue_spans.count(id)) << "request " << id;
+  }
+}
+
+TEST(ServeTelemetry, FlightRecordPerBreakerOpenValidatesSchema) {
+  obs::metrics().reset();
+  obs::events().clear();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "brickdl_serve_flight_test";
+  std::filesystem::remove_all(dir);
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.reset();
+  obs::FlightRecorder::Options fopts;
+  fopts.dir = dir.string();
+  recorder.configure(fopts);
+
+  // Same chaos recipe as BreakerOpensRoutesDegradedAndRecoversViaProbe: an
+  // armed worker stall degrades every tier-0 run until the breaker opens.
+  const Graph model = build_conv_chain_2d(3, 1, 20, 3);
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.max_wait_us = 0;
+  opts.breaker_failures = 2;
+  opts.breaker_cooldown = 2;
+  opts.engine.partition.cost_aware = false;
+  opts.engine.force_strategy = Strategy::kMemoized;
+  opts.engine.memo_workers = 4;
+  opts.engine.memo_parallel = false;
+  opts.engine.memo_watchdog = {64, 200};
+  WeightStore ws(kWeightSeed);
+  Server server(model, ws, opts);
+
+  auto serve_one = [&](u64 seed) {
+    RequestResult r = server.submit(random_request(model, 1, seed)).get();
+    ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+  };
+
+  {
+    ScopedFaultInjection injection;
+    FaultSpec stall;
+    stall.kind = FaultKind::kWorkerStall;
+    stall.max_fires = -1;
+    injection.injector().arm(stall);
+    serve_one(820);  // degraded walk -> one kDegradedRun record
+    serve_one(821);  // degraded walk -> breaker opens -> kBreakerOpen record
+    serve_one(822);  // breaker open: degraded tier runs clean, no record
+    serve_one(823);
+  }
+  serve_one(824);  // cooled down: probe runs clean -> breaker closes
+  server.shutdown();
+
+  const i64 opens = counter_value("serve.breaker.opens");
+  ASSERT_EQ(opens, 1);
+  EXPECT_EQ(counter_value("serve.breaker.closes"), 1);
+  EXPECT_EQ(counter_value("serve.failed"), 0);
+
+  // The event log saw exactly one open and one close.
+  size_t open_events = 0, close_events = 0;
+  for (const obs::EventRecord& r : obs::events().snapshot_last(4096)) {
+    if (r.kind == obs::ServeEvent::kBreakerOpen) ++open_events;
+    if (r.kind == obs::ServeEvent::kBreakerClose) ++close_events;
+  }
+  EXPECT_EQ(open_events, 1u);
+  EXPECT_EQ(close_events, 1u);
+
+  // Exactly one flight record per breaker open, every record on disk parses
+  // and validates against brickdl-flight-v1.
+  size_t breaker_records = 0, total_records = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    ++total_records;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << name;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<obs::Json> doc = obs::Json::parse(buffer.str());
+    ASSERT_TRUE(doc.ok()) << name << ": " << doc.status().to_string();
+    const Status valid = obs::validate_flight_record(doc.value());
+    ASSERT_TRUE(valid.ok()) << name << ": " << valid.to_string();
+    if (name.find("breaker.open") != std::string::npos) {
+      ++breaker_records;
+      EXPECT_EQ(doc.value().find("trigger")->str(), "breaker.open");
+      // The record's event tail carries the open itself.
+      bool saw_open = false;
+      for (const obs::Json& e : doc.value().find("events")->elements()) {
+        if (e.find("event")->str() == "breaker.open") saw_open = true;
+      }
+      EXPECT_TRUE(saw_open);
+    }
+  }
+  EXPECT_EQ(breaker_records, static_cast<size_t>(opens));
+  EXPECT_GE(total_records, breaker_records + 1);  // plus degraded-run dumps
+  EXPECT_EQ(recorder.records_written(), total_records);
+
+  recorder.reset();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace brickdl

@@ -1,15 +1,19 @@
 // brickdl_report_check — schema-validate observability artifacts.
 //
-//   brickdl_report_check --report r.json [--trace t.json]
+//   brickdl_report_check [--report r.json] [--trace t.json]
+//                        [--flight f.json]
 //
 // Parses the files back through the same obs::Json implementation that wrote
 // them and runs the structural validators (obs::validate_run_report,
-// obs::validate_chrome_trace). Exit 0 only when every given artifact is
-// well-formed; bench/smoke_report.sh and the `obs_smoke` CTest drive this
-// against fresh brickdl_cli output.
+// obs::validate_chrome_trace, obs::validate_flight_record). Unknown schema
+// versions are a named failure (kUnknownSchema), not a structural one. Exit
+// 0 only when every given artifact is well-formed; bench/smoke_report.sh and
+// the `obs_smoke` CTest drive this against fresh brickdl_cli output,
+// bench/smoke_serve_telemetry.sh against brickdl_serve output.
 #include <cstdio>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
@@ -43,6 +47,7 @@ Result<obs::Json> read_json(const std::string& path) {
 int main(int argc, char** argv) {
   std::string report_path;
   std::string trace_path;
+  std::string flight_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -56,14 +61,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) break;
       trace_path = v;
+    } else if (arg == "--flight") {
+      const char* v = next();
+      if (!v) break;
+      flight_path = v;
     } else {
       std::fprintf(stderr,
                    "usage: brickdl_report_check [--report r.json] "
-                   "[--trace t.json]\n");
+                   "[--trace t.json] [--flight f.json]\n");
       return 2;
     }
   }
-  if (report_path.empty() && trace_path.empty()) {
+  if (report_path.empty() && trace_path.empty() && flight_path.empty()) {
     std::fprintf(stderr, "brickdl_report_check: nothing to check\n");
     return 2;
   }
@@ -83,6 +92,15 @@ int main(int argc, char** argv) {
     if (!status.ok()) return fail(trace_path, status);
     std::printf("ok: %s (%zu events)\n", trace_path.c_str(),
                 doc.value().find("traceEvents")->size());
+  }
+  if (!flight_path.empty()) {
+    Result<obs::Json> doc = read_json(flight_path);
+    if (!doc.ok()) return fail(flight_path, doc.status());
+    const Status status = obs::validate_flight_record(doc.value());
+    if (!status.ok()) return fail(flight_path, status);
+    std::printf("ok: %s (trigger %s, %zu events)\n", flight_path.c_str(),
+                doc.value().find("trigger")->str().c_str(),
+                doc.value().find("events")->size());
   }
   return 0;
 }

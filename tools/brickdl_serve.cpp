@@ -45,7 +45,17 @@
 //     --seed N          base seed for weights + demo inputs    (default 42)
 //     --fast            ignore trace offsets; submit as fast as possible
 //     --trace[=PATH]    write a Chrome/Perfetto trace of the serve spans
-//                       (default serve_trace.json)
+//                       (default serve_trace.json) — request spans carry
+//                       flow links keyed by request id in both modes
+//     --events[=PATH]   write the structured serving event log
+//                       (default serve_events.json)
+//     --metrics-out F   append periodic brickdl-metrics-v1 JSONL snapshots
+//     --prom F          write the final metrics as Prometheus text exposition
+//     --flight-dir DIR  arm the flight recorder: breaker opens, degraded
+//                       runs, and non-shed failures dump brickdl-flight-v1
+//                       records into DIR
+//     --json F          (overload mode) write machine-readable capacity +
+//                       per-class latency stats (brickdl-serve-bench-v1)
 //
 // The exit status is nonzero if any request fails (replay mode: fails or is
 // shed), so the tool doubles as a smoke check for the serving path.
@@ -55,12 +65,16 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "models/models.hpp"
+#include "obs/events.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
@@ -90,6 +104,11 @@ struct Options {
   u64 seed = 42;
   bool fast = false;
   std::string trace_path;
+  std::string events_path;
+  std::string metrics_out;
+  std::string prom_path;
+  std::string flight_dir;
+  std::string json_path;  ///< overload-mode machine-readable stats
   serve::ServeOptions serve;
 };
 
@@ -104,6 +123,8 @@ int usage() {
                "  [--duration-ms N] [--drain-ms N]\n"
                "  [--strategy padded|memoized|wavefront] [--workers N]\n"
                "  [--seed N] [--fast] [--trace[=serve_trace.json]]\n"
+               "  [--events[=serve_events.json]] [--metrics-out FILE]\n"
+               "  [--prom FILE] [--flight-dir DIR] [--json FILE]\n"
                "trace file: `<offset_us> <rows> [<seed>]` per line, "
                "# comments\n");
   return 2;
@@ -194,6 +215,55 @@ u64 now_ns() {
   return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                               std::chrono::steady_clock::now().time_since_epoch())
                               .count());
+}
+
+/// Flush every telemetry artifact the flags asked for: Perfetto trace,
+/// structured event log, final metrics snapshot (JSONL + Prometheus via the
+/// exporter), and a flight-recorder tally. Shared by the overload and
+/// replay exits so both modes export identically. Returns false (after
+/// reporting which artifact failed) when any write fails.
+bool finalize_telemetry(const Options& opts, obs::MetricsExporter* exporter) {
+  bool ok = true;
+  obs::Tracer::instance().set_enabled(false);
+  if (exporter) exporter->stop();  // final snapshot -> JSONL + Prometheus
+  if (!opts.trace_path.empty()) {
+    if (write_text_file(opts.trace_path,
+                        obs::Tracer::instance().export_chrome_json())) {
+      std::printf("trace: %s (open at https://ui.perfetto.dev)\n",
+                  opts.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to '%s'\n",
+                   opts.trace_path.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.events_path.empty()) {
+    const obs::Json log = obs::events().to_json(obs::events().capacity());
+    if (write_text_file(opts.events_path, log.dump(1) + "\n")) {
+      std::printf("events: %s (%llu recorded)\n", opts.events_path.c_str(),
+                  static_cast<unsigned long long>(obs::events().total()));
+    } else {
+      std::fprintf(stderr, "cannot write events to '%s'\n",
+                   opts.events_path.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.metrics_out.empty() && exporter) {
+    std::printf("metrics: %s (%llu JSONL snapshot(s))\n",
+                opts.metrics_out.c_str(),
+                static_cast<unsigned long long>(exporter->snapshots_taken()));
+  }
+  if (!opts.prom_path.empty()) {
+    std::printf("prometheus: %s\n", opts.prom_path.c_str());
+  }
+  if (!opts.flight_dir.empty()) {
+    const obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+    std::printf("flight: %llu record(s) in %s (%llu suppressed)\n",
+                static_cast<unsigned long long>(fr.records_written()),
+                opts.flight_dir.c_str(),
+                static_cast<unsigned long long>(fr.records_suppressed()));
+  }
+  return ok;
 }
 
 // ---- open-loop overload mode ----
@@ -313,40 +383,48 @@ int run_overload(const Graph& model, const Options& opts) {
   // Per-class accounting.
   const char* cls_name[2] = {"tight", "loose"};
   const i64 cls_deadline[2] = {tight_us, loose_us};
+  struct ClassStats {
+    i64 submitted = 0, served = 0, shed = 0, failed = 0, slo_met = 0;
+    i64 p50 = 0, p95 = 0, p99 = 0;
+    double slo_pct = 0.0;
+  };
+  ClassStats stats[2];
   int failed = 0;
   TextTable table({"class", "submitted", "served", "shed", "failed",
                    "SLO met", "p50", "p95", "p99 (us)"});
   for (int cls = 0; cls < 2; ++cls) {
-    i64 submitted = 0, served = 0, shed = 0, cls_failed = 0, slo_met = 0;
+    ClassStats& s = stats[cls];
     std::vector<i64> latency_us;
     for (const Outcome& o : outcomes) {
       if (o.cls != cls) continue;
-      ++submitted;
+      ++s.submitted;
       const i64 us = static_cast<i64>((o.ready_ns - o.submit_ns) / 1000);
       if (o.result.status.ok()) {
-        ++served;
+        ++s.served;
         latency_us.push_back(us);
-        if (us <= cls_deadline[cls]) ++slo_met;
+        if (us <= cls_deadline[cls]) ++s.slo_met;
       } else if (o.result.shed) {
-        ++shed;
+        ++s.shed;
       } else {
-        ++cls_failed;
+        ++s.failed;
         ++failed;
         std::fprintf(stderr, "request (class %s) failed: %s\n",
                      cls_name[cls], o.result.status.to_string().c_str());
       }
     }
     std::sort(latency_us.begin(), latency_us.end());
-    const double slo = submitted > 0 ? 100.0 * static_cast<double>(slo_met) /
-                                           static_cast<double>(submitted)
-                                     : 0.0;
-    table.add_row({cls_name[cls], std::to_string(submitted),
-                   std::to_string(served), std::to_string(shed),
-                   std::to_string(cls_failed),
-                   TextTable::num(slo) + "%",
-                   std::to_string(percentile_us(latency_us, 0.50)),
-                   std::to_string(percentile_us(latency_us, 0.95)),
-                   std::to_string(percentile_us(latency_us, 0.99))});
+    s.p50 = percentile_us(latency_us, 0.50);
+    s.p95 = percentile_us(latency_us, 0.95);
+    s.p99 = percentile_us(latency_us, 0.99);
+    s.slo_pct = s.submitted > 0 ? 100.0 * static_cast<double>(s.slo_met) /
+                                      static_cast<double>(s.submitted)
+                                : 0.0;
+    table.add_row({cls_name[cls], std::to_string(s.submitted),
+                   std::to_string(s.served), std::to_string(s.shed),
+                   std::to_string(s.failed),
+                   TextTable::num(s.slo_pct) + "%",
+                   std::to_string(s.p50), std::to_string(s.p95),
+                   std::to_string(s.p99)});
   }
   std::printf("\n%s", table.render().c_str());
 
@@ -361,7 +439,58 @@ int run_overload(const Graph& model, const Options& opts) {
                        std::to_string(sopts.max_queue_depth) + ")"});
   summary.add_row({"request latency (all)",
                    pctl(obs::metrics().histogram("serve.request_us"))});
+  summary.add_row({"events logged", std::to_string(obs::events().total())});
+  {
+    const obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+    summary.add_row(
+        {"flight records",
+         fr.enabled() ? std::to_string(fr.records_written()) + " (" +
+                            std::to_string(fr.records_suppressed()) +
+                            " suppressed)"
+                      : std::string("off (--flight-dir)")});
+  }
   std::printf("\n%s", summary.render().c_str());
+
+  if (!opts.json_path.empty()) {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", "brickdl-serve-bench-v1");
+    doc.set("service_us", service_us);
+    doc.set("overload", opts.overload);
+    doc.set("burst", burst);
+    doc.set("bursts", bursts);
+    doc.set("max_queue_depth", sopts.max_queue_depth);
+    doc.set("max_depth_seen", max_depth_seen);
+    obs::Json classes = obs::Json::object();
+    for (int cls = 0; cls < 2; ++cls) {
+      const ClassStats& s = stats[cls];
+      obs::Json c = obs::Json::object();
+      c.set("deadline_us", cls_deadline[cls]);
+      c.set("submitted", s.submitted);
+      c.set("served", s.served);
+      c.set("shed", s.shed);
+      c.set("failed", s.failed);
+      c.set("slo_pct", s.slo_pct);
+      c.set("p50_us", s.p50);
+      c.set("p95_us", s.p95);
+      c.set("p99_us", s.p99);
+      classes.set(cls_name[cls], std::move(c));
+    }
+    doc.set("classes", std::move(classes));
+    const obs::Histogram& lat = obs::metrics().histogram("serve.request_us");
+    obs::Json all = obs::Json::object();
+    all.set("count", static_cast<i64>(lat.count()));
+    all.set("p50_us", lat.percentile(0.50));
+    all.set("p95_us", lat.percentile(0.95));
+    all.set("p99_us", lat.percentile(0.99));
+    doc.set("request_us", std::move(all));
+    if (!write_text_file(opts.json_path, doc.dump(1) + "\n")) {
+      std::fprintf(stderr, "cannot write stats to '%s'\n",
+                   opts.json_path.c_str());
+      return 1;
+    }
+    std::printf("stats: %s (brickdl-serve-bench-v1)\n",
+                opts.json_path.c_str());
+  }
 
   if (sopts.max_queue_depth > 0 && max_depth_seen > sopts.max_queue_depth) {
     std::fprintf(stderr,
@@ -444,6 +573,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
       opts.trace_path =
           arg.size() > 8 ? arg.substr(8) : std::string("serve_trace.json");
+    } else if (arg == "--events" || arg.rfind("--events=", 0) == 0) {
+      opts.events_path =
+          arg.size() > 9 ? arg.substr(9) : std::string("serve_events.json");
+    } else if (arg == "--metrics-out") {
+      opts.metrics_out = next();
+    } else if (arg == "--prom") {
+      opts.prom_path = next();
+    } else if (arg == "--flight-dir") {
+      opts.flight_dir = next();
+    } else if (arg == "--json") {
+      opts.json_path = next();
     } else if (!arg.empty() && arg[0] != '-' && opts.trace_file.empty()) {
       opts.trace_file = arg;
     } else {
@@ -462,23 +602,27 @@ int main(int argc, char** argv) {
     obs::Tracer::instance().clear();
     obs::Tracer::instance().set_enabled(true);
   }
+  if (!opts.flight_dir.empty()) {
+    obs::FlightRecorder::Options fopts;
+    fopts.dir = opts.flight_dir;
+    obs::FlightRecorder::instance().configure(fopts);
+  }
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!opts.metrics_out.empty() || !opts.prom_path.empty()) {
+    obs::MetricsExporter::Options eopts;
+    eopts.interval_ms = 200;
+    eopts.jsonl_path = opts.metrics_out;
+    eopts.prom_path = opts.prom_path;
+    exporter = std::make_unique<obs::MetricsExporter>(std::move(eopts));
+    exporter->start();
+  }
 
   if (opts.overload > 0.0) {
     std::printf("%s: %d nodes, input %s, overload mode\n",
                 model.name().c_str(), model.num_nodes(),
                 model.node(0).out_shape.dims.str().c_str());
     const int rc = run_overload(model, opts);
-    obs::Tracer::instance().set_enabled(false);
-    if (!opts.trace_path.empty()) {
-      if (!write_text_file(opts.trace_path,
-                           obs::Tracer::instance().export_chrome_json())) {
-        std::fprintf(stderr, "cannot write trace to '%s'\n",
-                     opts.trace_path.c_str());
-        return 1;
-      }
-      std::printf("trace: %s (open at https://ui.perfetto.dev)\n",
-                  opts.trace_path.c_str());
-    }
+    if (!finalize_telemetry(opts, exporter.get())) return rc != 0 ? rc : 1;
     return rc;
   }
 
@@ -526,7 +670,6 @@ int main(int argc, char** argv) {
     }
   }
   server.shutdown();
-  obs::Tracer::instance().set_enabled(false);
 
   obs::MetricsRegistry& m = obs::metrics();
   TextTable table({"metric", "value"});
@@ -554,16 +697,7 @@ int main(int argc, char** argv) {
   table.add_row({"request latency", pctl(m.histogram("serve.request_us"))});
   std::printf("\n%s", table.render().c_str());
 
-  if (!opts.trace_path.empty()) {
-    if (!write_text_file(opts.trace_path,
-                         obs::Tracer::instance().export_chrome_json())) {
-      std::fprintf(stderr, "cannot write trace to '%s'\n",
-                   opts.trace_path.c_str());
-      return 1;
-    }
-    std::printf("trace: %s (open at https://ui.perfetto.dev)\n",
-                opts.trace_path.c_str());
-  }
+  if (!finalize_telemetry(opts, exporter.get())) return 1;
   if (shed > 0) {
     std::fprintf(stderr, "%d replayed request(s) shed (see summary)\n", shed);
   }

@@ -19,9 +19,18 @@ tolerance)`` (default tolerance 0.25, i.e. +/-25 percent; improvements never
 fail). Exit status: 0 clean, 1 regression or missing pair, 2 usage/setup
 error.
 
+``--serve-current`` additionally (or standalone) compares a
+``brickdl-serve-bench-v1`` document — written by ``brickdl_serve --overload
+... --json`` — against the committed ``BENCH_serve.json``. Serving latency is
+even more host- and load-sensitive than kernel timings, so only
+host-independent ratios are compared (per-class p99 normalized by the run's
+own measured service time, and SLO attainment), and the serve gate is
+**advisory**: verdicts are printed but never affect the exit status.
+
 Usage:
   tools/ci_bench_check.py --bench build/bench/mb_kernels
   tools/ci_bench_check.py --current run.json [--baseline BENCH_kernels.json]
+  tools/ci_bench_check.py --serve-current stats.json [--serve-baseline BENCH_serve.json]
 """
 
 import argparse
@@ -57,6 +66,69 @@ def speedup_pairs(results):
                 yield (name, base, ns)
 
 
+def load_serve(path):
+    """Return a validated brickdl-serve-bench-v1 document."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "brickdl-serve-bench-v1":
+        raise ValueError(f"{path}: expected schema brickdl-serve-bench-v1, "
+                         f"got {doc.get('schema')!r}")
+    return doc
+
+
+def serve_ratios(doc):
+    """Host-independent serving ratios from a brickdl-serve-bench-v1 doc.
+
+    Latencies are normalized by the run's own measured per-request service
+    time, so a slow CI runner shifts numerator and denominator together.
+    ``slo_pct`` is already dimensionless. Ratios whose label ends in
+    ``slo_pct`` are higher-is-better; the rest are lower-is-better.
+    """
+    service = float(doc.get("service_us", 0.0))
+    ratios = {}
+    for cls, stats in sorted(doc.get("classes", {}).items()):
+        if service > 0.0 and int(stats.get("served", 0)) > 0:
+            ratios[f"{cls}/p99_over_service"] = float(stats["p99_us"]) / service
+        ratios[f"{cls}/slo_pct"] = float(stats.get("slo_pct", 0.0))
+    req = doc.get("request_us", {})
+    if service > 0.0 and int(req.get("count", 0)) > 0:
+        ratios["all/p99_over_service"] = float(req["p99_us"]) / service
+    return ratios
+
+
+def check_serve(baseline_path, current_path, tolerance):
+    """Advisory serve comparison: prints verdicts, never fails the gate."""
+    baseline = serve_ratios(load_serve(baseline_path))
+    current = serve_ratios(load_serve(current_path))
+    labels = sorted(baseline)
+    width = max(len(label) for label in labels) if labels else 0
+    print(f"\nserve gate (advisory, vs {baseline_path}):")
+    print(f"{'ratio':<{width}}  {'baseline':>9}  {'current':>9}  verdict")
+    regressions = 0
+    for label in labels:
+        base = baseline[label]
+        cur = current.get(label)
+        if cur is None:
+            print(f"{label:<{width}}  {base:>9.3f}  {'missing':>9}  ADVISORY")
+            regressions += 1
+            continue
+        if label.endswith("slo_pct"):
+            # Higher is better; absolute percentage-point slack scaled by
+            # the tolerance (SLO near 0% would make a relative floor vacuous).
+            ok = cur >= base - 100.0 * tolerance
+        else:
+            ok = cur <= base * (1.0 + tolerance)
+        verdict = "ok" if ok else "ADVISORY regression"
+        print(f"{label:<{width}}  {base:>9.3f}  {cur:>9.3f}  {verdict}")
+        regressions += 0 if ok else 1
+    if regressions:
+        print(f"serve gate: {regressions} advisory regression(s) beyond "
+              f"{tolerance:.0%} — not failing the build")
+    else:
+        print(f"serve gate clean: {len(labels)} ratio(s) within "
+              f"{tolerance:.0%} of baseline")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", help="mb_kernels binary to run (--quick mode)")
@@ -72,11 +144,28 @@ def main():
         default=0.25,
         help="allowed fractional speedup drop before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--serve-current",
+        help="brickdl-serve-bench-v1 JSON from brickdl_serve --overload --json "
+             "(advisory comparison; may be the only input)",
+    )
+    parser.add_argument(
+        "--serve-baseline",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_serve.json"),
+        help="committed serve baseline JSON (default: repo BENCH_serve.json)",
+    )
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
-    if bool(args.bench) == bool(args.current):
-        parser.error("exactly one of --bench / --current is required")
+    if args.bench and args.current:
+        parser.error("at most one of --bench / --current is allowed")
+    if not (args.bench or args.current or args.serve_current):
+        parser.error("one of --bench / --current / --serve-current is required")
+
+    if args.serve_current:
+        check_serve(args.serve_baseline, args.serve_current, args.tolerance)
+    if not (args.bench or args.current):
+        return 0
 
     current_path = args.current
     tmp = None

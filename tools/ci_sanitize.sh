@@ -16,9 +16,12 @@
 #                         malformed-parse corpus and JSON parse-back).
 #   3. Release (-O3 -DNDEBUG): the differential + perf (fast-path vs generic
 #                         kernel, plus the fig07 paper-vs-greedy partition
-#                         A/B gate) labels at the optimization level the fast
-#                         paths ship at — vectorized interior loops can
-#                         behave differently from -O0/-O1 sanitizer builds.
+#                         A/B gate) + obs (unit suite plus the CLI and
+#                         serving-telemetry end-to-end smokes, which validate
+#                         every exported artifact) labels at the optimization
+#                         level the fast paths ship at — vectorized interior
+#                         loops can behave differently from -O0/-O1
+#                         sanitizer builds.
 #
 # Usage: tools/ci_sanitize.sh [source-dir]
 # Build trees land in <source-dir>/build-tsan, <source-dir>/build-asan and
@@ -65,17 +68,22 @@ if run_stage asan; then
 fi
 
 if run_stage release; then
-  echo "== [release] Release -O3 -DNDEBUG: differential + perf labels (incl. fig07 partition A/B gate) =="
+  echo "== [release] Release -O3 -DNDEBUG: differential + perf + obs labels (incl. fig07 partition A/B gate, telemetry smokes) =="
   cmake -B "$SRC_DIR/build-release" -S "$SRC_DIR" \
         -DCMAKE_BUILD_TYPE=Release \
         -DCMAKE_CXX_FLAGS_RELEASE="-O3 -DNDEBUG"
   cmake --build "$SRC_DIR/build-release" -j "$JOBS" \
         --target brickdl_differential_tests --target mb_kernels \
-        --target fig07_partition_ab --target brickdl_serve
+        --target fig07_partition_ab --target brickdl_serve \
+        --target brickdl_obs_tests --target brickdl_cli \
+        --target brickdl_report_check
   # perf includes serve_overload_smoke: the open-loop overload run (bounded
   # queue, shed taxonomy, drain) at the optimization level serving ships at.
+  # obs adds the unit suite plus obs_smoke and serve_telemetry_smoke — the
+  # end-to-end artifact checks (trace flow links, Prometheus/JSONL export,
+  # event log, flight records) run at Release speed, where they are cheap.
   ctest --test-dir "$SRC_DIR/build-release" --output-on-failure --timeout 600 \
-        -L 'differential|perf'
+        -L 'differential|perf|obs'
 fi
 
 echo "sanitizer matrix passed (stages: $STAGES)"
