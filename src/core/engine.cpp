@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <iostream>
+#include <mutex>
 #include <sstream>
+#include <unordered_set>
 
 #include "core/halo_plan.hpp"
 #include "core/wavefront_executor.hpp"
@@ -30,6 +33,30 @@ std::vector<Strategy> fallback_chain(Strategy planned, bool graceful) {
       return {Strategy::kVendor};
   }
   return {planned};
+}
+
+/// NUMA warm-up: have every pool worker first-touch its own backend state
+/// (bump arena pages, simulator L1 metadata) from its own — pinned — thread.
+/// The rendezvous forces all `size()` workers to participate, so worker w is
+/// always warmed by worker w's thread rather than by whichever thread drains
+/// the queue fastest.
+void warm_pool(ThreadPool& pool, Backend& backend) {
+  const int n = pool.size();
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&, n](int worker) {
+      backend.warm_worker(worker);
+      std::unique_lock<std::mutex> lock(mu);
+      if (++arrived == n) {
+        cv.notify_all();
+      } else {
+        cv.wait(lock, [&] { return arrived == n; });
+      }
+    });
+  }
+  pool.wait_idle();
 }
 
 }  // namespace
@@ -251,7 +278,8 @@ Status run_planned_subgraph_checked(
                               full_io, workers, options.memo_watchdog);
         Status status;
         if (options.memo_parallel) {
-          ThreadPool pool(workers);
+          ThreadPool pool(workers, options.numa_pin);
+          if (options.numa_pin) warm_pool(pool, backend);
           status = exec.run_parallel_checked(pool);
         } else {
           status = exec.run_checked();
@@ -312,6 +340,290 @@ MemoizedExecutor::Stats run_planned_subgraph(
   return stats;
 }
 
+Status Engine::run_subgraph_barriered(
+    Backend& backend, NumericBackend* numeric, ModelBackend* model,
+    size_t index, std::unordered_map<int, TensorId>& boundary,
+    EngineResult& result) {
+  const PlannedSubgraph& planned = partition_.subgraphs[index];
+  const Subgraph& sg = planned.sg;
+  const Node& terminal = graph_.node(sg.terminal());
+  const i64 subgraph_index = static_cast<i64>(index);
+  obs::TraceSpan sg_span("engine", "subgraph:" + terminal.name,
+                         {{"subgraph", subgraph_index},
+                          {"layers", static_cast<i64>(sg.nodes.size())},
+                          {"brick_side", planned.brick_side}},
+                         options_.trace);
+
+  std::unordered_map<int, TensorId> io;
+  for (int p : sg.external_inputs) io.emplace(p, boundary.at(p));
+
+  TxnCounters before;
+  ComputeTally tally_before;
+  if (model) {
+    before = model->sim().counters();
+    tally_before = model->tally();
+  }
+
+  SubgraphReport report;
+  report.plan = planned;
+  if (options_.profile) {
+    report.predicted =
+        obs::predict_subgraph(graph_, planned, options_.partition.machine);
+  }
+
+  const auto chain =
+      fallback_chain(planned.strategy, options_.graceful_fallback);
+  bool succeeded = false;
+  for (Strategy strategy : chain) {
+    PlannedSubgraph attempt = planned;
+    attempt.strategy = strategy;
+    const bool merged = strategy != Strategy::kVendor;
+    const bool retry = !report.attempts.empty();
+    const TensorId out_id = backend.register_tensor(
+        terminal.out_shape, merged ? Layout::kBricked : Layout::kCanonical,
+        merged ? planned.brick_extent : Dims{},
+        "out:" + terminal.name + (retry ? ":retry" : ""));
+
+    MemoizedExecutor::Stats stats;
+    Status status;
+    double attempt_seconds = 0.0;
+    {
+      obs::TraceSpan attempt_span(
+          "engine", std::string("attempt:") + strategy_name(strategy),
+          {{"subgraph", subgraph_index}, {"retry", retry ? 1 : 0}},
+          options_.trace);
+      const auto t0 = std::chrono::steady_clock::now();
+      status = run_planned_subgraph_checked(graph_, attempt, backend, io,
+                                            out_id, options_, &stats);
+      attempt_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    }
+    if (status.ok() && options_.verify_finite && numeric) {
+      const Tensor t = numeric->read(out_id);
+      for (i64 i = 0; i < t.elements(); ++i) {
+        if (!std::isfinite(t.flat(i))) {
+          status = Status(StatusCode::kKernelFailure,
+                          "non-finite value in output of '" +
+                              terminal.name + "' (flat index " +
+                              std::to_string(i) + ")");
+          break;
+        }
+      }
+    }
+    report.attempts.push_back({strategy, status, attempt_seconds});
+    if (status.ok()) {
+      report.executed = strategy;
+      report.memo = stats;
+      report.wall_seconds = attempt_seconds;
+      boundary[terminal.id] = out_id;
+      succeeded = true;
+      break;
+    }
+    backend.discard_tensor(out_id);  // failed attempt's output is garbage
+  }
+
+  if (!succeeded) {
+    // Every rung of the chain failed: emit a replay line so the failure
+    // can be reproduced outside the engine, then fail the run with the
+    // final (most conservative) strategy's classification.
+    const Status& last = report.attempts.back().status;
+    std::ostringstream oss;
+    oss << "brickdl: unrecoverable failure in graph '" << graph_.name()
+        << "', subgraph terminating at '" << terminal.name << "':";
+    for (const StrategyAttempt& a : report.attempts) {
+      oss << " [" << strategy_name(a.strategy) << ": " << a.status.to_string()
+          << "]";
+    }
+    oss << "\nbrickdl: replay: run_planned_subgraph_checked on '"
+        << terminal.name << "' with force_brick_side="
+        << planned.brick_side << " memo_workers=" << options_.memo_workers
+        << " memo_parallel=" << (options_.memo_parallel ? 1 : 0)
+        << " (cf. brickdl_fuzz --seed/--graph-idx for fuzzer-found graphs)";
+    std::cerr << oss.str() << std::endl;
+    if (options_.metrics) obs::metrics().counter("engine.failures").add(1);
+    return Status(last.code(),
+                  "subgraph terminating at '" + terminal.name +
+                      "' failed after " +
+                      std::to_string(report.attempts.size()) +
+                      " strategies; last: " + last.to_string());
+  }
+
+  if (model) {
+    // Profiling wants per-subgraph byte attribution: flush the simulator
+    // so this subgraph's buffered writebacks land in its own delta instead
+    // of the end-of-run flush. (Costs extra modeled txns at subgraph
+    // granularity, which is exactly the compulsory-writeback semantics the
+    // predictor assumes.)
+    if (options_.profile) model->sim().flush();
+    report.txns = model->sim().counters() - before;
+    ComputeTally after = model->tally();
+    report.tally.invocations = after.invocations - tally_before.invocations;
+    report.tally.flops = after.flops - tally_before.flops;
+    report.tally.tc_flops = after.tc_flops - tally_before.tc_flops;
+    report.tally.defers = after.defers - tally_before.defers;
+    report.tally.bricks_reduced =
+        after.bricks_reduced - tally_before.bricks_reduced;
+  }
+  if (options_.metrics) {
+    obs::metrics().counter("engine.subgraphs").add(1);
+    if (report.attempts.size() > 1) {
+      obs::metrics().counter("engine.fallbacks").add(1);
+    }
+    obs::metrics()
+        .histogram("engine.subgraph_us")
+        .observe(static_cast<i64>(report.wall_seconds * 1e6));
+  }
+  result.reports.push_back(std::move(report));
+  return Status();
+}
+
+bool Engine::try_run_chain(Backend& backend, NumericBackend* numeric,
+                           ModelBackend* model, size_t begin, size_t end,
+                           std::unordered_map<int, TensorId>& boundary,
+                           EngineResult& result) {
+  const auto& subs = partition_.subgraphs;
+  const i64 n = static_cast<i64>(end - begin);
+  const Node& first_terminal = graph_.node(subs[begin].sg.terminal());
+  const Node& last_terminal = graph_.node(subs[end - 1].sg.terminal());
+  obs::TraceSpan chain_span(
+      "engine", "chain:" + first_terminal.name + ".." + last_terminal.name,
+      {{"subgraph", static_cast<i64>(begin)}, {"members", n}},
+      options_.trace);
+
+  // Chain io: every member's out-of-chain producer (an earlier member's
+  // terminal is an internal boundary and resolves inside the executor), plus
+  // one bricked output tensor per member terminal. Interior terminals stay
+  // live — subgraphs beyond the chain may still consume them.
+  std::unordered_set<int> chain_terminals;
+  for (size_t k = begin; k < end; ++k) {
+    chain_terminals.insert(subs[k].sg.terminal());
+  }
+  std::unordered_map<int, TensorId> io;
+  for (size_t k = begin; k < end; ++k) {
+    for (int nid : subs[k].sg.nodes) {
+      for (int p : graph_.node(nid).inputs) {
+        if (subs[k].sg.contains(p) || chain_terminals.count(p)) continue;
+        io.emplace(p, boundary.at(p));
+      }
+    }
+  }
+  std::vector<TensorId> outs;
+  std::vector<MemoizedExecutor::StageSpec> stages;
+  outs.reserve(static_cast<size_t>(n));
+  stages.reserve(static_cast<size_t>(n));
+  for (size_t k = begin; k < end; ++k) {
+    const Node& terminal = graph_.node(subs[k].sg.terminal());
+    const TensorId out_id =
+        backend.register_tensor(terminal.out_shape, Layout::kBricked,
+                                subs[k].brick_extent, "out:" + terminal.name);
+    outs.push_back(out_id);
+    io[subs[k].sg.terminal()] = out_id;
+    stages.push_back({&subs[k].sg, subs[k].brick_extent});
+  }
+
+  TxnCounters before;
+  ComputeTally tally_before;
+  if (model) {
+    before = model->sim().counters();
+    tally_before = model->tally();
+  }
+
+  const int workers = std::min(options_.memo_workers, backend.num_workers());
+  MemoizedExecutor::Stats stats;
+  Status status;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    MemoizedExecutor exec(graph_, stages, backend, io, workers,
+                          options_.memo_watchdog);
+    if (options_.memo_parallel) {
+      ThreadPool pool(workers, options_.numa_pin);
+      if (options_.numa_pin) warm_pool(pool, backend);
+      status = exec.run_parallel_checked(pool);
+    } else {
+      status = exec.run_checked();
+    }
+    stats = exec.stats();
+  } catch (const StatusError& e) {
+    status = e.status();
+  } catch (const Error& e) {
+    status = Status(StatusCode::kInvalidGraph, e.what());
+  } catch (const std::exception& e) {
+    status = Status(StatusCode::kKernelFailure, e.what());
+  }
+  const double chain_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (status.ok() && options_.verify_finite && numeric) {
+    for (size_t k = begin; k < end && status.ok(); ++k) {
+      const Tensor t = numeric->read(outs[k - begin]);
+      for (i64 i = 0; i < t.elements(); ++i) {
+        if (!std::isfinite(t.flat(i))) {
+          status = Status(StatusCode::kKernelFailure,
+                          "non-finite value in output of '" +
+                              graph_.node(subs[k].sg.terminal()).name +
+                              "' (flat index " + std::to_string(i) + ")");
+          break;
+        }
+      }
+    }
+  }
+
+  if (!status.ok()) {
+    // The chain is all-or-nothing: drop its outputs and let the caller
+    // re-run the members barriered, where each gets its own degradation
+    // ladder (and, on repeat failure, its own replay line).
+    for (TensorId id : outs) backend.discard_tensor(id);
+    return false;
+  }
+
+  for (size_t k = begin; k < end; ++k) {
+    SubgraphReport report;
+    report.plan = subs[k];
+    report.executed = Strategy::kMemoized;
+    report.pipelined = true;
+    report.chain_len = static_cast<int>(n);
+    const bool lead = k == begin;
+    const double secs = lead ? chain_seconds : 0.0;
+    report.attempts.push_back({Strategy::kMemoized, Status(), secs});
+    report.wall_seconds = secs;
+    if (lead) {
+      // One executor served the whole chain, so the protocol stats and the
+      // modeled counter delta aggregate on the lead member's report.
+      report.memo = stats;
+      if (model) {
+        report.txns = model->sim().counters() - before;
+        ComputeTally after = model->tally();
+        report.tally.invocations =
+            after.invocations - tally_before.invocations;
+        report.tally.flops = after.flops - tally_before.flops;
+        report.tally.tc_flops = after.tc_flops - tally_before.tc_flops;
+        report.tally.defers = after.defers - tally_before.defers;
+        report.tally.bricks_reduced =
+            after.bricks_reduced - tally_before.bricks_reduced;
+      }
+    }
+    boundary[subs[k].sg.terminal()] = outs[k - begin];
+    result.reports.push_back(std::move(report));
+  }
+  if (options_.metrics) {
+    obs::metrics().counter("engine.subgraphs").add(n);
+    obs::metrics().counter("engine.pipeline.chains").add(1);
+    obs::metrics().counter("engine.pipeline.chain_subgraphs").add(n);
+    obs::metrics()
+        .counter("engine.pipeline.cross_claims")
+        .add(stats.cross_boundary_claims);
+    obs::metrics()
+        .histogram("engine.subgraph_us")
+        .observe(static_cast<i64>(chain_seconds * 1e6));
+    obs::metrics()
+        .histogram("engine.pipeline.idle_tail_us")
+        .observe(static_cast<i64>(stats.idle_tail_seconds * 1e6));
+  }
+  return true;
+}
+
 Result<EngineResult> Engine::run_checked(Backend& backend,
                                          const Tensor* input) {
   BDL_RETURN_IF_ERROR(validate());
@@ -340,139 +652,39 @@ Result<EngineResult> Engine::run_checked(Backend& backend,
     }
   }
 
-  i64 subgraph_index = 0;
-  for (const PlannedSubgraph& planned : partition_.subgraphs) {
-    const Subgraph& sg = planned.sg;
-    const Node& terminal = graph_.node(sg.terminal());
-    obs::TraceSpan sg_span("engine", "subgraph:" + terminal.name,
-                           {{"subgraph", subgraph_index},
-                            {"layers", static_cast<i64>(sg.nodes.size())},
-                            {"brick_side", planned.brick_side}},
-                           options_.trace);
-    ++subgraph_index;
-
-    std::unordered_map<int, TensorId> io;
-    for (int p : sg.external_inputs) io.emplace(p, boundary.at(p));
-
-    TxnCounters before;
-    ComputeTally tally_before;
-    if (model) {
-      before = model->sim().counters();
-      tally_before = model->tally();
-    }
-
-    SubgraphReport report;
-    report.plan = planned;
-    if (options_.profile) {
-      report.predicted =
-          obs::predict_subgraph(graph_, planned, options_.partition.machine);
-    }
-
-    const auto chain =
-        fallback_chain(planned.strategy, options_.graceful_fallback);
-    bool succeeded = false;
-    for (Strategy strategy : chain) {
-      PlannedSubgraph attempt = planned;
-      attempt.strategy = strategy;
-      const bool merged = strategy != Strategy::kVendor;
-      const bool retry = !report.attempts.empty();
-      const TensorId out_id = backend.register_tensor(
-          terminal.out_shape, merged ? Layout::kBricked : Layout::kCanonical,
-          merged ? planned.brick_extent : Dims{},
-          "out:" + terminal.name + (retry ? ":retry" : ""));
-
-      MemoizedExecutor::Stats stats;
-      Status status;
-      double attempt_seconds = 0.0;
-      {
-        obs::TraceSpan attempt_span(
-            "engine", std::string("attempt:") + strategy_name(strategy),
-            {{"subgraph", subgraph_index - 1}, {"retry", retry ? 1 : 0}},
-            options_.trace);
-        const auto t0 = std::chrono::steady_clock::now();
-        status = run_planned_subgraph_checked(graph_, attempt, backend, io,
-                                              out_id, options_, &stats);
-        attempt_seconds = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
+  // Pipelined chains need the per-subgraph barrier gone; profile mode needs
+  // it kept (it flushes the simulator at subgraph granularity for byte
+  // attribution), so profiling implies the barriered schedule.
+  const bool pipelining = options_.pipeline_subgraphs && !options_.profile;
+  const auto& subs = partition_.subgraphs;
+  size_t index = 0;
+  while (index < subs.size()) {
+    size_t chain_end = index + 1;
+    if (pipelining && subs[index].strategy == Strategy::kMemoized) {
+      while (chain_end < subs.size() &&
+             subs[chain_end].strategy == Strategy::kMemoized &&
+             subs[chain_end].brick_extent.rank() ==
+                 subs[index].brick_extent.rank()) {
+        ++chain_end;
       }
-      if (status.ok() && options_.verify_finite && numeric) {
-        const Tensor t = numeric->read(out_id);
-        for (i64 i = 0; i < t.elements(); ++i) {
-          if (!std::isfinite(t.flat(i))) {
-            status = Status(StatusCode::kKernelFailure,
-                            "non-finite value in output of '" +
-                                terminal.name + "' (flat index " +
-                                std::to_string(i) + ")");
-            break;
-          }
-        }
-      }
-      report.attempts.push_back({strategy, status, attempt_seconds});
-      if (status.ok()) {
-        report.executed = strategy;
-        report.memo = stats;
-        report.wall_seconds = attempt_seconds;
-        boundary[terminal.id] = out_id;
-        succeeded = true;
-        break;
-      }
-      backend.discard_tensor(out_id);  // failed attempt's output is garbage
     }
-
-    if (!succeeded) {
-      // Every rung of the chain failed: emit a replay line so the failure
-      // can be reproduced outside the engine, then fail the run with the
-      // final (most conservative) strategy's classification.
-      const Status& last = report.attempts.back().status;
-      std::ostringstream oss;
-      oss << "brickdl: unrecoverable failure in graph '" << graph_.name()
-          << "', subgraph terminating at '" << terminal.name << "':";
-      for (const StrategyAttempt& a : report.attempts) {
-        oss << " [" << strategy_name(a.strategy) << ": " << a.status.to_string()
-            << "]";
+    if (chain_end > index + 1) {
+      if (try_run_chain(backend, numeric, model, index, chain_end, boundary,
+                        result)) {
+        index = chain_end;
+        continue;
       }
-      oss << "\nbrickdl: replay: run_planned_subgraph_checked on '"
-          << terminal.name << "' with force_brick_side="
-          << planned.brick_side << " memo_workers=" << options_.memo_workers
-          << " memo_parallel=" << (options_.memo_parallel ? 1 : 0)
-          << " (cf. brickdl_fuzz --seed/--graph-idx for fuzzer-found graphs)";
-      std::cerr << oss.str() << std::endl;
-      if (options_.metrics) obs::metrics().counter("engine.failures").add(1);
-      return Status(last.code(),
-                    "subgraph terminating at '" + terminal.name +
-                        "' failed after " +
-                        std::to_string(report.attempts.size()) +
-                        " strategies; last: " + last.to_string());
-    }
-
-    if (model) {
-      // Profiling wants per-subgraph byte attribution: flush the simulator
-      // so this subgraph's buffered writebacks land in its own delta instead
-      // of the end-of-run flush. (Costs extra modeled txns at subgraph
-      // granularity, which is exactly the compulsory-writeback semantics the
-      // predictor assumes.)
-      if (options_.profile) model->sim().flush();
-      report.txns = model->sim().counters() - before;
-      ComputeTally after = model->tally();
-      report.tally.invocations = after.invocations - tally_before.invocations;
-      report.tally.flops = after.flops - tally_before.flops;
-      report.tally.tc_flops = after.tc_flops - tally_before.tc_flops;
-      report.tally.defers = after.defers - tally_before.defers;
-      report.tally.bricks_reduced =
-          after.bricks_reduced - tally_before.bricks_reduced;
-    }
-    if (options_.metrics) {
-      obs::metrics().counter("engine.subgraphs").add(1);
-      if (report.attempts.size() > 1) {
-        obs::metrics().counter("engine.fallbacks").add(1);
+      // Chain failed: fall back to running the members barriered, where each
+      // gets its own per-subgraph degradation ladder.
+      if (options_.metrics) {
+        obs::metrics().counter("engine.pipeline.chain_fallbacks").add(1);
       }
-      obs::metrics()
-          .histogram("engine.subgraph_us")
-          .observe(static_cast<i64>(report.wall_seconds * 1e6));
     }
-    result.reports.push_back(std::move(report));
+    BDL_RETURN_IF_ERROR(run_subgraph_barriered(backend, numeric, model, index,
+                                               boundary, result));
+    ++index;
   }
+
 
   if (model) {
     model->sim().flush();  // charge buffered output writebacks to the run

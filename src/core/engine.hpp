@@ -43,6 +43,19 @@ struct EngineOptions {
   /// Retry a failed subgraph with progressively safer strategies
   /// (memoized → padded → vendor). Off: the first failure is final.
   bool graceful_fallback = true;
+  /// Cross-subgraph dataflow pipelining (DESIGN.md §14): runs of consecutive
+  /// memoized subgraphs execute as one chained MemoizedExecutor, so a
+  /// downstream subgraph's bricks start as soon as their producer bricks
+  /// publish — no inter-subgraph barrier. Bit-identical outputs; only
+  /// idle/steal stats may differ. Non-memoized subgraphs and fallback-chain
+  /// retries remain barrier points. Escape hatch: set false to restore the
+  /// strict barriered schedule (also implied by `profile`, whose per-subgraph
+  /// counter attribution needs the barrier).
+  bool pipeline_subgraphs = true;
+  /// Pin pool workers round-robin across NUMA nodes and first-touch each
+  /// worker's bump arena / simulator L1 from its own thread (util/numa.hpp).
+  /// No-op on single-node machines.
+  bool numa_pin = false;
 
   // ---- observability (DESIGN.md §8) ----
   /// Emit engine-level spans (run / subgraph / attempt / vendor layer) when
@@ -81,6 +94,12 @@ struct SubgraphReport {
   /// `predicted.modeled` is false otherwise). Compare against txns/tally.
   obs::SubgraphPrediction predicted;
   double wall_seconds = 0.0;  ///< wall-clock time of the successful attempt
+  /// True when this subgraph ran inside a pipelined chain (DESIGN.md §14):
+  /// `chain_len` members shared one executor, `wall_seconds` is the chain
+  /// total (recorded on the first member, zero on the rest), and `memo`
+  /// aggregates the whole chain's protocol stats on the first member.
+  bool pipelined = false;
+  int chain_len = 0;
 };
 
 struct EngineResult {
@@ -151,6 +170,24 @@ class Engine {
       EngineResult* engine_result = nullptr, const RunContext* ctx = nullptr);
 
  private:
+  /// Execute partition_.subgraphs[index] through the degradation chain,
+  /// exactly as the classic barriered loop did. Appends one SubgraphReport
+  /// and publishes the terminal into `boundary` on success.
+  Status run_subgraph_barriered(Backend& backend, NumericBackend* numeric,
+                                ModelBackend* model, size_t index,
+                                std::unordered_map<int, TensorId>& boundary,
+                                EngineResult& result);
+  /// Execute partition_.subgraphs[begin, end) — all memoized — as one
+  /// pipelined chain (DESIGN.md §14). On success appends one report per
+  /// member and publishes every terminal. Returns false (with nothing
+  /// appended or published) when the chain fails; the caller falls back to
+  /// running the members barriered, restoring the per-subgraph degradation
+  /// ladder.
+  bool try_run_chain(Backend& backend, NumericBackend* numeric,
+                     ModelBackend* model, size_t begin, size_t end,
+                     std::unordered_map<int, TensorId>& boundary,
+                     EngineResult& result);
+
   const Graph& graph_;
   EngineOptions options_;
   Partition partition_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_set>
 
 #include "core/fault_hooks.hpp"
 #include "graph/halo.hpp"
@@ -14,31 +15,75 @@ MemoizedExecutor::MemoizedExecutor(const Graph& graph, const Subgraph& sg,
                                    const Dims& brick_extent, Backend& backend,
                                    const std::unordered_map<int, TensorId>& io,
                                    int num_workers, WatchdogOptions watchdog)
+    : MemoizedExecutor(graph, std::vector<StageSpec>{{&sg, brick_extent}},
+                       backend, io, num_workers, watchdog) {}
+
+MemoizedExecutor::MemoizedExecutor(const Graph& graph,
+                                   std::vector<StageSpec> stage_specs,
+                                   Backend& backend,
+                                   const std::unordered_map<int, TensorId>& io,
+                                   int num_workers, WatchdogOptions watchdog)
     : graph_(graph),
-      sg_(sg),
-      brick_extent_(brick_extent),
       backend_(backend),
       io_(io),
       num_workers_(num_workers),
       watchdog_(watchdog) {
-  validate_subgraph(graph, sg);
+  BDL_CHECK_MSG(!stage_specs.empty(), "chain needs at least one stage");
   BDL_CHECK(num_workers >= 1 && num_workers <= backend.num_workers());
   BDL_CHECK_MSG(watchdog_.poll_limit > 0 && watchdog_.timeout_ms >= 0,
                 "watchdog poll_limit must be positive, timeout non-negative");
-  BDL_CHECK_MSG(io_.count(sg.terminal()),
-                "io map must provide the terminal output tensor");
-  for (int ext : sg.external_inputs) {
-    BDL_CHECK_MSG(io_.count(ext), "io map must provide external input "
-                                      << graph.node(ext).name);
+
+  // Flatten the chain: stage node lists concatenated in stage order. Node
+  // ids are unique across stages (subgraphs partition the graph), so one
+  // flat index space carries the whole tag table.
+  std::unordered_map<int, int> node_to_flat;
+  std::unordered_set<int> earlier_terminals;
+  stages_.reserve(stage_specs.size());
+  for (size_t s = 0; s < stage_specs.size(); ++s) {
+    const StageSpec& spec = stage_specs[s];
+    BDL_CHECK_MSG(spec.sg != nullptr, "chain stage has no subgraph");
+    validate_subgraph(graph, *spec.sg);
+    BDL_CHECK_MSG(
+        spec.brick_extent.rank() == stage_specs[0].brick_extent.rank(),
+        "chained stages must share the blocked rank (stage "
+            << s << " has rank " << spec.brick_extent.rank() << ")");
+    BDL_CHECK_MSG(io_.count(spec.sg->terminal()),
+                  "io map must provide the terminal output tensor of stage "
+                      << s << " ('" << graph.node(spec.sg->terminal()).name
+                      << "')");
+    for (int ext : spec.sg->external_inputs) {
+      // An earlier stage's terminal is an *internal* boundary of the chain;
+      // everything else must arrive through the io map.
+      if (earlier_terminals.count(ext)) continue;
+      BDL_CHECK_MSG(io_.count(ext), "io map must provide external input "
+                                        << graph.node(ext).name);
+    }
+
+    Stage stage;
+    stage.sg = spec.sg;
+    stage.brick_extent = spec.brick_extent;
+    stage.node_begin = static_cast<int>(node_ids_.size());
+    for (int id : spec.sg->nodes) {
+      BDL_CHECK_MSG(!node_to_flat.count(id),
+                    "node '" << graph.node(id).name
+                             << "' appears in two chain stages");
+      node_to_flat.emplace(id, static_cast<int>(node_ids_.size()));
+      node_ids_.push_back(id);
+      node_stage_.push_back(static_cast<int>(s));
+    }
+    stage.node_end = static_cast<int>(node_ids_.size());
+    stages_.push_back(stage);
+    earlier_terminals.insert(spec.sg->terminal());
   }
 
-  grids_.reserve(sg.nodes.size());
-  memo_.reserve(sg.nodes.size());
-  for (size_t i = 0; i < sg.nodes.size(); ++i) {
-    const Node& node = graph.node(sg.nodes[i]);
+  grids_.reserve(node_ids_.size());
+  memo_.reserve(node_ids_.size());
+  for (size_t i = 0; i < node_ids_.size(); ++i) {
+    const Node& node = graph.node(node_ids_[i]);
+    const Stage& stage = stages_[static_cast<size_t>(node_stage_[i])];
     const Dims bounds = node.out_shape.blocked_dims();
-    // The shared brick extent, clipped per dim to the layer bounds.
-    Dims extent = brick_extent;
+    // The stage's shared brick extent, clipped per dim to the layer bounds.
+    Dims extent = stage.brick_extent;
     BDL_CHECK(extent.rank() == bounds.rank());
     for (int d = 0; d < extent.rank(); ++d) {
       extent[d] = std::min(extent[d], bounds[d]);
@@ -51,8 +96,8 @@ MemoizedExecutor::MemoizedExecutor(const Graph& graph, const Subgraph& sg,
       states_.back()[static_cast<size_t>(b)].store(kNotStarted,
                                                    std::memory_order_relaxed);
     }
-    if (sg.nodes[i] == sg.terminal()) {
-      memo_.push_back(io_.at(sg.nodes[i]));
+    if (node_ids_[i] == stage.sg->terminal()) {
+      memo_.push_back(io_.at(node_ids_[i]));
     } else {
       memo_.push_back(backend.register_tensor(
           node.out_shape, Layout::kBricked, grids_.back().brick,
@@ -60,40 +105,55 @@ MemoizedExecutor::MemoizedExecutor(const Graph& graph, const Subgraph& sg,
     }
   }
 
-  // Resolve every node's inputs once (sg index + source tensor) so the
-  // per-brick paths need no linear search of sg_.nodes.
-  input_sg_index_.reserve(sg.nodes.size());
-  input_srcs_.reserve(sg.nodes.size());
-  for (size_t i = 0; i < sg.nodes.size(); ++i) {
-    const Node& node = graph.node(sg.nodes[i]);
+  // Resolve every node's inputs once (flattened index + source tensor) so
+  // the per-brick paths need no search. A producer in an *earlier stage*
+  // resolves internally here: that boundary gets real dependence tracking
+  // instead of the fully-materialized assumption the barriered path makes.
+  input_node_index_.reserve(node_ids_.size());
+  input_srcs_.reserve(node_ids_.size());
+  for (size_t i = 0; i < node_ids_.size(); ++i) {
+    const Node& node = graph.node(node_ids_[i]);
     std::vector<int> indices;
     std::vector<TensorId> srcs;
     indices.reserve(node.inputs.size());
     srcs.reserve(node.inputs.size());
     for (int p : node.inputs) {
-      const auto it = std::find(sg.nodes.begin(), sg.nodes.end(), p);
-      if (it == sg.nodes.end()) {
+      const auto it = node_to_flat.find(p);
+      if (it == node_to_flat.end()) {
         indices.push_back(-1);
         srcs.push_back(io_.at(p));
       } else {
-        const int p_index = static_cast<int>(it - sg.nodes.begin());
+        const int p_index = it->second;
+        BDL_CHECK_MSG(p_index < static_cast<int>(i),
+                      "chain stages out of topological order: '"
+                          << graph.node(p).name << "' consumed before it is "
+                          << "produced");
         indices.push_back(p_index);
         srcs.push_back(memo_[static_cast<size_t>(p_index)]);
       }
     }
-    input_sg_index_.push_back(std::move(indices));
+    input_node_index_.push_back(std::move(indices));
     input_srcs_.push_back(std::move(srcs));
   }
 
-  // Partition terminal bricks contiguously across workers (GPU-style block
-  // assignment keeps neighboring bricks on neighboring workers, which is what
-  // produces halo contention).
-  const i64 total = grids_.back().num_bricks();
+  // Roots: the concatenation of every stage's terminal brick space. In the
+  // single-stage case this is exactly the terminal grid; with a chain the
+  // shared frontier spans all stage terminals, so late-stage roots pull
+  // their upstream dependences across the boundary as soon as a worker
+  // reaches them.
+  for (Stage& stage : stages_) {
+    stage.root_offset = total_roots_;
+    total_roots_ += grid_sizes_[static_cast<size_t>(stage.node_end - 1)];
+  }
+
+  // Partition roots contiguously across workers (GPU-style block assignment
+  // keeps neighboring bricks on neighboring workers, which is what produces
+  // halo contention).
   workers_.reserve(static_cast<size_t>(num_workers_));
   for (int w = 0; w < num_workers_; ++w) {
     workers_.push_back(std::make_unique<Worker>());
-    workers_.back()->next_brick = total * w / num_workers_;
-    workers_.back()->end_brick = total * (w + 1) / num_workers_;
+    workers_.back()->next_root = total_roots_ * w / num_workers_;
+    workers_.back()->end_root = total_roots_ * (w + 1) / num_workers_;
   }
 }
 
@@ -103,18 +163,31 @@ i64 MemoizedExecutor::total_bricks() const {
   return total;
 }
 
-std::atomic<u32>& MemoizedExecutor::state(int sg_index, i64 brick) {
-  return states_[static_cast<size_t>(sg_index)][static_cast<size_t>(brick)];
+std::atomic<u32>& MemoizedExecutor::state(int node_index, i64 brick) {
+  return states_[static_cast<size_t>(node_index)][static_cast<size_t>(brick)];
 }
 
-MemoizedExecutor::Task MemoizedExecutor::make_task(int sg_index,
+int MemoizedExecutor::root_node(i64 root, i64* brick) const {
+  size_t s = stages_.size() - 1;
+  while (stages_[s].root_offset > root) --s;
+  *brick = root - stages_[s].root_offset;
+  return stages_[s].node_end - 1;
+}
+
+bool MemoizedExecutor::is_stage_terminal(int node_index) const {
+  const Stage& stage = stages_[static_cast<size_t>(
+      node_stage_[static_cast<size_t>(node_index)])];
+  return node_index == stage.node_end - 1;
+}
+
+MemoizedExecutor::Task MemoizedExecutor::make_task(int node_index,
                                                    i64 brick) const {
   Task task;
-  task.sg_index = sg_index;
+  task.node_index = node_index;
   task.brick = brick;
 
-  const Node& node = graph_.node(sg_.nodes[static_cast<size_t>(sg_index)]);
-  const BrickGrid& grid = grids_[static_cast<size_t>(sg_index)];
+  const Node& node = graph_.node(node_ids_[static_cast<size_t>(node_index)]);
+  const BrickGrid& grid = grids_[static_cast<size_t>(node_index)];
   const Dims g = grid.grid.unlinear(brick);
   const Dims lo = grid.brick_origin(g);
   const Dims extent = grid.valid_extent(g);
@@ -122,7 +195,7 @@ MemoizedExecutor::Task MemoizedExecutor::make_task(int sg_index,
   input_window_blocked(node, lo, extent, &need_lo, &need_extent);
 
   const std::vector<int>& inputs =
-      input_sg_index_[static_cast<size_t>(sg_index)];
+      input_node_index_[static_cast<size_t>(node_index)];
   for (size_t ii = 0; ii < inputs.size(); ++ii) {
     // External producers are fully materialized: no dependence tracking.
     const int p_index = inputs[ii];
@@ -160,9 +233,9 @@ MemoizedExecutor::Task MemoizedExecutor::make_task(int sg_index,
 Status MemoizedExecutor::compute_brick(int worker_index, const Task& task,
                                        SlotId* out_slot, Dims* lo,
                                        Dims* extent) {
-  const int node_id = sg_.nodes[static_cast<size_t>(task.sg_index)];
+  const int node_id = node_ids_[static_cast<size_t>(task.node_index)];
   const Node& node = graph_.node(node_id);
-  const BrickGrid& grid = grids_[static_cast<size_t>(task.sg_index)];
+  const BrickGrid& grid = grids_[static_cast<size_t>(task.node_index)];
   const Dims g = grid.grid.unlinear(task.brick);
   *lo = grid.brick_origin(g);
   *extent = grid.valid_extent(g);
@@ -180,7 +253,7 @@ Status MemoizedExecutor::compute_brick(int worker_index, const Task& task,
         workers_[static_cast<size_t>(worker_index)]->input_slots;
     inputs.clear();
     const std::vector<TensorId>& srcs =
-        input_srcs_[static_cast<size_t>(task.sg_index)];
+        input_srcs_[static_cast<size_t>(task.node_index)];
     for (TensorId src : srcs) {
       inputs.push_back(backend_.load_window(worker_index, src, need_lo,
                                             need_extent));
@@ -232,22 +305,23 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
   }
 
   if (w.stack.empty()) {
-    const int terminal_index = static_cast<int>(sg_.nodes.size()) - 1;
-    while (w.next_brick < w.end_brick) {
-      const i64 brick = w.next_brick++;
-      std::atomic<u32>& tag = state(terminal_index, brick);
+    while (w.next_root < w.end_root) {
+      i64 brick = -1;
+      const int root_index = root_node(w.next_root++, &brick);
+      std::atomic<u32>& tag = state(root_index, brick);
       u32 expected = tag.load(std::memory_order_acquire);
       while (tag_state(expected) == kNotStarted) {
         if (tag.compare_exchange_weak(expected, expected | kInProgress)) {
           bump(w.local.compulsory_atomics);  // acquire
-          Task task = make_task(terminal_index, brick);
+          Task task = make_task(root_index, brick);
           task.token = expected | kInProgress;
           w.stack.push_back(std::move(task));
           return true;
         }
       }
-      // Already claimed — a stealing worker adopted it (or a reclaimed tag
-      // was re-claimed); skip to the next assigned brick.
+      // Already claimed — a stealing worker adopted it, a downstream stage
+      // pulled it across the boundary as a dependence, or a reclaimed tag
+      // was re-claimed; skip to the next assigned root.
     }
     return steal_advance(w, spin_wait);
   }
@@ -265,6 +339,21 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
     if (tag_state(observed) == kNotStarted) {
       if (tag.compare_exchange_strong(observed, observed | kInProgress)) {
         bump(w.local.compulsory_atomics);  // acquire
+        if (node_stage_[static_cast<size_t>(p_index)] !=
+            node_stage_[static_cast<size_t>(task.node_index)]) {
+          // A downstream stage just started an upstream brick before the
+          // upstream subgraph "finished" — the cross-boundary pipeline start
+          // the barriered engine could never make.
+          bump(w.local.cross_boundary_claims);
+          if (trace_gate_) {
+            obs::TraceSpan cross(
+                "pipeline", "cross_claim",
+                {{"node", node_ids_[static_cast<size_t>(p_index)]},
+                 {"brick", p_brick},
+                 {"worker", worker_index}},
+                trace_gate_);
+          }
+        }
         task.polls = 0;
         Task dep = make_task(p_index, p_brick);
         dep.token = observed | kInProgress;
@@ -302,7 +391,7 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
   }
 
   // All dependencies complete: compute, publish, pop.
-  const int node_id = sg_.nodes[static_cast<size_t>(task.sg_index)];
+  const int node_id = node_ids_[static_cast<size_t>(task.node_index)];
   if (FaultHooks* hooks = fault_hooks()) {
     if (hooks->on_worker_stall(node_id, task.brick, worker_index)) {
       // Simulated dead worker: park for good, leaving every tag on this
@@ -334,14 +423,14 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
   // reclaimer owns the brick and will recompute it, so we must not touch the
   // shared memo buffer (a racing same-value store) and we drop our
   // accounting so the exactly-once bookkeeping still matches the tags.
-  std::atomic<u32>& tag = state(task.sg_index, task.brick);
+  std::atomic<u32>& tag = state(task.node_index, task.brick);
   u32 expected = task.token;
   if (tag.compare_exchange_strong(expected, (task.token & ~kStateMask) |
                                                 kPublishing)) {
     bump(w.local.compulsory_atomics);  // release/publish election
     try {
       backend_.store_window(worker_index, out_slot,
-                            memo_[static_cast<size_t>(task.sg_index)], lo,
+                            memo_[static_cast<size_t>(task.node_index)], lo,
                             extent);
     } catch (const std::exception& e) {
       // Leave no abandoned Publishing tag behind a failed store: fail the
@@ -365,12 +454,13 @@ bool MemoizedExecutor::advance(int worker_index, bool spin_wait) {
 }
 
 bool MemoizedExecutor::steal_advance(Worker& w, bool spin_wait) {
-  const int terminal_index = static_cast<int>(sg_.nodes.size()) - 1;
-  const i64 total = grid_sizes_[static_cast<size_t>(terminal_index)];
   i64 first_in_progress = -1;
+  int first_in_progress_node = -1;
   u32 first_in_progress_value = 0;
-  for (i64 b = 0; b < total; ++b) {
-    std::atomic<u32>& tag = state(terminal_index, b);
+  for (i64 r = 0; r < total_roots_; ++r) {
+    i64 b = -1;
+    const int root_index = root_node(r, &b);
+    std::atomic<u32>& tag = state(root_index, b);
     u32 observed = tag.load(std::memory_order_acquire);
     if (tag_state(observed) == kComplete) continue;
     if (tag_state(observed) == kNotStarted) {
@@ -378,7 +468,7 @@ bool MemoizedExecutor::steal_advance(Worker& w, bool spin_wait) {
         bump(w.local.compulsory_atomics);  // acquire
         bump(w.local.stolen_bricks);
         w.steal_polls = 0;
-        Task task = make_task(terminal_index, b);
+        Task task = make_task(root_index, b);
         task.token = observed | kInProgress;
         w.stack.push_back(std::move(task));
         return true;
@@ -387,24 +477,25 @@ bool MemoizedExecutor::steal_advance(Worker& w, bool spin_wait) {
     }
     if (first_in_progress < 0) {
       first_in_progress = b;
+      first_in_progress_node = root_index;
       first_in_progress_value = observed;
     }
   }
   if (first_in_progress < 0) {
-    w.done = true;  // every terminal brick is Complete
+    w.done = true;  // every root brick is Complete
     return false;
   }
-  // Leftover terminal bricks are all InProgress elsewhere: poll them under
-  // the same watchdog so a stalled worker's claim is eventually reclaimed.
-  // As in advance(), a Publishing tag is live by definition and never
-  // reclaimed — its electee completes it on its own.
+  // Leftover root bricks are all InProgress elsewhere: poll them under the
+  // same watchdog so a stalled worker's claim is eventually reclaimed. As in
+  // advance(), a Publishing tag is live by definition and never reclaimed —
+  // its electee completes it on its own.
   if (w.steal_polls == 0) w.steal_start = std::chrono::steady_clock::now();
   ++w.steal_polls;
   bump(w.local.conflict_atomics);
   bump(w.local.defers);
   if (watchdog_expired(w.steal_polls, w.steal_start, spin_wait)) {
     if (tag_state(first_in_progress_value) == kInProgress &&
-        state(terminal_index, first_in_progress)
+        state(first_in_progress_node, first_in_progress)
             .compare_exchange_strong(first_in_progress_value,
                                      tag_reclaimed(first_in_progress_value))) {
       bump(w.local.reclaims);
@@ -430,12 +521,15 @@ MemoizedExecutor::Stats MemoizedExecutor::stats_snapshot() const {
     total.stolen_bricks += get(s.stolen_bricks);
     total.stalled_workers += get(s.stalled_workers);
     total.lost_publishes += get(s.lost_publishes);
+    total.cross_boundary_claims += get(s.cross_boundary_claims);
   }
   return total;
 }
 
 Status MemoizedExecutor::finish() {
   stats_ = stats_snapshot();
+  stats_.idle_tail_seconds = idle_tail_seconds_;
+  stats_.idle_tail_fraction = idle_tail_fraction_;
   {
     // Publish the run's protocol counters on the shared metrics registry —
     // the former ad-hoc counters (reclaims, stolen_bricks, ...) included.
@@ -449,34 +543,40 @@ Status MemoizedExecutor::finish() {
     m.counter("memo.stolen_bricks").add(stats_.stolen_bricks);
     m.counter("memo.stalled_workers").add(stats_.stalled_workers);
     m.counter("memo.lost_publishes").add(stats_.lost_publishes);
+    m.counter("memo.cross_boundary_claims").add(stats_.cross_boundary_claims);
   }
   backend_.count_atomics(stats_.compulsory_atomics, stats_.conflict_atomics);
   backend_.tally_defer(stats_.defers);
   backend_.tally_reduce(stats_.bricks_computed);
-  // Interior memo buffers are dead once the subgraph finishes.
-  const int terminal_index = static_cast<int>(sg_.nodes.size()) - 1;
+  // Interior memo buffers are dead once the chain finishes; stage-terminal
+  // memos are the caller's io tensors and stay live.
   for (size_t i = 0; i < memo_.size(); ++i) {
-    if (static_cast<int>(i) != terminal_index) {
+    if (!is_stage_terminal(static_cast<int>(i))) {
       backend_.discard_tensor(memo_[i]);
     }
   }
 
   if (!failure_.ok()) return failure_;  // workers aborted on a kernel fault
 
-  // Every terminal brick must be complete; interior bricks that no terminal
-  // brick transitively needs (e.g. columns dropped by a strided conv) may
-  // legitimately stay uncomputed. An incomplete terminal here means every
-  // surviving worker exhausted its watchdog without finding a reclaimable
-  // path — all workers stalled.
-  const auto& terminal_states = states_[static_cast<size_t>(terminal_index)];
-  for (i64 b = 0; b < grid_sizes_[static_cast<size_t>(terminal_index)]; ++b) {
-    if (tag_state(terminal_states[static_cast<size_t>(b)].load()) !=
-        kComplete) {
-      std::ostringstream os;
-      os << "terminal brick " << b << " left incomplete ("
-         << stats_.stalled_workers << " of " << num_workers_
-         << " workers stalled, " << stats_.reclaims << " tags reclaimed)";
-      return Status(StatusCode::kExecutorStall, os.str());
+  // Every stage-terminal brick must be complete; interior bricks that no
+  // terminal brick transitively needs (e.g. columns dropped by a strided
+  // conv) may legitimately stay uncomputed. An incomplete terminal here
+  // means every surviving worker exhausted its watchdog without finding a
+  // reclaimable path — all workers stalled.
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const int terminal_index = stages_[s].node_end - 1;
+    const auto& terminal_states = states_[static_cast<size_t>(terminal_index)];
+    for (i64 b = 0; b < grid_sizes_[static_cast<size_t>(terminal_index)];
+         ++b) {
+      if (tag_state(terminal_states[static_cast<size_t>(b)].load()) !=
+          kComplete) {
+        std::ostringstream os;
+        os << "terminal brick " << b << " of stage " << s
+           << " left incomplete (" << stats_.stalled_workers << " of "
+           << num_workers_ << " workers stalled, " << stats_.reclaims
+           << " tags reclaimed)";
+        return Status(StatusCode::kExecutorStall, os.str());
+      }
     }
   }
   // Exactly-once accounting: the computed tally must equal the number of
@@ -501,15 +601,22 @@ Status MemoizedExecutor::finish() {
 }
 
 i64 MemoizedExecutor::reachable_bricks() const {
-  const int terminal_index = static_cast<int>(sg_.nodes.size()) - 1;
   std::vector<std::vector<char>> seen;
   seen.reserve(grid_sizes_.size());
   for (i64 s : grid_sizes_) seen.emplace_back(static_cast<size_t>(s), 0);
 
   std::vector<std::pair<int, i64>> frontier;
-  for (i64 b = 0; b < grid_sizes_[static_cast<size_t>(terminal_index)]; ++b) {
-    seen[static_cast<size_t>(terminal_index)][static_cast<size_t>(b)] = 1;
-    frontier.emplace_back(terminal_index, b);
+  for (const Stage& stage : stages_) {
+    const int terminal_index = stage.node_end - 1;
+    for (i64 b = 0; b < grid_sizes_[static_cast<size_t>(terminal_index)];
+         ++b) {
+      char& mark =
+          seen[static_cast<size_t>(terminal_index)][static_cast<size_t>(b)];
+      if (!mark) {
+        mark = 1;
+        frontier.emplace_back(terminal_index, b);
+      }
+    }
   }
   i64 count = 0;
   while (!frontier.empty()) {
@@ -530,12 +637,33 @@ i64 MemoizedExecutor::reachable_bricks() const {
 
 Status MemoizedExecutor::run_checked() {
   trace_gate_ = obs::Tracer::enabled();
+  i64 tick = 0;
   bool progress = true;
   while (progress) {
     progress = false;
     for (int w = 0; w < num_workers_; ++w) {
-      progress |= advance(w, /*spin_wait=*/false);
+      if (advance(w, /*spin_wait=*/false)) {
+        progress = true;
+        workers_[static_cast<size_t>(w)]->last_progress_tick = tick;
+      }
     }
+    ++tick;
+  }
+  // Deterministic idle-tail accounting: a worker's tail is the span between
+  // its last productive tick and the run's last productive tick — exactly
+  // the barrier wait the fig08 breakdown charts.
+  i64 max_tick = 0;
+  for (const auto& w : workers_) {
+    max_tick = std::max(max_tick, w->last_progress_tick);
+  }
+  if (max_tick > 0) {
+    i64 idle_ticks = 0;
+    for (const auto& w : workers_) {
+      idle_ticks += max_tick - w->last_progress_tick;
+    }
+    idle_tail_fraction_ = static_cast<double>(idle_ticks) /
+                          (static_cast<double>(num_workers_) *
+                           static_cast<double>(max_tick));
   }
   return finish();
 }
@@ -544,10 +672,26 @@ Status MemoizedExecutor::run_parallel_checked(ThreadPool& pool) {
   BDL_CHECK_MSG(pool.size() == num_workers_,
                 "pool size must equal the executor's worker count");
   trace_gate_ = obs::Tracer::enabled();
+  const auto t0 = std::chrono::steady_clock::now();
   pool.parallel_for(num_workers_, [this](i64 w, int /*pool_worker*/) {
     while (advance(static_cast<int>(w), /*spin_wait=*/true)) {
     }
+    workers_[static_cast<size_t>(w)]->finish_time =
+        std::chrono::steady_clock::now();
   });
+  auto max_finish = t0;
+  for (const auto& w : workers_) {
+    max_finish = std::max(max_finish, w->finish_time);
+  }
+  double idle = 0.0;
+  for (const auto& w : workers_) {
+    idle += std::chrono::duration<double>(max_finish - w->finish_time).count();
+  }
+  idle_tail_seconds_ = idle;
+  const double span = std::chrono::duration<double>(max_finish - t0).count();
+  if (span > 0.0) {
+    idle_tail_fraction_ = idle / (span * static_cast<double>(num_workers_));
+  }
   return finish();
 }
 

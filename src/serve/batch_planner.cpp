@@ -121,6 +121,10 @@ BatchPlanner::Cached* BatchPlanner::cached_for_plan(const Plan& plan) {
   return &it->second;
 }
 
+i64 BatchPlanner::plan_footprint(const Plan& plan) {
+  return cached_for_plan(plan)->footprint;
+}
+
 BatchPlanner::Selected BatchPlanner::select_engine(const Plan& plan) {
   Cached* c = cached_for_plan(plan);
   Selected selected;

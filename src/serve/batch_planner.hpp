@@ -77,6 +77,14 @@ class BatchPlanner {
   /// (0 when the §4 model predicts nothing for it, e.g. all-vendor).
   double predicted_seconds(const Plan& plan);
 
+  /// Footprint bytes the plan's cached stacked graph was admitted with
+  /// (0 for an unknown plan). The server's cross-batch dispatcher sums
+  /// these across in-flight runs against budget().
+  i64 plan_footprint(const Plan& plan);
+  /// Effective footprint budget in bytes (footprint_budget, or the engine
+  /// partition's L2 budget when unset).
+  i64 budget() const { return budget_; }
+
   /// Stacked batches split so far (for tests; also serve.splits).
   i64 splits() const { return splits_; }
 

@@ -30,6 +30,14 @@ struct ServeOptions {
   /// Worker count for the per-run NumericBackend.
   int backend_workers = 4;
 
+  /// Cross-batch pipelining (DESIGN.md §14): up to this many batched engine
+  /// runs may execute concurrently on a runner pool, so request B's first
+  /// subgraphs run while request A's tail drains. Dispatch is bounded by the
+  /// footprint budget — the summed footprints of in-flight plans never exceed
+  /// the same budget the planner splits against — and runs are reaped in
+  /// dispatch order. 1 = the classic synchronous scheduler.
+  int max_inflight_batches = 1;
+
   // ---- overload resilience (DESIGN.md §12) ----
 
   /// Bounded admission: submit() resolves immediately with kOverloaded when

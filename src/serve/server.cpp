@@ -48,6 +48,11 @@ Status validate_serve_options(const ServeOptions& options) {
                   "backend_workers must be >= 1, got " +
                       std::to_string(options.backend_workers));
   }
+  if (options.max_inflight_batches < 1) {
+    return Status(StatusCode::kInvalidOptions,
+                  "max_inflight_batches must be >= 1, got " +
+                      std::to_string(options.max_inflight_batches));
+  }
   if (options.max_queue_depth < 0) {
     return Status(StatusCode::kInvalidOptions,
                   "max_queue_depth must be >= 0 (0 = unbounded)");
@@ -189,6 +194,9 @@ Server::Server(const Graph& model, WeightStore& weights, ServeOptions options)
                             "' has no input node");
   }
   if (preflight_.ok()) {
+    if (options_.max_inflight_batches > 1) {
+      runners_ = std::make_unique<ThreadPool>(options_.max_inflight_batches);
+    }
     scheduler_ = std::thread([this] { scheduler_loop(); });
   }
 }
@@ -344,9 +352,10 @@ void Server::finish(PendingRequest& request, RequestResult result) {
     } else {
       obs::events().record(obs::ServeEvent::kFailure, request.id,
                            static_cast<i64>(result.status.code()));
-      obs::FlightRecorder::instance().dump(
-          obs::FlightTrigger::kFailure, request.id,
-          "request failed: " + result.status.to_string());
+      // Non-shed failures only finish on the scheduler thread, so the
+      // deferral bookkeeping inside flight_dump is single-threaded.
+      flight_dump(obs::FlightTrigger::kFailure, request.id,
+                  "request failed: " + result.status.to_string());
     }
   }
   if (request.deadline_ns != 0 && !result.shed) {
@@ -383,10 +392,22 @@ void Server::shed(PendingRequest& request, StatusCode code, const char* what,
 void Server::scheduler_loop() {
   obs::Tracer::set_thread_label("serve-scheduler");
   while (true) {
+    if (!inflight_.empty()) {
+      reap_ready();
+      // Nothing queued to overlap with: drain the pipeline before blocking
+      // in pop_batch, so completed runs resolve promptly (a blocked
+      // scheduler could otherwise hold a finished run's futures until the
+      // next request arrives).
+      if (queue_.depth() == 0) reap_all();
+    }
     std::vector<PendingRequest> batch =
         queue_.pop_batch(options_.max_batch, options_.max_wait_us);
-    if (batch.empty()) return;  // closed and drained
+    if (batch.empty()) {
+      reap_all();  // in-flight runs still complete on shutdown
+      return;      // closed and drained
+    }
     if (past_drain_deadline()) {
+      reap_all();  // in-flight batches finish; only queued work is shed
       // Graceful-drain deadline passed: nothing else executes. Fail this
       // batch and everything still queued with the named status.
       for (PendingRequest& request : batch) {
@@ -536,11 +557,10 @@ void Server::record_outcome(const BatchPlanner::Plan& plan,
     case DegradationBreaker::Transition::kOpened:
       obs::events().record(obs::ServeEvent::kBreakerOpen, request_id,
                            plan.rows, selected.tier);
-      obs::FlightRecorder::instance().dump(
-          obs::FlightTrigger::kBreakerOpen, request_id,
-          "breaker opened for plan rows=" + std::to_string(plan.rows) +
-              " after a degraded run at tier " +
-              std::to_string(selected.tier));
+      flight_dump(obs::FlightTrigger::kBreakerOpen, request_id,
+                  "breaker opened for plan rows=" + std::to_string(plan.rows) +
+                      " after a degraded run at tier " +
+                      std::to_string(selected.tier));
       return;
     case DegradationBreaker::Transition::kClosed:
       obs::events().record(obs::ServeEvent::kBreakerClose, request_id,
@@ -550,11 +570,32 @@ void Server::record_outcome(const BatchPlanner::Plan& plan,
       break;
   }
   if (degraded) {
-    obs::FlightRecorder::instance().dump(
-        obs::FlightTrigger::kDegradedRun, request_id,
-        "batch of rows=" + std::to_string(plan.rows) +
-            " ran degraded at tier " + std::to_string(selected.tier));
+    flight_dump(obs::FlightTrigger::kDegradedRun, request_id,
+                "batch of rows=" + std::to_string(plan.rows) +
+                    " ran degraded at tier " + std::to_string(selected.tier));
   }
+}
+
+void Server::flight_dump(obs::FlightTrigger trigger, u64 request_id,
+                         std::string detail) {
+  if (inflight_.empty()) {
+    obs::FlightRecorder::instance().dump(trigger, request_id,
+                                         std::move(detail));
+  } else {
+    // Runner threads are mid-run and writing their tracer rings; a dump
+    // now would read them non-quiescently. Park it until the pipeline is
+    // empty.
+    deferred_dumps_.push_back({trigger, request_id, std::move(detail)});
+  }
+}
+
+void Server::drain_deferred_dumps() {
+  if (!inflight_.empty()) return;
+  for (DeferredDump& dump : deferred_dumps_) {
+    obs::FlightRecorder::instance().dump(dump.trigger, dump.request_id,
+                                         std::move(dump.detail));
+  }
+  deferred_dumps_.clear();
 }
 
 void Server::run_plan(std::vector<PendingRequest>& batch,
@@ -564,10 +605,6 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
   obs::metrics().counter("serve.batches").add(1);
   obs::metrics().histogram("serve.batch_occupancy").observe(occupancy);
   obs::metrics().histogram("serve.batch_rows").observe(plan.rows);
-
-  std::vector<const Tensor*> parts;
-  parts.reserve(plan.members.size());
-  for (size_t i : plan.members) parts.push_back(&batch[live[i]].input);
 
   // Circuit breaker: a plan whose strategy keeps failing is routed straight
   // to the degraded tier's engine instead of re-walking the §7 chain.
@@ -582,60 +619,167 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
   obs::events().record(obs::ServeEvent::kBatchRun, request_ids.front(),
                        static_cast<i64>(flush_seq_), selected.tier);
 
-  double run_seconds = 0.0;
-  EngineResult engine_result;
-  Result<std::vector<Tensor>> outputs = [&] {
+  if (runners_) {
+    dispatch_plan(batch, live, plan, selected, std::move(request_ids));
+    return;
+  }
+
+  // Synchronous path: same run + finish machinery as the pipelined path,
+  // executed inline on the scheduler thread.
+  InflightRun run;
+  run.plan = plan;
+  run.selected = selected;
+  run.request_ids = std::move(request_ids);
+  run.batch_id = flush_seq_;
+  run.requests.reserve(plan.members.size());
+  for (size_t i : plan.members) {
+    run.requests.push_back(std::move(batch[live[i]]));
+  }
+  execute_run(run);
+  finish_run(run);
+}
+
+void Server::dispatch_plan(std::vector<PendingRequest>& batch,
+                           const std::vector<size_t>& live,
+                           const BatchPlanner::Plan& plan,
+                           const BatchPlanner::Selected& selected,
+                           std::vector<u64> request_ids) {
+  auto run = std::make_unique<InflightRun>();
+  run->plan = plan;
+  run->selected = selected;
+  run->request_ids = std::move(request_ids);
+  run->batch_id = flush_seq_;
+  run->footprint = planner_.plan_footprint(plan);
+  run->requests.reserve(plan.members.size());
+  for (size_t i : plan.members) {
+    run->requests.push_back(std::move(batch[live[i]]));
+  }
+  run->ready = run->done.get_future();
+
+  // Dispatch gate: bounded in-flight count, and the summed footprints of
+  // concurrent runs stay within the same budget the planner splits
+  // against — overlap must not blow the on-chip working-set rule the §3.3
+  // plans were admitted under. Oldest-first reaping keeps the wait bounded.
+  const i64 budget = planner_.budget();
+  while (!inflight_.empty() &&
+         (static_cast<int>(inflight_.size()) >=
+              options_.max_inflight_batches ||
+          (budget > 0 &&
+           inflight_footprint_ + run->footprint > budget))) {
+    reap_oldest();
+  }
+
+  obs::metrics().counter("serve.pipeline.dispatches").add(1);
+  obs::metrics()
+      .gauge("serve.pipeline.inflight")
+      .set(static_cast<double>(inflight_.size() + 1));
+  InflightRun* raw = run.get();
+  inflight_footprint_ += run->footprint;
+  inflight_.push_back(std::move(run));
+  runners_->submit([this, raw](int) {
+    execute_run(*raw);
+    // Everything the runner traces is closed by now: a reap that observes
+    // `ready` may treat this thread as tracer-quiescent.
+    raw->done.set_value();
+  });
+}
+
+void Server::execute_run(InflightRun& run) {
+  try {
     obs::TraceSpan span("serve", "batch_run",
-                        {{"requests", occupancy},
-                         {"rows", plan.rows},
-                         {"tier", static_cast<i64>(selected.tier)}},
+                        {{"requests", static_cast<i64>(run.requests.size())},
+                         {"rows", run.plan.rows},
+                         {"tier", static_cast<i64>(run.selected.tier)}},
                         options_.engine.trace);
-    if (FaultHooks* hooks = fault_hooks()) hooks->on_serve_batch(plan.rows);
+    if (FaultHooks* hooks = fault_hooks()) hooks->on_serve_batch(run.plan.rows);
+    std::vector<const Tensor*> parts;
+    parts.reserve(run.requests.size());
+    for (const PendingRequest& request : run.requests) {
+      parts.push_back(&request.input);
+    }
     const u64 t0 = now_ns();
-    NumericBackend backend(*plan.graph, weights_, options_.backend_workers);
+    NumericBackend backend(*run.plan.graph, weights_,
+                           options_.backend_workers);
     RunContext ctx;
-    ctx.batch_id = flush_seq_;
-    ctx.request_ids = &request_ids;
-    auto r = selected.engine->run_batched_checked(backend, parts,
-                                                  &engine_result, &ctx);
-    run_seconds = static_cast<double>(now_ns() - t0) * 1e-9;
+    ctx.batch_id = run.batch_id;
+    ctx.request_ids = &run.request_ids;
+    run.outputs = run.selected.engine->run_batched_checked(
+        backend, parts, &run.engine_result, &ctx);
+    run.run_seconds = static_cast<double>(now_ns() - t0) * 1e-9;
     obs::metrics()
         .histogram("serve.run_us")
-        .observe(static_cast<i64>(run_seconds * 1e6));
-    return r;
-  }();
+        .observe(static_cast<i64>(run.run_seconds * 1e6));
+  } catch (const StatusError& e) {
+    run.outputs = Result<std::vector<Tensor>>(e.status());
+  } catch (const std::exception& e) {
+    // A throw must never escape onto the runner pool (it would take the
+    // worker down); classify it like any other kernel fault.
+    run.outputs = Result<std::vector<Tensor>>(
+        Status(StatusCode::kKernelFailure, e.what()));
+  }
+}
+
+void Server::reap_oldest() {
+  BDL_CHECK(!inflight_.empty());
+  std::unique_ptr<InflightRun> run = std::move(inflight_.front());
+  inflight_.pop_front();
+  run->ready.wait();
+  inflight_footprint_ -= run->footprint;
+  obs::metrics()
+      .gauge("serve.pipeline.inflight")
+      .set(static_cast<double>(inflight_.size()));
+  finish_run(*run);
+  drain_deferred_dumps();
+}
+
+void Server::reap_ready() {
+  while (!inflight_.empty() &&
+         inflight_.front()->ready.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready) {
+    reap_oldest();
+  }
+}
+
+void Server::reap_all() {
+  while (!inflight_.empty()) reap_oldest();
+}
+
+void Server::finish_run(InflightRun& run) {
+  const i64 occupancy = static_cast<i64>(run.requests.size());
+  Result<std::vector<Tensor>>& outputs = *run.outputs;
 
   // "Degraded" = the tier's own strategy did not run clean: the engine
   // walked its fallback chain on some subgraph, or the run failed outright.
   bool degraded = !outputs.ok();
   if (outputs.ok()) {
-    for (const SubgraphReport& report : engine_result.reports) {
+    for (const SubgraphReport& report : run.engine_result.reports) {
       if (report.attempts.size() > 1) {
         degraded = true;
         break;
       }
     }
   }
-  record_outcome(plan, selected, degraded, run_seconds, request_ids.front());
+  record_outcome(run.plan, run.selected, degraded, run.run_seconds,
+                 run.request_ids.front());
 
   if (outputs.ok()) {
-    BDL_CHECK(outputs.value().size() == plan.members.size());
-    for (size_t i = 0; i < plan.members.size(); ++i) {
+    BDL_CHECK(outputs.value().size() == run.requests.size());
+    for (size_t i = 0; i < run.requests.size(); ++i) {
       RequestResult result;
       result.output = std::move(outputs.value()[i]);
       result.batch_requests = occupancy;
-      result.batch_rows = plan.rows;
-      finish(batch[live[plan.members[i]]], std::move(result));
+      result.batch_rows = run.plan.rows;
+      finish(run.requests[i], std::move(result));
     }
     return;
   }
 
   obs::metrics().counter("serve.batch_failures").add(1);
-  if (plan.members.size() == 1 || !options_.solo_fallback) {
-    for (size_t i : plan.members) {
+  if (run.requests.size() == 1 || !options_.solo_fallback) {
+    for (PendingRequest& request : run.requests) {
       RequestResult result;
       result.status = outputs.status();
-      finish(batch[live[i]], std::move(result));
+      finish(request, std::move(result));
     }
     return;
   }
@@ -643,14 +787,16 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
   // Per-request degradation: the batched run failed as a unit, so re-run
   // every member solo (in queue order) — only requests that fail on their
   // own fail, and each solo run still gets the engine's §7 strategy
-  // fallback chain (or its own breaker tier).
+  // fallback chain (or its own breaker tier). Solo retries run inline on
+  // the scheduler thread even when pipelining.
   obs::metrics().counter("serve.solo_fallbacks").add(1);
-  obs::events().record(obs::ServeEvent::kSoloFallback, request_ids.front(),
-                       static_cast<i64>(flush_seq_), occupancy);
+  obs::events().record(obs::ServeEvent::kSoloFallback,
+                       run.request_ids.front(),
+                       static_cast<i64>(run.batch_id), occupancy);
   obs::TraceSpan span("serve", "solo_fallback", {{"requests", occupancy}},
                       options_.engine.trace);
-  for (size_t i : plan.members) {
-    PendingRequest& request = batch[live[i]];
+  for (size_t i = 0; i < run.requests.size(); ++i) {
+    PendingRequest& request = run.requests[i];
     Result<BatchPlanner::Plan> solo = planner_.solo(i, request.rows);
     RequestResult result;
     result.batch_requests = 1;
@@ -667,7 +813,7 @@ void Server::run_plan(std::vector<PendingRequest>& batch,
     EngineResult solo_engine_result;
     const std::vector<u64> solo_ids = {request.id};
     RunContext solo_ctx;
-    solo_ctx.batch_id = flush_seq_;
+    solo_ctx.batch_id = run.batch_id;
     solo_ctx.request_ids = &solo_ids;
     const u64 t0 = now_ns();
     Result<std::vector<Tensor>> out =

@@ -27,20 +27,34 @@
 // process event log (obs/events.hpp), "serve" trace spans for
 // queue → flush → run → slice with per-request flow links (the request id
 // is the Perfetto flow id), and flight-recorder dumps on breaker opens,
-// degraded runs, and non-shed failures (obs/flight.hpp). All spans, flows,
-// and flight dumps happen on the scheduler thread, which keeps the tracer
-// export quiescent by construction; submit threads only touch the metrics
-// registry and the lock-free event log.
+// degraded runs, and non-shed failures (obs/flight.hpp). Spans and flows
+// are emitted by the scheduler thread and (with cross-batch pipelining) the
+// runner threads executing engine runs — the tracer's rings are per-thread,
+// so concurrent emission is safe. Flight dumps, which *read* every ring,
+// only happen when no run is in flight: the scheduler defers them while
+// runs execute and drains the backlog once the pipeline is empty. Submit
+// threads still only touch the metrics registry and the lock-free event
+// log.
+//
+// Cross-batch pipelining (DESIGN.md §14): with max_inflight_batches > 1 the
+// scheduler dispatches each plan's engine run onto a runner pool and keeps
+// coalescing, so request B's first subgraphs execute while request A's tail
+// drains. Dispatch is gated on the in-flight count and on the summed
+// in-flight plan footprints staying within the planner's budget. Runs are
+// reaped in dispatch order on the scheduler thread, where all planner and
+// breaker state stays single-threaded.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 
+#include "obs/flight.hpp"
 #include "ops/dispatch.hpp"
 #include "serve/batch_planner.hpp"
 
@@ -132,6 +146,48 @@ class Server {
   void run_plan(std::vector<PendingRequest>& batch,
                 const std::vector<size_t>& live,
                 const BatchPlanner::Plan& plan);
+
+  /// One engine run executing on the runner pool. The scheduler owns the
+  /// requests for the run's lifetime; `ready` is fulfilled by the runner
+  /// after its last trace span closes, so a reaped run's thread is tracer-
+  /// quiescent.
+  struct InflightRun {
+    BatchPlanner::Plan plan;
+    BatchPlanner::Selected selected;
+    std::vector<u64> request_ids;
+    std::vector<PendingRequest> requests;  ///< in plan.members order
+    i64 footprint = 0;
+    u64 batch_id = 0;
+    double run_seconds = 0.0;
+    EngineResult engine_result;
+    std::optional<Result<std::vector<Tensor>>> outputs;
+    std::promise<void> done;
+    std::future<void> ready;
+  };
+  /// Move the plan's members out of `batch` and hand the run to the runner
+  /// pool, first reaping oldest runs until the in-flight count and summed
+  /// footprints admit it.
+  void dispatch_plan(std::vector<PendingRequest>& batch,
+                     const std::vector<size_t>& live,
+                     const BatchPlanner::Plan& plan,
+                     const BatchPlanner::Selected& selected,
+                     std::vector<u64> request_ids);
+  /// Outcome recording + per-request finish (incl. solo fallback) for one
+  /// completed run. Scheduler thread only.
+  void finish_run(InflightRun& run);
+  /// The engine run itself: backend construction, run_batched_checked,
+  /// timing. Runs on a runner thread when pipelined, on the scheduler
+  /// thread otherwise; touches only the run and thread-safe registries.
+  void execute_run(InflightRun& run);
+  void reap_oldest();  ///< blocking: wait for the oldest in-flight run
+  void reap_ready();   ///< non-blocking: reap completed runs, oldest first
+  void reap_all();
+  /// Dump now if no run is in flight, else defer until the pipeline drains
+  /// (the flight recorder reads every thread's tracer ring; runner threads
+  /// must be quiescent). Scheduler thread only.
+  void flight_dump(obs::FlightTrigger trigger, u64 request_id,
+                   std::string detail);
+  void drain_deferred_dumps();
   /// Feed the plan's breaker/EWMA with one executed run and turn the
   /// breaker's transition into events and flight-recorder dumps.
   /// `request_id` names the run's first member for the post-mortem.
@@ -156,6 +212,17 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<u64> drain_deadline_ns_{0};  ///< 0 = drain without deadline
   std::thread scheduler_;
+
+  // ---- cross-batch pipelining (scheduler-thread only) ----
+  std::unique_ptr<ThreadPool> runners_;  ///< non-null iff max_inflight > 1
+  std::deque<std::unique_ptr<InflightRun>> inflight_;  ///< dispatch order
+  i64 inflight_footprint_ = 0;  ///< summed footprints of in-flight plans
+  struct DeferredDump {
+    obs::FlightTrigger trigger;
+    u64 request_id;
+    std::string detail;
+  };
+  std::vector<DeferredDump> deferred_dumps_;
 };
 
 }  // namespace brickdl::serve

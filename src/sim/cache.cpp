@@ -34,6 +34,10 @@ CacheModel::CacheModel(i64 capacity_bytes, int ways, i64 line_bytes)
   } else {
     geometry_ = Geometry::kGeneric;
   }
+  init_storage();
+}
+
+void CacheModel::init_storage() {
   switch (geometry_) {
     case Geometry::kWays4:
       block_bytes_ = sizeof(SetBlock<4, u32>);
@@ -52,6 +56,16 @@ CacheModel::CacheModel(i64 capacity_bytes, int ways, i64 line_bytes)
       init_blocks<SetBlock<kMaxWays, u32>>(&storage_, num_sets_, ways_);
       break;
   }
+}
+
+bool CacheModel::refresh_storage_if_clean() {
+  if (!touched_sets_.empty()) return false;
+  // Every touched set has been flushed, so all tags are empty: re-running
+  // the initializer reproduces the current logical state exactly, but the
+  // freshly assigned vector's pages are committed by the *calling* thread.
+  storage_ = std::vector<u64>();
+  init_storage();
+  return true;
 }
 
 template <int W, typename Tag>

@@ -110,6 +110,19 @@ class CacheModel {
   /// models discarding dead intermediate data.
   void invalidate(u64 line);
 
+  /// Re-allocate the per-set metadata from the calling thread (NUMA
+  /// first-touch for per-worker L1s) — legal only while the cache holds no
+  /// touched set, i.e. right after construction or a flush. Returns false
+  /// (and leaves everything alone) otherwise, so counters can never change.
+  bool refresh_storage_if_clean();
+
+  /// Disable the incremental split cache (tests compare the fast path's
+  /// counters against the pure fastmod derivation bit for bit).
+  void set_split_cache_enabled(bool enabled) {
+    split_cache_enabled_ = enabled;
+    split_valid_ = false;
+  }
+
  private:
   /// A line index that can never occur (checked in check_line below).
   static constexpr u32 kEmptyTag = ~u32{0};
@@ -185,6 +198,40 @@ class CacheModel {
         64);
   }
 
+  /// split_line with a one-entry incremental cache. The emitters' access
+  /// streams are dominated by short 2–3 line sequential runs (one window row
+  /// is a handful of lines), and line+1 maps to set+1 — wrapping to set 0
+  /// exactly when the quotient advances — so the common next-line probe
+  /// derives (set, quot) with an increment and a compare instead of the
+  /// 128-bit fastmod multiply. Bit-identical by construction: for
+  /// line = quot * num_sets + set with set < num_sets (Euclidean division),
+  /// line+1 has remainder set+1 unless set+1 == num_sets, where it is
+  /// (quot+1, 0).
+  void split_line_cached(u32 line, size_t* set, u32* quot) {
+    if (split_cache_enabled_ && split_valid_) {
+      if (line == last_line_) {
+        *set = last_set_;
+        *quot = last_quot_;
+        return;
+      }
+      if (line == last_line_ + 1) {
+        last_line_ = line;
+        if (++last_set_ == static_cast<size_t>(num_sets_)) {
+          last_set_ = 0;
+          ++last_quot_;
+        }
+        *set = last_set_;
+        *quot = last_quot_;
+        return;
+      }
+    }
+    split_line(line, set, quot);
+    split_valid_ = true;
+    last_line_ = line;
+    last_set_ = *set;
+    last_quot_ = *quot;
+  }
+
   /// The stored tag for `line` in the set it maps to.
   template <typename Tag>
   static Tag make_tag(u32 line, u32 quot) {
@@ -234,7 +281,7 @@ class CacheModel {
     const u32 line = check_line(line64);
     size_t set;
     u32 quot;
-    split_line(line, &set, &quot);
+    split_line_cached(line, &set, &quot);
     const Tag key = make_tag<Tag>(line, quot);
     const int ways = W == kMaxWays ? ways_ : W;
     SetBlock<W, Tag>* blk = block<W, Tag>(set);
@@ -317,12 +364,21 @@ class CacheModel {
   template <int W, typename Tag>
   void invalidate_ways(u64 line);
 
+  void init_storage();
+
   i64 line_bytes_;
   int ways_;
   i64 num_sets_;
   Geometry geometry_ = Geometry::kGeneric;
   u64 fastmod_m_ = 0;      ///< UINT64_MAX / num_sets_ + 1
   size_t block_bytes_ = 0;  ///< sizeof(SetBlock<geometry>)
+  // One-entry incremental split cache (pure arithmetic on the line index;
+  // independent of cache contents, so it never needs invalidation).
+  bool split_cache_enabled_ = true;
+  bool split_valid_ = false;
+  u32 last_line_ = 0;
+  u32 last_quot_ = 0;
+  size_t last_set_ = 0;
   // Raw backing store for the SetBlock array (u64 so the base is 8-aligned,
   // matching alignof(SetBlock)); sized/initialized per geometry in the ctor.
   std::vector<u64> storage_;

@@ -161,12 +161,27 @@ struct DiffRun {
         });
         for (int workers : o.worker_counts) {
           const std::string w = "-w" + std::to_string(workers);
+          // The plain memo variants pin the barriered schedule; their
+          // "-pipeline" twins run the same plan through cross-subgraph
+          // chains (DESIGN.md §14). Both must match the oracle bit-exactly,
+          // which is the strongest statement of the pipelining invariant:
+          // same kernels, same memo slots, only the schedule differs.
           variant("memo" + b + w + p, [&] {
             EngineOptions eo;
             eo.partition.strategy = partitioner;
             eo.force_strategy = Strategy::kMemoized;
             eo.force_brick_side = side;
             eo.memo_workers = workers;
+            eo.pipeline_subgraphs = false;
+            return engine_output(eo, workers);
+          });
+          variant("memo" + b + w + p + "-pipeline", [&] {
+            EngineOptions eo;
+            eo.partition.strategy = partitioner;
+            eo.force_strategy = Strategy::kMemoized;
+            eo.force_brick_side = side;
+            eo.memo_workers = workers;
+            eo.pipeline_subgraphs = true;
             return engine_output(eo, workers);
           });
           if (o.memo_parallel) {
@@ -177,6 +192,17 @@ struct DiffRun {
               eo.force_brick_side = side;
               eo.memo_workers = workers;
               eo.memo_parallel = true;
+              eo.pipeline_subgraphs = false;
+              return engine_output(eo, workers);
+            });
+            variant("memo-par" + b + w + p + "-pipeline", [&] {
+              EngineOptions eo;
+              eo.partition.strategy = partitioner;
+              eo.force_strategy = Strategy::kMemoized;
+              eo.force_brick_side = side;
+              eo.memo_workers = workers;
+              eo.memo_parallel = true;
+              eo.pipeline_subgraphs = true;
               return engine_output(eo, workers);
             });
           }

@@ -1,0 +1,81 @@
+#include "util/numa.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace brickdl::numa {
+
+namespace {
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids. Malformed chunks are
+/// skipped — sysfs is trusted but this must never throw at pool startup.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    const size_t dash = chunk.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(chunk));
+      } else {
+        const int lo = std::stoi(chunk.substr(0, dash));
+        const int hi = std::stoi(chunk.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (const std::exception&) {
+      // skip malformed chunk
+    }
+  }
+  return cpus;
+}
+
+std::vector<std::vector<int>> read_topology() {
+  std::vector<std::vector<int>> nodes;
+  for (int n = 0;; ++n) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(n) +
+                     "/cpulist");
+    if (!in) break;
+    std::string line;
+    std::getline(in, line);
+    std::vector<int> cpus = parse_cpulist(line);
+    if (!cpus.empty()) nodes.push_back(std::move(cpus));
+  }
+  if (nodes.empty()) nodes.emplace_back();  // one node, no explicit CPUs
+  return nodes;
+}
+
+}  // namespace
+
+const std::vector<std::vector<int>>& node_cpus() {
+  static const std::vector<std::vector<int>> topology = read_topology();
+  return topology;
+}
+
+int num_nodes() { return static_cast<int>(node_cpus().size()); }
+
+bool pin_worker_round_robin(int worker) {
+  if (worker < 0) return false;
+  const auto& nodes = node_cpus();
+  if (nodes.size() < 2) return false;  // single-node host: pinning buys nothing
+#ifdef __linux__
+  const std::vector<int>& cpus =
+      nodes[static_cast<size_t>(worker) % nodes.size()];
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace brickdl::numa

@@ -1,0 +1,33 @@
+// NUMA-aware worker placement (DESIGN.md §14).
+//
+// The simulation substrate runs one OS thread per modeled worker, and on a
+// multi-socket host the protocol state (tag tables, bump arenas, simulator
+// L1 metadata) is latency-sensitive enough that cross-node traffic shows up
+// in wall clock. The helpers below read the Linux sysfs NUMA topology and
+// pin workers round-robin across nodes; paired with first-touching each
+// worker's private state from its own thread (Backend::warm_worker), a
+// worker's hot data lands on its own node. Everything is best-effort: a
+// single-node host, a non-Linux build, or a container that denies
+// sched_setaffinity degrades to a no-op, never an error.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace brickdl::numa {
+
+/// CPU ids per NUMA node, parsed once from /sys/devices/system/node. On a
+/// host without that interface the result is a single node with no explicit
+/// CPU list (pinning then no-ops).
+const std::vector<std::vector<int>>& node_cpus();
+
+/// Number of NUMA nodes visible to this process (>= 1).
+int num_nodes();
+
+/// Pin the calling thread to the CPUs of node `worker % num_nodes()`.
+/// Returns true if an affinity mask was installed. Single-node hosts and
+/// hosts without sched_setaffinity return false and leave affinity alone.
+bool pin_worker_round_robin(int worker);
+
+}  // namespace brickdl::numa

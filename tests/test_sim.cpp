@@ -67,6 +67,51 @@ TEST(CacheModel, Invalidate) {
   EXPECT_EQ(cache.flush(&dirty), 0);  // dirty bit dropped with the line
 }
 
+// The incremental split cache (DESIGN.md §14: probe fast path for the
+// emitters' sequential runs) is a pure strength reduction: for any access
+// stream — sequential runs, strided hops, random jumps, wraparounds — every
+// AccessResult and the final dirty set must match the pure fastmod
+// derivation bit for bit.
+TEST(CacheModel, SplitCacheBitIdenticalToFastmod) {
+  for (const auto& [capacity_lines, ways] :
+       {std::pair<i64, int>{16, 4}, {64, 16}, {8, 2}}) {
+    CacheModel fast(capacity_lines * 32, ways, 32);
+    CacheModel slow(capacity_lines * 32, ways, 32);
+    slow.set_split_cache_enabled(false);
+
+    // Mixed stream: sequential runs (the fast path), a stride, a set-index
+    // wraparound (line resets below the previous one), and seeded jumps.
+    std::vector<u64> stream;
+    for (u64 l = 7; l < 7 + 40; ++l) stream.push_back(l);          // run
+    for (u64 l = 0; l < 16; ++l) stream.push_back(3 + l * 17);     // stride
+    for (u64 l = 2; l < 2 + 12; ++l) stream.push_back(l);          // wrap
+    u64 x = 0x9e3779b9;
+    for (int i = 0; i < 200; ++i) {                                // jumps
+      x = x * 2862933555777941757ull + 3037000493ull;
+      stream.push_back(x % 4096);
+      // Interleave short sequential bursts so the cache re-arms mid-stream.
+      if (i % 7 == 0) {
+        stream.push_back(stream.back() + 1);
+        stream.push_back(stream.back() + 1);
+      }
+    }
+
+    for (size_t i = 0; i < stream.size(); ++i) {
+      const bool write = (i % 3) == 0;
+      const auto a = fast.access(stream[i], write);
+      const auto b = slow.access(stream[i], write);
+      ASSERT_EQ(a.hit, b.hit) << "i=" << i << " line=" << stream[i];
+      ASSERT_EQ(a.evicted_dirty, b.evicted_dirty) << "i=" << i;
+      if (a.evicted_dirty) ASSERT_EQ(a.evicted_line, b.evicted_line);
+    }
+    std::vector<u64> dirty_fast, dirty_slow;
+    EXPECT_EQ(fast.flush(&dirty_fast), slow.flush(&dirty_slow));
+    std::sort(dirty_fast.begin(), dirty_fast.end());
+    std::sort(dirty_slow.begin(), dirty_slow.end());
+    EXPECT_EQ(dirty_fast, dirty_slow);
+  }
+}
+
 TEST(MemSim, CountsHierarchy) {
   MemoryHierarchySim sim(tiny_machine());
   const u64 base = sim.allocate("t", 1024);

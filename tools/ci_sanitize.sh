@@ -7,8 +7,11 @@
 #                         the observability suite (concurrent metrics,
 #                         trace ring buffers, mid-run stats snapshots), the
 #                         serving suite (submitter threads racing the batch
-#                         scheduler), and the greedy-partitioner property
-#                         suite (shared metrics registry traffic).
+#                         scheduler), the pipelining suite (chained tag
+#                         tables shared by real worker threads, the serving
+#                         runner-pool/scheduler handoff), and the
+#                         greedy-partitioner property suite (shared metrics
+#                         registry traffic).
 #   2. ASan + UBSan:      the differential fuzz suite (random graphs through
 #                         every executor variant, paper and greedy
 #                         partitioners) plus the resilience, observability,
@@ -39,32 +42,32 @@ STAGES=${STAGES:-"tsan asan release"}
 run_stage() { [[ " $STAGES " == *" $1 "* ]]; }
 
 if run_stage tsan; then
-  echo "== [tsan] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs / serve / partition =="
+  echo "== [tsan] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs / serve / pipeline / partition =="
   cmake -B "$SRC_DIR/build-tsan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=thread
   cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" \
         --target brickdl_tests --target brickdl_resilience_tests \
         --target brickdl_obs_tests --target brickdl_serve_tests \
-        --target brickdl_partition_tests
+        --target brickdl_pipeline_tests --target brickdl_partition_tests
   ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure --timeout 600 \
-        -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs|Serve|GreedyPartitioner'
+        -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs|Serve|Pipeline|GreedyPartitioner'
 fi
 
 if run_stage asan; then
-  echo "== [asan] ASan+UBSan: differential fuzz + resilience + obs + serve + partition suites =="
+  echo "== [asan] ASan+UBSan: differential fuzz + resilience + obs + serve + pipeline + partition suites =="
   cmake -B "$SRC_DIR/build-asan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=address,undefined
   cmake --build "$SRC_DIR/build-asan" -j "$JOBS" \
         --target brickdl_differential_tests --target brickdl_resilience_tests \
         --target brickdl_obs_tests --target brickdl_serve_tests \
-        --target brickdl_partition_tests \
+        --target brickdl_pipeline_tests --target brickdl_partition_tests \
         --target mb_kernels --target fig07_partition_ab \
-        --target brickdl_serve
+        --target brickdl_serve --target brickdl_report_check
   # obs_smoke (the CLI end-to-end run) is excluded: it needs the CLI binaries
   # and is far too slow under ASan; the unit suite covers the same code paths.
   # perf = the fast-path-vs-generic kernel sweeps + mb_kernels smoke: cheap,
   # and exactly where an interior-loop indexing bug would surface. partition
   # adds the greedy property sweep and the fig07 partition A/B gate.
   ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure --timeout 600 \
-        -L 'differential|resilience|obs|perf|serve|partition' -E obs_smoke
+        -L 'differential|resilience|obs|perf|serve|pipeline|partition' -E obs_smoke
 fi
 
 if run_stage release; then
