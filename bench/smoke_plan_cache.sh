@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Plan-cache / calibration smoke test (DESIGN.md §15): prove the cold→warm
+# contract across *processes*, which is the whole point of persisting plans.
+#
+#   process 1 (cold):  plans, populates the cache, emits a run report, fits
+#                      and writes brickdl-calibration-v1;
+#   process 2 (warm):  same graph + options, must report
+#                      `engine.plan_cache.hits` ≥ 1 in its metrics snapshot
+#                      and reproduce process 1's run report bit-identically
+#                      (all deterministic fields: plan, strategies, counters —
+#                      only wall-clock timing lines are stripped);
+#   process 3/4:       the same pair under the fitted calibration — a
+#                      calibrated process keys separately (process 3 misses)
+#                      and then warm-starts from its own entry (process 4).
+#
+# Registered as the `plan_cache_smoke` CTest (labels: plan_cache, obs); the
+# CI plan-cache job runs it with an artifact directory so the cache dir,
+# calibration JSON, reports and metrics snapshots are uploaded for debugging:
+#
+#   bench/smoke_plan_cache.sh [build-dir] [artifact-dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+cli="$build_dir/tools/brickdl_cli"
+check="$build_dir/tools/brickdl_report_check"
+for bin in "$cli" "$check"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "smoke_plan_cache: missing binary $bin (build the tree first)" >&2
+    exit 1
+  fi
+done
+
+if [[ $# -ge 2 ]]; then
+  tmp="$2"
+  mkdir -p "$tmp"
+else
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+fi
+
+model_args=(drn26 --batch 1 --spatial 64)
+
+# A flat brickdl-metrics-v1 snapshot carries `"name": value` pairs.
+counter() { # counter <metrics-file> <name>  -> value (0 when absent)
+  local v
+  v=$(grep -o "\"$2\": [0-9]*" "$1" | head -1 | awk '{print $2}')
+  echo "${v:-0}"
+}
+expect_counter() { # expect_counter <metrics-file> <name> <want>
+  local got
+  got=$(counter "$1" "$2")
+  if [[ "$got" != "$3" ]]; then
+    echo "smoke_plan_cache: $1: $2 = $got, want $3" >&2
+    exit 1
+  fi
+}
+
+# Deterministic view of a run report: everything but wall-clock timing and
+# the embedded metrics snapshot (whose plan-cache counters and duration
+# histograms differ between cold and warm by design). Plans, strategy
+# choices, predicted counts, and observed simulator counters are all pure
+# functions of (graph, options, plan) — any divergence means the warm
+# process executed a different plan.
+strip_timing() {
+  awk '/^ "metrics": \{/{skip=1} skip{if ($0 ~ /^ \},?$/) skip=0; next} 1' \
+      "$1" | grep -v -E '"(seconds|wall_seconds)":'
+}
+
+echo "== process 1: cold (populate cache, fit calibration) =="
+"$cli" "${model_args[@]}" --plan-cache "$tmp/cache" \
+  --report="$tmp/report_cold.json" --calibrate-out "$tmp/calibration.json" \
+  --metrics-out "$tmp/metrics_cold.json"
+expect_counter "$tmp/metrics_cold.json" engine.plan_cache.hits 0
+expect_counter "$tmp/metrics_cold.json" engine.plan_cache.misses 1
+expect_counter "$tmp/metrics_cold.json" engine.plan_cache.writes 1
+expect_counter "$tmp/metrics_cold.json" engine.plan_cache.rejects 0
+ls "$tmp/cache"/plan-*.json > /dev/null
+
+echo "== validate artifacts (report + calibration schemas) =="
+"$check" --report "$tmp/report_cold.json" --calibration "$tmp/calibration.json"
+grep -q '"schema": "brickdl-calibration-v1"' "$tmp/calibration.json"
+grep -q '"schema": "brickdl-plan-cache-v1"' "$tmp/cache"/plan-*.json
+
+echo "== process 2: warm (must hit, bit-identical deterministic report) =="
+"$cli" "${model_args[@]}" --plan-cache "$tmp/cache" \
+  --report="$tmp/report_warm.json" --metrics-out "$tmp/metrics_warm.json"
+expect_counter "$tmp/metrics_warm.json" engine.plan_cache.hits 1
+expect_counter "$tmp/metrics_warm.json" engine.plan_cache.misses 0
+expect_counter "$tmp/metrics_warm.json" engine.plan_cache.rejects 0
+if ! diff <(strip_timing "$tmp/report_cold.json") \
+          <(strip_timing "$tmp/report_warm.json") > "$tmp/report_diff.txt"
+then
+  echo "smoke_plan_cache: warm run report diverges from cold (see $tmp/report_diff.txt)" >&2
+  head -20 "$tmp/report_diff.txt" >&2
+  exit 1
+fi
+
+echo "== process 3: calibrated cold (separate key; never reuses stock plan) =="
+"$cli" "${model_args[@]}" --plan-cache "$tmp/cache" \
+  --calibration "$tmp/calibration.json" \
+  --report="$tmp/report_cal_cold.json" --metrics-out "$tmp/metrics_cal_cold.json"
+expect_counter "$tmp/metrics_cal_cold.json" engine.plan_cache.hits 0
+expect_counter "$tmp/metrics_cal_cold.json" engine.plan_cache.misses 1
+expect_counter "$tmp/metrics_cal_cold.json" engine.plan_cache.writes 1
+
+echo "== process 4: calibrated warm =="
+"$cli" "${model_args[@]}" --plan-cache "$tmp/cache" \
+  --calibration "$tmp/calibration.json" \
+  --report="$tmp/report_cal_warm.json" --metrics-out "$tmp/metrics_cal_warm.json"
+expect_counter "$tmp/metrics_cal_warm.json" engine.plan_cache.hits 1
+expect_counter "$tmp/metrics_cal_warm.json" engine.plan_cache.rejects 0
+if ! diff <(strip_timing "$tmp/report_cal_cold.json") \
+          <(strip_timing "$tmp/report_cal_warm.json") > /dev/null; then
+  echo "smoke_plan_cache: calibrated warm report diverges from cold" >&2
+  exit 1
+fi
+
+echo "== poisoned entry: named reject, cold fallback, repaired by rewrite =="
+for entry in "$tmp/cache"/plan-*.json; do  # both keys: stock and calibrated
+  head -c 64 "$entry" > "$entry.tmp.poison" && mv "$entry.tmp.poison" "$entry"
+done
+"$cli" "${model_args[@]}" --plan-cache "$tmp/cache" \
+  --metrics-out "$tmp/metrics_poison.json" > /dev/null
+expect_counter "$tmp/metrics_poison.json" engine.plan_cache.rejects 1
+expect_counter "$tmp/metrics_poison.json" engine.plan_cache.writes 1
+
+echo "smoke_plan_cache: ok"

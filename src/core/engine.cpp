@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "core/halo_plan.hpp"
+#include "core/plan_cache.hpp"
 #include "core/wavefront_executor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -98,6 +99,35 @@ Engine::Engine(const Graph& graph, EngineOptions options)
     : graph_(graph), options_(std::move(options)) {
   preflight_ = validate_engine_options(options_);
   if (!preflight_.ok()) return;  // validate()/run_checked() report it
+
+  // Warm start (DESIGN.md §15): the cache key fingerprints every planning
+  // knob including the force overrides below, so a hit already carries the
+  // overridden plans and skips planning entirely. Any miss or reject plans
+  // cold and (best-effort) publishes the result for the next process.
+  if (!options_.plan_cache_dir.empty()) {
+    const PlanCache cache(options_.plan_cache_dir);
+    PlanCacheLookup lookup;
+    {
+      obs::TraceSpan span("engine", "plan_cache:load", options_.trace);
+      lookup = cache.load(graph, options_);
+    }
+    auto& m = obs::metrics();
+    switch (lookup.outcome) {
+      case PlanCacheLookup::Outcome::kHit:
+        if (options_.metrics) m.counter("engine.plan_cache.hits").add(1);
+        partition_ = std::move(lookup.entry.partition);
+        return;
+      case PlanCacheLookup::Outcome::kMiss:
+        if (options_.metrics) m.counter("engine.plan_cache.misses").add(1);
+        break;
+      case PlanCacheLookup::Outcome::kReject:
+        if (options_.metrics) m.counter("engine.plan_cache.rejects").add(1);
+        std::cerr << "brickdl: plan cache entry rejected, planning cold: "
+                  << lookup.reject_reason.to_string() << "\n";
+        break;
+    }
+  }
+
   partition_ = partition_graph(graph, options_.partition);
   // Apply bench overrides by re-planning merged subgraphs.
   if (options_.force_brick_side > 0 || options_.force_strategy) {
@@ -117,6 +147,27 @@ Engine::Engine(const Graph& graph, EngineOptions options)
           planned.strategy = *options_.force_strategy;
         }
       }
+    }
+  }
+
+  if (!options_.plan_cache_dir.empty()) {
+    obs::TraceSpan span("engine", "plan_cache:store", options_.trace);
+    const PlanCache cache(options_.plan_cache_dir);
+    PlanCacheEntry entry;
+    entry.partition = partition_;
+    entry.calibration = options_.partition.calibration;
+    const Status stored = cache.store(graph, options_, entry);
+    if (options_.metrics) {
+      obs::metrics()
+          .counter(stored.ok() ? "engine.plan_cache.writes"
+                               : "engine.plan_cache.write_failures")
+          .add(1);
+    }
+    if (!stored.ok()) {
+      // A read-only or full cache directory degrades to cold planning every
+      // process; it must never fail the engine.
+      std::cerr << "brickdl: plan cache store failed: " << stored.to_string()
+                << "\n";
     }
   }
 }
@@ -367,8 +418,10 @@ Status Engine::run_subgraph_barriered(
   SubgraphReport report;
   report.plan = planned;
   if (options_.profile) {
-    report.predicted =
-        obs::predict_subgraph(graph_, planned, options_.partition.machine);
+    // Calibrated constants (when set) price the prediction, so the report's
+    // predicted column reflects the model the plan was optimized under.
+    report.predicted = obs::predict_subgraph(
+        graph_, planned, effective_machine(options_.partition));
   }
 
   const auto chain =

@@ -56,6 +56,15 @@ struct EngineOptions {
   /// worker's bump arena / simulator L1 from its own thread (util/numa.hpp).
   /// No-op on single-node machines.
   bool numa_pin = false;
+  /// Persistent plan cache directory (core/plan_cache.hpp, DESIGN.md §15).
+  /// Non-empty: the constructor warm-starts the partition from a validated
+  /// cache entry keyed by graph signature × rows × options fingerprint, and
+  /// stores the freshly planned partition on a miss. Rejected or unreadable
+  /// entries fall back to cold planning — warm and cold runs are
+  /// bit-identical either way (the fingerprint pins every planning knob and
+  /// planning is deterministic). Counters:
+  /// `engine.plan_cache.{hits,misses,writes,rejects,write_failures}`.
+  std::string plan_cache_dir;
 
   // ---- observability (DESIGN.md §8) ----
   /// Emit engine-level spans (run / subgraph / attempt / vendor layer) when

@@ -147,9 +147,22 @@ MergedOverheads merged_overheads(const Graph& graph, const Subgraph& sg,
 
 }  // namespace
 
+MachineParams effective_machine(const PartitionOptions& options) {
+  return options.calibration ? options.calibration->apply(options.machine)
+                             : options.machine;
+}
+
 PlannedSubgraph plan_subgraph(const Graph& graph, Subgraph sg,
                               const PartitionOptions& options,
                               i64 forced_brick_side) {
+  if (options.calibration) {
+    // Fold once at the entry point so every internal costing site below
+    // reads the calibrated constants straight from `machine`.
+    PartitionOptions folded = options;
+    folded.machine = effective_machine(options);
+    folded.calibration.reset();
+    return plan_subgraph(graph, std::move(sg), folded, forced_brick_side);
+  }
   PlannedSubgraph planned;
   const Shape& terminal_shape = graph.node(sg.terminal()).out_shape;
 
@@ -588,6 +601,12 @@ bool known_partition_strategy(const std::string& name) {
 }
 
 Partition partition_graph(const Graph& graph, const PartitionOptions& options) {
+  if (options.calibration) {
+    PartitionOptions folded = options;
+    folded.machine = effective_machine(options);
+    folded.calibration.reset();
+    return partition_graph(graph, folded);
+  }
   obs::TraceSpan span("engine", "partition:" + graph.name());
   BDL_CHECK_MSG(known_partition_strategy(options.strategy),
                 "unknown partition strategy '"

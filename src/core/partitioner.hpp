@@ -24,11 +24,13 @@
 // partition wins the A/B and is returned (partition.greedy.paper_fallbacks).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/brick_size_model.hpp"
 #include "core/subgraph.hpp"
+#include "obs/calibrate.hpp"
 #include "sim/machine.hpp"
 
 namespace brickdl {
@@ -70,7 +72,19 @@ struct PartitionOptions {
   /// system; benches and tests opt in.
   bool enable_wavefront = false;
   MachineParams machine;
+  /// Fitted cost-model constants (obs/calibrate.hpp, DESIGN.md §15). When
+  /// set, every §4 costing decision made under these options — brick-size
+  /// and strategy selection, the greedy merge benefits, the paper/greedy A/B
+  /// guard — prices plans with `machine` overwritten by these constants.
+  /// Partition results (never outputs) may differ from the stock model's.
+  std::optional<obs::CalibratedConstants> calibration;
 };
+
+/// `machine` with `calibration` folded in (identity when unset) — the params
+/// every §4 costing under these options actually uses. Callers that price
+/// plans directly (BatchPlanner, report generation) go through this so their
+/// predictions agree with what the partitioner optimized.
+MachineParams effective_machine(const PartitionOptions& options);
 
 struct PlannedSubgraph {
   Subgraph sg;

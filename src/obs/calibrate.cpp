@@ -1,0 +1,376 @@
+#include "obs/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/report.hpp"
+
+namespace brickdl::obs {
+namespace {
+
+constexpr const char* kCalibrationSchema = "brickdl-calibration-v1";
+
+bool positive_finite(double v) { return std::isfinite(v) && v > 0.0; }
+
+double num_or(const Json* obj, const char* key, double fallback = 0.0) {
+  if (!obj) return fallback;
+  const Json* v = obj->find(key);
+  return v && v->is_number() ? v->number() : fallback;
+}
+
+/// Slope of the least-squares line through the origin, y ≈ slope·x.
+/// Returns `fallback` when the regressor carries no signal (all x zero).
+double fit_slope(const std::vector<double>& x, const std::vector<double>& y,
+                 double fallback) {
+  double sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  if (!(sxx > 0.0)) return fallback;
+  const double slope = sxy / sxx;
+  return positive_finite(slope) ? slope : fallback;
+}
+
+/// Solve A·c = b for a symmetric 3×3 normal-equation system via Gaussian
+/// elimination with partial pivoting. Returns false on a (near-)singular
+/// system; `c` is untouched then.
+bool solve3(double a[3][3], double b[3], double c[3]) {
+  int perm[3] = {0, 1, 2};
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::fabs(a[perm[r]][col]) > std::fabs(a[perm[pivot]][col])) {
+        pivot = r;
+      }
+    }
+    std::swap(perm[col], perm[pivot]);
+    const double p = a[perm[col]][col];
+    if (!(std::fabs(p) > 1e-30)) return false;
+    for (int r = col + 1; r < 3; ++r) {
+      const double f = a[perm[r]][col] / p;
+      for (int k = col; k < 3; ++k) a[perm[r]][k] -= f * a[perm[col]][k];
+      b[perm[r]] -= f * b[perm[col]];
+    }
+  }
+  for (int col = 2; col >= 0; --col) {
+    double v = b[perm[col]];
+    for (int k = col + 1; k < 3; ++k) v -= a[perm[col]][k] * c[k];
+    c[col] = v / a[perm[col]][col];
+    if (!std::isfinite(c[col])) return false;
+  }
+  return true;
+}
+
+double mean_rel_error(const std::vector<CalibrationSample>& samples,
+                      const CalibratedConstants& c, int num_sms) {
+  constexpr double kEps = 1e-15;
+  double sum = 0.0;
+  i64 n = 0;
+  for (const CalibrationSample& s : samples) {
+    if (!(s.obs_seconds > 0.0)) continue;
+    const double pred = CalibrationCorpus::predicted_seconds(s, c, num_sms);
+    sum += std::fabs(pred - s.obs_seconds) / std::max(s.obs_seconds, kEps);
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+CalibratedConstants CalibratedConstants::stock(const MachineParams& machine) {
+  CalibratedConstants c;
+  c.effective_bandwidth = machine.hbm_bandwidth;
+  c.t_atomic = machine.t_atomic;
+  c.t_launch = machine.t_launch;
+  c.flops_per_second = machine.flops_per_second;
+  c.tensor_core_flops_per_second = machine.tensor_core_flops_per_second;
+  c.wall_scale = 1.0;
+  return c;
+}
+
+MachineParams CalibratedConstants::apply(MachineParams base) const {
+  base.hbm_bandwidth = effective_bandwidth;
+  base.t_atomic = t_atomic;
+  base.t_launch = t_launch;
+  base.flops_per_second = flops_per_second;
+  base.tensor_core_flops_per_second = tensor_core_flops_per_second;
+  return base;
+}
+
+bool CalibratedConstants::valid() const {
+  return positive_finite(effective_bandwidth) && positive_finite(t_atomic) &&
+         positive_finite(t_launch) && positive_finite(flops_per_second) &&
+         positive_finite(tensor_core_flops_per_second) &&
+         positive_finite(wall_scale);
+}
+
+Json CalibratedConstants::to_json() const {
+  Json j = Json::object();
+  j.set("effective_bandwidth", effective_bandwidth);
+  j.set("t_atomic", t_atomic);
+  j.set("t_launch", t_launch);
+  j.set("flops_per_second", flops_per_second);
+  j.set("tensor_core_flops_per_second", tensor_core_flops_per_second);
+  j.set("wall_scale", wall_scale);
+  return j;
+}
+
+Json CalibrationFit::to_json() const {
+  Json j = Json::object();
+  j.set("schema", kCalibrationSchema);
+  j.set("samples", samples);
+  j.set("constants", constants.to_json());
+  j.set("stock", stock.to_json());
+  Json res = Json::object();
+  res.set("stock_mean_rel_error", stock_mean_rel_error);
+  res.set("calibrated_mean_rel_error", calibrated_mean_rel_error);
+  j.set("residuals", std::move(res));
+  return j;
+}
+
+Status CalibrationCorpus::add_report(const Json& report) {
+  BDL_RETURN_IF_ERROR(validate_run_report(report));
+  const Json* subgraphs = report.find("subgraphs");
+
+  std::vector<CalibrationSample> extracted;
+  for (const Json& s : subgraphs->elements()) {
+    const Json* pred = s.find("predicted");
+    const Json* obs = s.find("observed");
+    const Json* modeled = pred->find("modeled");
+    // Only modeled subgraphs pair exact counts with counters; vendor
+    // subgraphs report flops/bytes totals with no invocation model.
+    if (!modeled || !modeled->is_bool() || !modeled->boolean()) continue;
+
+    // A degraded run (fallback to another strategy, or retries) measured a
+    // different plan than the one predicted — skip it.
+    const Json* attempts = s.find("attempts");
+    if (attempts->size() != 1) continue;
+    const Json* ok = attempts->elements()[0].find("ok");
+    if (!ok || !ok->is_bool() || !ok->boolean()) continue;
+    const Json* planned = s.find("strategy_planned");
+    const Json* executed = s.find("strategy_executed");
+    if (planned && planned->is_string() && planned->str() != executed->str()) {
+      continue;
+    }
+
+    CalibrationSample sample;
+    sample.pred_bytes = num_or(pred, "bytes_moved");
+    sample.pred_atomics = num_or(pred, "compulsory_atomics");
+    sample.pred_invocations = num_or(pred, "invocations");
+    sample.pred_flops = num_or(pred, "flops");
+    sample.pred_tc_flops = num_or(pred, "tc_flops");
+    sample.rho = num_or(&s, "rho");
+    sample.obs_bytes = num_or(obs, "bytes_moved");
+    sample.obs_atomics = num_or(obs, "compulsory_atomics") +
+                         num_or(obs, "conflict_atomics");
+    sample.obs_invocations = num_or(obs, "invocations");
+    sample.obs_flops = num_or(obs, "flops");
+    sample.obs_tc_flops = num_or(obs, "tc_flops");
+    sample.obs_seconds = num_or(obs, "seconds");
+    sample.wall_seconds = num_or(obs, "wall_seconds");
+    extracted.push_back(sample);
+  }
+  samples_.insert(samples_.end(), extracted.begin(), extracted.end());
+  return Status();
+}
+
+double CalibrationCorpus::predicted_seconds(const CalibrationSample& s,
+                                            const CalibratedConstants& c,
+                                            int num_sms) {
+  const double stretch =
+      s.rho > 0.0 ? std::max(1.0, static_cast<double>(num_sms) / s.rho) : 1.0;
+  const double dram = s.pred_bytes / c.effective_bandwidth;
+  const double compute =
+      (s.pred_invocations * c.t_launch + s.pred_flops / c.flops_per_second +
+       s.pred_tc_flops / c.tensor_core_flops_per_second) *
+      stretch;
+  const double atomics = s.pred_atomics * c.t_atomic;
+  // Perfect overlap (§4.4): the longer of the memory and compute sides.
+  return std::max(dram, compute + atomics);
+}
+
+Result<CalibrationFit> CalibrationCorpus::fit(const MachineParams& stock) const {
+  if (samples_.empty()) {
+    return Status(StatusCode::kInvalidOptions,
+                  "calibration: empty corpus — add at least one run report");
+  }
+
+  CalibrationFit out;
+  out.stock = CalibratedConstants::stock(stock);
+  out.samples = size();
+
+  const size_t n = samples_.size();
+  std::vector<double> x(n), y(n);
+
+  // Memory-side terms fit independently (one regressor each, never
+  // underdetermined with a non-empty corpus).
+  CalibratedConstants memory_fit = out.stock;
+
+  // Bandwidth: measured DRAM seconds (obs_bytes at the stock rate — the
+  // simulator's ground truth) against predicted compulsory bytes. The slope
+  // is 1/BW_eff, so BW_eff absorbs capacity misses the predictor omits.
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = samples_[i].pred_bytes;
+    y[i] = samples_[i].obs_bytes / stock.hbm_bandwidth;
+  }
+  const double inv_bw = fit_slope(x, y, 1.0 / stock.hbm_bandwidth);
+  if (positive_finite(1.0 / inv_bw)) memory_fit.effective_bandwidth = 1.0 / inv_bw;
+
+  // T_atomic: measured atomic seconds (compulsory + conflict CAS traffic at
+  // the stock per-op cost) against predicted compulsory atomics.
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = samples_[i].pred_atomics;
+    y[i] = samples_[i].obs_atomics * stock.t_atomic;
+  }
+  memory_fit.t_atomic = fit_slope(x, y, stock.t_atomic);
+
+  // Compute: measured (unstretched) compute seconds against the three
+  // predicted regressors. Coefficients are t_launch, 1/R_flops, 1/R_tc.
+  CalibratedConstants full_fit = memory_fit;
+  {
+    double a[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    double b[3] = {0, 0, 0};
+    bool col_live[3] = {false, false, false};
+    for (const CalibrationSample& s : samples_) {
+      const double reg[3] = {s.pred_invocations, s.pred_flops, s.pred_tc_flops};
+      const double resp = s.obs_invocations * stock.t_launch +
+                          s.obs_flops / stock.flops_per_second +
+                          s.obs_tc_flops / stock.tensor_core_flops_per_second;
+      for (int r = 0; r < 3; ++r) {
+        if (reg[r] > 0.0) col_live[r] = true;
+        for (int k = 0; k < 3; ++k) a[r][k] += reg[r] * reg[k];
+        b[r] += reg[r] * resp;
+      }
+    }
+    // Dead columns (e.g. no tensor-core layers in the corpus) pin to their
+    // stock coefficient so they cannot make the system singular. A corpus
+    // with fewer samples than live regressors cannot identify the system at
+    // all — skip the solve; the take-best selection below keeps memory_fit.
+    const double stock_coef[3] = {stock.t_launch, 1.0 / stock.flops_per_second,
+                                  1.0 / stock.tensor_core_flops_per_second};
+    double coef[3] = {stock_coef[0], stock_coef[1], stock_coef[2]};
+    int live = 0;
+    for (int r = 0; r < 3; ++r) {
+      if (col_live[r]) {
+        ++live;
+        continue;
+      }
+      a[r][0] = a[r][1] = a[r][2] = 0.0;
+      a[0][r] = a[1][r] = a[2][r] = 0.0;
+      a[r][r] = 1.0;
+      b[r] = stock_coef[r];
+    }
+    double solved[3];
+    if (static_cast<int>(n) >= live && solve3(a, b, solved)) {
+      for (int r = 0; r < 3; ++r) {
+        if (positive_finite(solved[r])) coef[r] = solved[r];
+      }
+    }
+    full_fit.t_launch = coef[0];
+    if (positive_finite(1.0 / coef[1])) {
+      full_fit.flops_per_second = 1.0 / coef[1];
+    }
+    if (positive_finite(1.0 / coef[2])) {
+      full_fit.tensor_core_flops_per_second = 1.0 / coef[2];
+    }
+  }
+
+  // Take-best guard: least squares minimizes per-term squared residuals, but
+  // the reported (and CI-compared) quantity is mean relative error of total
+  // seconds — a small or skewed corpus can fit terms that compose worse than
+  // stock. Select by the actual objective so calibration never loses to the
+  // constants it started from.
+  CalibratedConstants& c = out.constants;
+  c = out.stock;
+  out.stock_mean_rel_error = mean_rel_error(samples_, out.stock, stock.num_sms);
+  out.calibrated_mean_rel_error = out.stock_mean_rel_error;
+  for (const CalibratedConstants& candidate : {full_fit, memory_fit}) {
+    const double err = mean_rel_error(samples_, candidate, stock.num_sms);
+    if (err < out.calibrated_mean_rel_error) {
+      c = candidate;
+      out.calibrated_mean_rel_error = err;
+    }
+  }
+
+  // Wall scale: host wall seconds per calibrated modeled second.
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = predicted_seconds(samples_[i], c, stock.num_sms);
+    y[i] = samples_[i].wall_seconds;
+  }
+  c.wall_scale = fit_slope(x, y, 1.0);
+
+  BDL_CHECK_MSG(c.valid(), "calibration fit produced invalid constants");
+  return out;
+}
+
+Status validate_calibration(const Json& doc) {
+  if (!doc.is_object()) {
+    return Status(StatusCode::kInvalidGraph,
+                  "calibration: root is not an object");
+  }
+  const Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string()) {
+    return Status(StatusCode::kInvalidGraph,
+                  "calibration: missing or mistyped key 'schema'");
+  }
+  if (schema->str() != kCalibrationSchema) {
+    return Status(StatusCode::kUnknownSchema,
+                  "calibration: unknown schema '" + schema->str() +
+                      "' (expected '" + kCalibrationSchema + "')");
+  }
+  const Json* samples = doc.find("samples");
+  if (!samples || !samples->is_number() || samples->number() < 0) {
+    return Status(StatusCode::kInvalidGraph,
+                  "calibration: missing or mistyped key 'samples'");
+  }
+  for (const char* block : {"constants", "stock"}) {
+    const Json* b = doc.find(block);
+    if (!b || !b->is_object()) {
+      return Status(StatusCode::kInvalidGraph,
+                    std::string("calibration: missing or mistyped key '") +
+                        block + "'");
+    }
+    for (const char* key :
+         {"effective_bandwidth", "t_atomic", "t_launch", "flops_per_second",
+          "tensor_core_flops_per_second", "wall_scale"}) {
+      const Json* v = b->find(key);
+      if (!v || !v->is_number() || !positive_finite(v->number())) {
+        return Status(StatusCode::kInvalidGraph,
+                      std::string("calibration: ") + block + "." + key +
+                          " missing, mistyped, or non-positive");
+      }
+    }
+  }
+  const Json* residuals = doc.find("residuals");
+  if (!residuals || !residuals->is_object()) {
+    return Status(StatusCode::kInvalidGraph,
+                  "calibration: missing or mistyped key 'residuals'");
+  }
+  for (const char* key : {"stock_mean_rel_error", "calibrated_mean_rel_error"}) {
+    const Json* v = residuals->find(key);
+    if (!v || !v->is_number() || !std::isfinite(v->number()) ||
+        v->number() < 0.0) {
+      return Status(StatusCode::kInvalidGraph,
+                    std::string("calibration: residuals.") + key +
+                        " missing, mistyped, or negative");
+    }
+  }
+  return Status();
+}
+
+Result<CalibratedConstants> calibration_from_json(const Json& doc) {
+  BDL_RETURN_IF_ERROR(validate_calibration(doc));
+  const Json& constants = *doc.find("constants");
+  CalibratedConstants c;
+  c.effective_bandwidth = constants.find("effective_bandwidth")->number();
+  c.t_atomic = constants.find("t_atomic")->number();
+  c.t_launch = constants.find("t_launch")->number();
+  c.flops_per_second = constants.find("flops_per_second")->number();
+  c.tensor_core_flops_per_second =
+      constants.find("tensor_core_flops_per_second")->number();
+  c.wall_scale = constants.find("wall_scale")->number();
+  return c;
+}
+
+}  // namespace brickdl::obs

@@ -1,0 +1,141 @@
+// Self-calibrating cost model (DESIGN.md §15): close the predict/measure loop.
+//
+// The §4 model prices a plan with free constants — effective DRAM bandwidth,
+// T_atomic, the T_brick pair (t_launch + flops rate), the tensor-core rate —
+// that machine.hpp seeds from the paper's microbenchmarks. Every profiled run
+// already pairs the model's *exact* predicted counts (invocations, compulsory
+// atomics, compulsory bytes, flops) with measured counters and times in a
+// `brickdl-run-report-v1` document (obs/report.hpp). Because the counts are
+// exact, fitting the constants reduces to per-term linear regression of the
+// measured per-term seconds on the predicted counts:
+//
+//   * bandwidth:  measured DRAM seconds  ≈ predicted bytes / BW_eff
+//                 (BW_eff soaks up the capacity misses the compulsory-traffic
+//                 predictor cannot see — the dominant stock-model error);
+//   * t_atomic:   measured atomic seconds (compulsory + conflict) ≈
+//                 predicted compulsory atomics × T_atomic_eff;
+//   * compute:    measured compute seconds ≈ inv·t_launch + flops/R +
+//                 tc_flops/R_tc — a three-regressor least-squares solve with
+//                 degenerate columns (e.g. no tensor-core layers in the
+//                 corpus) falling back to their stock values;
+//   * wall_scale: measured host wall seconds per calibrated modeled second —
+//                 the cross-domain factor the serving deadline predictor
+//                 seeds its EWMA with.
+//
+// The fit is emitted as a versioned `brickdl-calibration-v1` JSON carrying
+// the constants, the stock baseline, and the mean relative prediction error
+// before and after calibration (the residuals CI compares advisorily).
+// CalibratedConstants::apply() folds the fit into a MachineParams, which is
+// how the partitioner, BatchPlanner, and predict_subgraph accept the
+// override without re-plumbing every call site.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/machine.hpp"
+#include "util/status.hpp"
+
+namespace brickdl::obs {
+
+/// The cost model's free constants, as fit (or as seeded from stock
+/// MachineParams). All strictly positive; wall_scale is the measured host
+/// wall-clock seconds per modeled second (1.0 = uncorrected).
+struct CalibratedConstants {
+  double effective_bandwidth = 0.0;  ///< bytes/s (replaces hbm_bandwidth)
+  double t_atomic = 0.0;             ///< seconds per compulsory atomic
+  double t_launch = 0.0;             ///< seconds per brick invocation
+  double flops_per_second = 0.0;     ///< FP32 CUDA-core rate
+  double tensor_core_flops_per_second = 0.0;
+  double wall_scale = 1.0;
+
+  /// Seed from a machine description (the identity calibration).
+  static CalibratedConstants stock(const MachineParams& machine);
+
+  /// Fold into a machine description: the returned params price plans with
+  /// the calibrated constants everywhere MachineParams is consumed.
+  MachineParams apply(MachineParams base) const;
+
+  /// Every constant finite and > 0 (wall_scale included).
+  bool valid() const;
+
+  Json to_json() const;
+};
+
+/// One (predicted, measured) observation of a planned subgraph — the unit
+/// the corpus accumulates. Extracted from run reports by add_report(), or
+/// constructed directly by tests and synthetic benchmarks.
+struct CalibrationSample {
+  // Exact predicted counts (the regressors).
+  double pred_bytes = 0.0;
+  double pred_atomics = 0.0;
+  double pred_invocations = 0.0;
+  double pred_flops = 0.0;
+  double pred_tc_flops = 0.0;
+  double rho = 0.0;  ///< plan parallelism (utilization stretch, 0 = saturated)
+  // Measured counters and times (the responses).
+  double obs_bytes = 0.0;
+  double obs_atomics = 0.0;  ///< compulsory + conflict: the real CAS traffic
+  double obs_invocations = 0.0;
+  double obs_flops = 0.0;
+  double obs_tc_flops = 0.0;
+  double obs_seconds = 0.0;   ///< §4 arithmetic on the measured counters
+  double wall_seconds = 0.0;  ///< host wall clock of the clean attempt
+};
+
+/// The fit result: constants plus the residuals that certify (or indict) it.
+struct CalibrationFit {
+  CalibratedConstants constants;
+  CalibratedConstants stock;  ///< the baseline the fit started from
+  i64 samples = 0;
+  /// Mean |predicted − observed| / observed seconds across the corpus,
+  /// with predictions priced at the stock / the calibrated constants.
+  double stock_mean_rel_error = 0.0;
+  double calibrated_mean_rel_error = 0.0;
+
+  Json to_json() const;  ///< "brickdl-calibration-v1"
+};
+
+/// Accumulates (predicted, measured) subgraph pairs across any number of
+/// profiled runs, then fits. Not thread-safe; calibration is an offline loop.
+class CalibrationCorpus {
+ public:
+  /// Extract samples from one `brickdl-run-report-v1` document. Only modeled
+  /// subgraphs whose planned strategy ran cleanly (exactly one successful
+  /// attempt) qualify — a degraded run measures the wrong strategy.
+  /// kUnknownSchema / kInvalidGraph (from validate_run_report) on a document
+  /// that is not a well-formed run report; the corpus is unchanged then.
+  Status add_report(const Json& report);
+
+  void add_sample(const CalibrationSample& sample) {
+    samples_.push_back(sample);
+  }
+  i64 size() const { return static_cast<i64>(samples_.size()); }
+  const std::vector<CalibrationSample>& samples() const { return samples_; }
+
+  /// Per-term least squares against `stock`. kInvalidOptions when the corpus
+  /// is empty. Terms the corpus cannot identify (no atomic traffic, no
+  /// tensor-core flops, singular compute system) keep their stock values, so
+  /// the result is always usable and `constants.valid()` holds.
+  Result<CalibrationFit> fit(const MachineParams& stock) const;
+
+  /// Model seconds for one sample's predicted counts under `c` — the same
+  /// perfect-overlap arithmetic as CostModel::breakdown, exposed so tests
+  /// and the residual computation price both constant sets identically.
+  static double predicted_seconds(const CalibrationSample& s,
+                                  const CalibratedConstants& c, int num_sms);
+
+ private:
+  std::vector<CalibrationSample> samples_;
+};
+
+/// Schema check for a `brickdl-calibration-v1` document: kUnknownSchema for
+/// any other schema string, kInvalidGraph for missing/mistyped members or
+/// non-positive constants.
+Status validate_calibration(const Json& doc);
+
+/// Parse a validated document back into its constants (validates first).
+Result<CalibratedConstants> calibration_from_json(const Json& doc);
+
+}  // namespace brickdl::obs

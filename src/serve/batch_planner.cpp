@@ -35,13 +35,22 @@ Result<BatchPlanner::Cached*> BatchPlanner::cached_for(i64 total_rows) {
   cached.validated = cached.engine->validate();
   for (const PlannedSubgraph& planned :
        cached.engine->partition().subgraphs) {
+    // Calibrated constants (when set) fold into the machine here so the
+    // deadline prediction agrees with what the partitioner optimized.
     cached.predicted_seconds +=
         obs::predict_subgraph(*cached.graph, planned,
-                              options_.engine.partition.machine)
+                              effective_machine(options_.engine.partition))
             .seconds;
     if (planned.strategy == Strategy::kVendor) continue;
     cached.footprint =
         std::max(cached.footprint, planned.footprint_bytes);
+  }
+  if (options_.engine.partition.calibration) {
+    // Seed the host-correction EWMA with the fitted wall_scale so the
+    // deadline predictor starts near the measured wall cost instead of
+    // learning the model→wall ratio from the first live requests. Clean
+    // tier-0 runs still adapt it from there.
+    cached.ewma_ratio = options_.engine.partition.calibration->wall_scale;
   }
   if (cached.footprint == 0) {
     // All-vendor plan: the partitioner reports no merged on-chip footprint,

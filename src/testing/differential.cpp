@@ -1,6 +1,7 @@
 #include "testing/differential.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <exception>
 #include <iostream>
 #include <limits>
@@ -8,6 +9,7 @@
 
 #include "baselines/fused_graph.hpp"
 #include "core/engine.hpp"
+#include "obs/metrics.hpp"
 #include "testing/reference_eager.hpp"
 
 namespace brickdl {
@@ -106,6 +108,41 @@ struct DiffRun {
     return backend.read(result.output);
   }
 
+  /// Cold run (populates the plan cache) then warm run (must hit it): the
+  /// cache-backed twin of an engine variant. The warm output must be
+  /// bit-identical to the cold one — memcmp over the raw floats, stricter
+  /// than the elementwise tolerance (distinguishes ±0.0, compares NaNs).
+  Tensor engine_output_cached(EngineOptions eo, int backend_workers) {
+    eo.plan_cache_dir = o.plan_cache_dir;
+    const Tensor cold = engine_output(eo, backend_workers);
+    const i64 hits_before =
+        obs::metrics().counter("engine.plan_cache.hits").value();
+    const Tensor warm = engine_output(eo, backend_workers);
+    const i64 hits_after =
+        obs::metrics().counter("engine.plan_cache.hits").value();
+    if (hits_after <= hits_before) {
+      throw Error("plan cache: warm engine did not hit the cache");
+    }
+    if (cold.dims() != warm.dims() ||
+        std::memcmp(cold.data(), warm.data(),
+                    static_cast<size_t>(cold.elements()) * sizeof(float)) !=
+            0) {
+      throw Error("plan cache: warm output is not bit-identical to cold");
+    }
+    return warm;
+  }
+
+  /// Register an engine variant, plus its cache-backed twin when a plan
+  /// cache directory is configured.
+  void engine_variant(const std::string& name, const EngineOptions& eo,
+                      int backend_workers) {
+    variant(name, [&] { return engine_output(eo, backend_workers); });
+    if (!o.plan_cache_dir.empty()) {
+      variant(name + "-cache",
+              [&] { return engine_output_cached(eo, backend_workers); });
+    }
+  }
+
   void run_all() {
     if (o.kernel_reference) {
       // Node-by-node region kernels over full tensors: isolates the kernels
@@ -116,11 +153,9 @@ struct DiffRun {
       });
     }
     if (o.vendor) {
-      variant("vendor", [&] {
-        EngineOptions eo;
-        eo.force_strategy = Strategy::kVendor;
-        return engine_output(eo, 4);
-      });
+      EngineOptions eo;
+      eo.force_strategy = Strategy::kVendor;
+      engine_variant("vendor", eo, 4);
     }
     if (o.fused_baselines) {
       for (FusionRules rules :
@@ -144,21 +179,21 @@ struct DiffRun {
           partitioner == "paper" ? std::string() : "-" + partitioner;
       for (i64 side : o.brick_sides) {
         const std::string b = "-b" + std::to_string(side);
-        variant("padded" + b + p, [&] {
+        {
           EngineOptions eo;
           eo.partition.strategy = partitioner;
           eo.force_strategy = Strategy::kPadded;
           eo.force_brick_side = side;
-          return engine_output(eo, 4);
-        });
-        variant("wavefront" + b + p, [&] {
+          engine_variant("padded" + b + p, eo, 4);
+        }
+        {
           EngineOptions eo;
           eo.partition.strategy = partitioner;
           eo.partition.enable_wavefront = true;
           eo.force_strategy = Strategy::kWavefront;
           eo.force_brick_side = side;
-          return engine_output(eo, 4);
-        });
+          engine_variant("wavefront" + b + p, eo, 4);
+        }
         for (int workers : o.worker_counts) {
           const std::string w = "-w" + std::to_string(workers);
           // The plain memo variants pin the barriered schedule; their
@@ -166,45 +201,21 @@ struct DiffRun {
           // chains (DESIGN.md §14). Both must match the oracle bit-exactly,
           // which is the strongest statement of the pipelining invariant:
           // same kernels, same memo slots, only the schedule differs.
-          variant("memo" + b + w + p, [&] {
-            EngineOptions eo;
-            eo.partition.strategy = partitioner;
-            eo.force_strategy = Strategy::kMemoized;
-            eo.force_brick_side = side;
-            eo.memo_workers = workers;
-            eo.pipeline_subgraphs = false;
-            return engine_output(eo, workers);
-          });
-          variant("memo" + b + w + p + "-pipeline", [&] {
-            EngineOptions eo;
-            eo.partition.strategy = partitioner;
-            eo.force_strategy = Strategy::kMemoized;
-            eo.force_brick_side = side;
-            eo.memo_workers = workers;
-            eo.pipeline_subgraphs = true;
-            return engine_output(eo, workers);
-          });
+          EngineOptions eo;
+          eo.partition.strategy = partitioner;
+          eo.force_strategy = Strategy::kMemoized;
+          eo.force_brick_side = side;
+          eo.memo_workers = workers;
+          eo.pipeline_subgraphs = false;
+          engine_variant("memo" + b + w + p, eo, workers);
+          eo.pipeline_subgraphs = true;
+          engine_variant("memo" + b + w + p + "-pipeline", eo, workers);
           if (o.memo_parallel) {
-            variant("memo-par" + b + w + p, [&] {
-              EngineOptions eo;
-              eo.partition.strategy = partitioner;
-              eo.force_strategy = Strategy::kMemoized;
-              eo.force_brick_side = side;
-              eo.memo_workers = workers;
-              eo.memo_parallel = true;
-              eo.pipeline_subgraphs = false;
-              return engine_output(eo, workers);
-            });
-            variant("memo-par" + b + w + p + "-pipeline", [&] {
-              EngineOptions eo;
-              eo.partition.strategy = partitioner;
-              eo.force_strategy = Strategy::kMemoized;
-              eo.force_brick_side = side;
-              eo.memo_workers = workers;
-              eo.memo_parallel = true;
-              eo.pipeline_subgraphs = true;
-              return engine_output(eo, workers);
-            });
+            eo.memo_parallel = true;
+            eo.pipeline_subgraphs = false;
+            engine_variant("memo-par" + b + w + p, eo, workers);
+            eo.pipeline_subgraphs = true;
+            engine_variant("memo-par" + b + w + p + "-pipeline", eo, workers);
           }
         }
       }

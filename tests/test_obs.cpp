@@ -15,6 +15,7 @@
 
 #include "core/engine.hpp"
 #include "models/models.hpp"
+#include "obs/calibrate.hpp"
 #include "obs/events.hpp"
 #include "obs/exporter.hpp"
 #include "obs/flight.hpp"
@@ -976,6 +977,195 @@ TEST(ObsFlight, RecorderDumpsUnderPerTriggerCap) {
 
   recorder.reset();
   std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------ Calibration
+
+/// Synthesize a corpus whose measured responses were generated *exactly* by
+/// `truth`: each per-term response is what the stock-priced regression would
+/// see if the hardware really ran at the planted constants. The fit must then
+/// recover `truth` (the regression is exact, no noise).
+obs::CalibrationSample planted_sample(int i,
+                                      const obs::CalibratedConstants& truth,
+                                      const MachineParams& stock) {
+  obs::CalibrationSample s;
+  // Diverse, linearly independent regressors across the corpus so the 3x3
+  // compute system is well conditioned.
+  s.pred_bytes = 1e6 * (1 + i) * (1 + i);
+  s.pred_atomics = 1e3 * (1 + (i * 7) % 5);
+  s.pred_invocations = 100.0 + 37.0 * i * i;
+  s.pred_flops = 1e9 * (1.0 + 0.6 * i);
+  s.pred_tc_flops = (i % 2 == 0) ? 4e8 * (1 + i) : 9e8;
+  s.rho = 0.0;  // saturated: no utilization stretch
+
+  // Invert each regression: observed counters that price (at stock) to the
+  // per-term seconds `truth` would have produced.
+  s.obs_bytes = s.pred_bytes * stock.hbm_bandwidth / truth.effective_bandwidth;
+  s.obs_atomics = s.pred_atomics * truth.t_atomic / stock.t_atomic;
+  s.obs_invocations = 0.0;
+  s.obs_tc_flops = 0.0;
+  s.obs_flops = stock.flops_per_second *
+                (s.pred_invocations * truth.t_launch +
+                 s.pred_flops / truth.flops_per_second +
+                 s.pred_tc_flops / truth.tensor_core_flops_per_second);
+  s.obs_seconds =
+      obs::CalibrationCorpus::predicted_seconds(s, truth, stock.num_sms);
+  s.wall_seconds = truth.wall_scale * s.obs_seconds;
+  return s;
+}
+
+TEST(ObsCalibrate, FitRecoversPlantedConstants) {
+  const MachineParams stock = MachineParams::a100();
+  obs::CalibratedConstants truth;
+  truth.effective_bandwidth = 0.6e12;  // capacity misses eat 60% of stock BW
+  truth.t_atomic = 2.5 * stock.t_atomic;
+  truth.t_launch = 0.4 * stock.t_launch;
+  truth.flops_per_second = 0.7 * stock.flops_per_second;
+  truth.tensor_core_flops_per_second =
+      1.3 * stock.tensor_core_flops_per_second;
+  truth.wall_scale = 2.0;
+
+  obs::CalibrationCorpus corpus;
+  for (int i = 0; i < 6; ++i) {
+    corpus.add_sample(planted_sample(i, truth, stock));
+  }
+  Result<obs::CalibrationFit> fit = corpus.fit(stock);
+  ASSERT_TRUE(fit.ok()) << fit.status().to_string();
+  const obs::CalibratedConstants& c = fit.value().constants;
+  EXPECT_NEAR(c.effective_bandwidth / truth.effective_bandwidth, 1.0, 1e-6);
+  EXPECT_NEAR(c.t_atomic / truth.t_atomic, 1.0, 1e-6);
+  EXPECT_NEAR(c.t_launch / truth.t_launch, 1.0, 1e-6);
+  EXPECT_NEAR(c.flops_per_second / truth.flops_per_second, 1.0, 1e-6);
+  EXPECT_NEAR(c.tensor_core_flops_per_second /
+                  truth.tensor_core_flops_per_second,
+              1.0, 1e-6);
+  EXPECT_NEAR(c.wall_scale, 2.0, 1e-6);
+
+  // The planted corpus is exactly explainable, so the calibrated residual
+  // collapses while the stock one does not (the constants genuinely moved).
+  EXPECT_LT(fit.value().calibrated_mean_rel_error, 1e-6);
+  EXPECT_GT(fit.value().stock_mean_rel_error, 0.1);
+}
+
+TEST(ObsCalibrate, CalibratedResidualNeverWorseThanStock) {
+  // Small, skewed corpora are where naive per-term least squares can compose
+  // *worse* than stock on total seconds; the fit's take-best selection must
+  // never let that reach the emitted constants.
+  const MachineParams stock = MachineParams::a100();
+  obs::CalibrationCorpus corpus;
+  obs::CalibrationSample a;
+  a.pred_bytes = 5e6;
+  a.pred_invocations = 200;
+  a.pred_flops = 2e9;
+  a.obs_bytes = 9e6;
+  a.obs_atomics = 4e4;  // conflict-heavy: no predicted atomics at all
+  a.obs_invocations = 200;
+  a.obs_flops = 2e9;
+  a.obs_seconds = 1e-4;
+  a.wall_seconds = 3e-4;
+  corpus.add_sample(a);
+  obs::CalibrationSample b = a;
+  b.pred_bytes = 1e5;
+  b.obs_bytes = 8e6;
+  b.obs_seconds = 2e-6;
+  corpus.add_sample(b);
+
+  Result<obs::CalibrationFit> fit = corpus.fit(stock);
+  ASSERT_TRUE(fit.ok()) << fit.status().to_string();
+  EXPECT_TRUE(fit.value().constants.valid());
+  EXPECT_LE(fit.value().calibrated_mean_rel_error,
+            fit.value().stock_mean_rel_error);
+}
+
+TEST(ObsCalibrate, EmptyCorpusIsInvalidOptions) {
+  const Result<obs::CalibrationFit> fit =
+      obs::CalibrationCorpus().fit(MachineParams::a100());
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kInvalidOptions);
+}
+
+TEST(ObsCalibrate, JsonRoundTripsExactlyAndValidates) {
+  const MachineParams stock = MachineParams::a100();
+  obs::CalibratedConstants truth;
+  truth.effective_bandwidth = 0.5e12;
+  truth.t_atomic = 2.0 * stock.t_atomic;
+  truth.t_launch = 0.5 * stock.t_launch;
+  truth.flops_per_second = 0.8 * stock.flops_per_second;
+  truth.tensor_core_flops_per_second = stock.tensor_core_flops_per_second;
+  truth.wall_scale = 1.75;
+  obs::CalibrationCorpus corpus;
+  for (int i = 0; i < 5; ++i) {
+    corpus.add_sample(planted_sample(i, truth, stock));
+  }
+  Result<obs::CalibrationFit> fit = corpus.fit(stock);
+  ASSERT_TRUE(fit.ok());
+
+  const Json doc = fit.value().to_json();
+  ASSERT_TRUE(obs::validate_calibration(doc).ok())
+      << obs::validate_calibration(doc).to_string();
+
+  // %.17g numbers survive dump -> parse bit-exactly.
+  Result<Json> back = Json::parse(doc.dump(1));
+  ASSERT_TRUE(back.ok());
+  Result<obs::CalibratedConstants> parsed =
+      obs::calibration_from_json(back.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const obs::CalibratedConstants& c = fit.value().constants;
+  EXPECT_EQ(parsed.value().effective_bandwidth, c.effective_bandwidth);
+  EXPECT_EQ(parsed.value().t_atomic, c.t_atomic);
+  EXPECT_EQ(parsed.value().t_launch, c.t_launch);
+  EXPECT_EQ(parsed.value().flops_per_second, c.flops_per_second);
+  EXPECT_EQ(parsed.value().tensor_core_flops_per_second,
+            c.tensor_core_flops_per_second);
+  EXPECT_EQ(parsed.value().wall_scale, c.wall_scale);
+}
+
+TEST(ObsCalibrate, ValidatorNamesSchemaAndStructuralFailures) {
+  Json wrong = Json::object();
+  wrong.set("schema", "brickdl-calibration-v999");
+  EXPECT_EQ(obs::validate_calibration(wrong).code(),
+            StatusCode::kUnknownSchema);
+
+  Json missing = Json::object();
+  missing.set("schema", "brickdl-calibration-v1");
+  EXPECT_EQ(obs::validate_calibration(missing).code(),
+            StatusCode::kInvalidGraph);
+  EXPECT_EQ(obs::calibration_from_json(missing).status().code(),
+            StatusCode::kInvalidGraph);
+}
+
+TEST(ObsCalibrate, AddReportExtractsCleanModeledSubgraphs) {
+  reset_obs();
+  EngineOptions options;
+  options.profile = true;
+  const Graph graph = build_conv_chain_2d(3, 1, 24, 2);
+  const ModelRun run = run_model(graph, options);
+  const Json report =
+      obs::make_run_report(graph, run.result, run.machine, true);
+
+  obs::CalibrationCorpus corpus;
+  ASSERT_TRUE(corpus.add_report(report).ok());
+  EXPECT_GT(corpus.size(), 0);
+  for (const obs::CalibrationSample& s : corpus.samples()) {
+    EXPECT_GT(s.obs_seconds, 0.0);
+    EXPECT_GE(s.wall_seconds, 0.0);
+    EXPECT_GT(s.pred_bytes, 0.0);
+  }
+
+  // A corpus built from a real profiled run must fit to usable constants
+  // whose residual never regresses past stock.
+  Result<obs::CalibrationFit> fit = corpus.fit(run.machine);
+  ASSERT_TRUE(fit.ok()) << fit.status().to_string();
+  EXPECT_TRUE(fit.value().constants.valid());
+  EXPECT_LE(fit.value().calibrated_mean_rel_error,
+            fit.value().stock_mean_rel_error);
+
+  // Not a run report at all: named reject, corpus unchanged.
+  const i64 before = corpus.size();
+  Json bogus = Json::object();
+  bogus.set("schema", "nope");
+  EXPECT_EQ(corpus.add_report(bogus).code(), StatusCode::kUnknownSchema);
+  EXPECT_EQ(corpus.size(), before);
 }
 
 }  // namespace

@@ -21,17 +21,32 @@
 //     --report[=PATH]  profiled BrickDL run; write the predicted-vs-observed
 //                      run report JSON (default report.json) and print the
 //                      comparison table
+//     --plan-cache DIR     persistent plan cache (DESIGN.md §15): warm-start
+//                      the engine's partition from DIR, store on a miss
+//     --calibration PATH   load a brickdl-calibration-v1 JSON and plan with
+//                      the fitted cost-model constants
+//     --calibrate-out PATH profiled BrickDL run; fit the cost-model constants
+//                      from this run's report and write the
+//                      brickdl-calibration-v1 JSON (with residuals) to PATH
+//     --metrics-out PATH   write a brickdl-metrics-v1 snapshot of the metrics
+//                      registry after the profiled run (plan-cache counters
+//                      land here)
 //
 // Performance numbers come from the simulated A100 (see DESIGN.md §2).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "baselines/fused_graph.hpp"
 #include "core/engine.hpp"
+#include "core/plan_cache.hpp"
 #include "graph/rewrite.hpp"
 #include "graph/serialize.hpp"
 #include "models/models.hpp"
+#include "obs/calibrate.hpp"
+#include "obs/exporter.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
@@ -50,6 +65,10 @@ struct Options {
   bool fuse = true;
   std::string trace_path;   ///< --trace: Chrome-trace output (empty = off)
   std::string report_path;  ///< --report: run-report JSON output (empty = off)
+  std::string plan_cache_dir;     ///< --plan-cache (empty = off)
+  std::string calibration_path;   ///< --calibration: constants to load
+  std::string calibrate_out;      ///< --calibrate-out: fit output (empty = off)
+  std::string metrics_out;        ///< --metrics-out: snapshot output
 };
 
 bool write_text_file(const std::string& path, const std::string& text) {
@@ -57,6 +76,42 @@ bool write_text_file(const std::string& path, const std::string& text) {
   if (!f) return false;
   const size_t n = std::fwrite(text.data(), 1, text.size(), f);
   return std::fclose(f) == 0 && n == text.size();
+}
+
+bool read_text_file(const std::string& path, std::string* text) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text->append(buffer, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+/// Parse and validate a --calibration file; exits the process with a
+/// diagnostic on any failure (a bad calibration should never plan silently).
+obs::CalibratedConstants load_calibration(const std::string& path) {
+  std::string text;
+  if (!read_text_file(path, &text)) {
+    std::fprintf(stderr, "cannot open calibration file '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  Result<obs::Json> doc = obs::Json::parse(text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "calibration '%s': %s\n", path.c_str(),
+                 doc.status().to_string().c_str());
+    std::exit(1);
+  }
+  Result<obs::CalibratedConstants> constants =
+      obs::calibration_from_json(doc.value());
+  if (!constants.ok()) {
+    std::fprintf(stderr, "calibration '%s': %s\n", path.c_str(),
+                 constants.status().to_string().c_str());
+    std::exit(1);
+  }
+  return constants.take();
 }
 
 ModelBuilder find_builder(const std::string& name) {
@@ -84,6 +139,9 @@ int usage() {
                " [--partition] [--dot] [--no-fuse]\n"
                "                   [--partition-strategy paper|greedy]\n"
                "                   [--trace[=t.json]] [--report[=r.json]]\n"
+               "                   [--plan-cache DIR] [--calibration c.json]\n"
+               "                   [--calibrate-out c.json] "
+               "[--metrics-out m.json]\n"
                "models: resnet50 drn26 resnet34_3d darknet53 vgg16 deepcam "
                "inception_v4\n");
   return 2;
@@ -97,12 +155,14 @@ struct Modeled {
 };
 
 Modeled run_system(const Graph& graph, const std::string& system,
-                   const std::string& partition_strategy) {
+                   const std::string& partition_strategy,
+                   const std::optional<obs::CalibratedConstants>& calibration) {
   MemoryHierarchySim sim(MachineParams::a100());
   ModelBackend backend(graph, sim);
   if (system == "brickdl") {
     EngineOptions eopts;
     eopts.partition.strategy = partition_strategy;
+    eopts.partition.calibration = calibration;
     Engine engine(graph, eopts);
     engine.run(backend);
   } else {
@@ -163,6 +223,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--report" || arg.rfind("--report=", 0) == 0) {
       opts.report_path =
           arg.size() > 9 ? arg.substr(9) : std::string("report.json");
+    } else if (arg == "--plan-cache") {
+      const char* value = next();
+      if (!value) return usage();
+      opts.plan_cache_dir = value;
+    } else if (arg == "--calibration") {
+      const char* value = next();
+      if (!value) return usage();
+      opts.calibration_path = value;
+    } else if (arg == "--calibrate-out") {
+      const char* value = next();
+      if (!value) return usage();
+      opts.calibrate_out = value;
+    } else if (arg == "--metrics-out") {
+      const char* value = next();
+      if (!value) return usage();
+      opts.metrics_out = value;
     } else {
       return usage();
     }
@@ -206,9 +282,17 @@ int main(int argc, char** argv) {
 
   const Graph brickdl_graph =
       opts.fuse ? fuse_conv_pointwise(graph) : graph;
+  // Load --calibration up front so a missing or malformed file is a hard
+  // error on every code path, including the plain comparison table.
+  std::optional<obs::CalibratedConstants> calibration;
+  if (!opts.calibration_path.empty()) {
+    calibration = load_calibration(opts.calibration_path);
+  }
   if (opts.partition_only) {
     EngineOptions eopts;
     eopts.partition.strategy = opts.partition_strategy;
+    eopts.plan_cache_dir = opts.plan_cache_dir;
+    eopts.partition.calibration = calibration;
     const Status preflight = validate_engine_options(eopts);
     if (!preflight.ok()) {
       std::fprintf(stderr, "%s\n", preflight.to_string().c_str());
@@ -218,13 +302,18 @@ int main(int argc, char** argv) {
     std::printf("\n%s", engine.partition().describe(brickdl_graph).c_str());
     std::printf("predicted total: %.3f ms (%s partitioner)\n",
                 predicted_partition_seconds(brickdl_graph, engine.partition(),
-                                            eopts.partition.machine) *
+                                            effective_machine(
+                                                eopts.partition)) *
                     1e3,
                 opts.partition_strategy.c_str());
     return 0;
   }
 
-  if (!opts.trace_path.empty() || !opts.report_path.empty()) {
+  const bool profiled_run =
+      !opts.trace_path.empty() || !opts.report_path.empty() ||
+      !opts.calibrate_out.empty() || !opts.metrics_out.empty() ||
+      !opts.plan_cache_dir.empty();
+  if (profiled_run) {
     // Profiled run: one BrickDL engine pass with the §4 cost model running
     // alongside, tracing enabled for its duration.
     obs::Tracer::instance().clear();
@@ -232,6 +321,8 @@ int main(int argc, char** argv) {
     EngineOptions eopts;
     eopts.profile = true;
     eopts.partition.strategy = opts.partition_strategy;
+    eopts.plan_cache_dir = opts.plan_cache_dir;
+    eopts.partition.calibration = calibration;
     MemoryHierarchySim sim(MachineParams::a100());
     ModelBackend backend(brickdl_graph, sim);
     Engine engine(brickdl_graph, eopts);
@@ -262,6 +353,45 @@ int main(int argc, char** argv) {
       }
       std::printf("report: %s\n", opts.report_path.c_str());
     }
+    if (!opts.calibrate_out.empty()) {
+      // Fit the §4 constants from this run's (predicted, observed) pairs and
+      // emit the versioned calibration with its residuals. One run is a
+      // small corpus; feeding several reports through a dedicated loop
+      // tightens the fit, but even one pins the dominant bandwidth term.
+      obs::CalibrationCorpus corpus;
+      const Status added = corpus.add_report(report);
+      if (!added.ok()) {
+        std::fprintf(stderr, "calibration: %s\n", added.to_string().c_str());
+        return 1;
+      }
+      Result<obs::CalibrationFit> fit = corpus.fit(sim.params());
+      if (!fit.ok()) {
+        std::fprintf(stderr, "calibration: %s\n",
+                     fit.status().to_string().c_str());
+        return 1;
+      }
+      if (!write_text_file(opts.calibrate_out,
+                           fit.value().to_json().dump(1) + "\n")) {
+        std::fprintf(stderr, "cannot write calibration to '%s'\n",
+                     opts.calibrate_out.c_str());
+        return 1;
+      }
+      std::printf(
+          "calibration: %s (%lld samples, mean rel error %.3f -> %.3f)\n",
+          opts.calibrate_out.c_str(),
+          static_cast<long long>(fit.value().samples),
+          fit.value().stock_mean_rel_error,
+          fit.value().calibrated_mean_rel_error);
+    }
+    if (!opts.metrics_out.empty()) {
+      const obs::Json snapshot = obs::metrics_snapshot(obs::metrics(), 0);
+      if (!write_text_file(opts.metrics_out, snapshot.dump(1) + "\n")) {
+        std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                     opts.metrics_out.c_str());
+        return 1;
+      }
+      std::printf("metrics: %s\n", opts.metrics_out.c_str());
+    }
     std::printf("\n%s", obs::report_table(report).c_str());
     return 0;
   }
@@ -273,7 +403,7 @@ int main(int argc, char** argv) {
     if (opts.system != "all" && opts.system != system) continue;
     const Modeled m = run_system(
         std::string(system) == "brickdl" ? brickdl_graph : graph, system,
-        opts.partition_strategy);
+        opts.partition_strategy, calibration);
     if (std::string(system) == "cudnn" || base.total_ms == 0.0) base = m;
     table.add_row({system, TextTable::num(m.total_ms),
                    TextTable::num(m.dram_ms), TextTable::num(m.compute_ms),

@@ -1,18 +1,22 @@
 // brickdl_report_check — schema-validate observability artifacts.
 //
 //   brickdl_report_check [--report r.json] [--trace t.json]
-//                        [--flight f.json]
+//                        [--flight f.json] [--calibration c.json]
 //
 // Parses the files back through the same obs::Json implementation that wrote
 // them and runs the structural validators (obs::validate_run_report,
-// obs::validate_chrome_trace, obs::validate_flight_record). Unknown schema
-// versions are a named failure (kUnknownSchema), not a structural one. Exit
-// 0 only when every given artifact is well-formed; bench/smoke_report.sh and
-// the `obs_smoke` CTest drive this against fresh brickdl_cli output,
-// bench/smoke_serve_telemetry.sh against brickdl_serve output.
+// obs::validate_chrome_trace, obs::validate_flight_record,
+// obs::validate_calibration). Unknown schema versions are a named failure
+// (kUnknownSchema), not a structural one. Exit 0 only when every given
+// artifact is well-formed; bench/smoke_report.sh and the `obs_smoke` CTest
+// drive this against fresh brickdl_cli output,
+// bench/smoke_serve_telemetry.sh against brickdl_serve output, and
+// bench/smoke_plan_cache.sh against the calibration emitted by
+// `brickdl_cli --calibrate-out`.
 #include <cstdio>
 #include <string>
 
+#include "obs/calibrate.hpp"
 #include "obs/flight.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string trace_path;
   std::string flight_path;
+  std::string calibration_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -65,14 +70,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) break;
       flight_path = v;
+    } else if (arg == "--calibration") {
+      const char* v = next();
+      if (!v) break;
+      calibration_path = v;
     } else {
       std::fprintf(stderr,
                    "usage: brickdl_report_check [--report r.json] "
-                   "[--trace t.json] [--flight f.json]\n");
+                   "[--trace t.json] [--flight f.json] "
+                   "[--calibration c.json]\n");
       return 2;
     }
   }
-  if (report_path.empty() && trace_path.empty() && flight_path.empty()) {
+  if (report_path.empty() && trace_path.empty() && flight_path.empty() &&
+      calibration_path.empty()) {
     std::fprintf(stderr, "brickdl_report_check: nothing to check\n");
     return 2;
   }
@@ -101,6 +112,18 @@ int main(int argc, char** argv) {
     std::printf("ok: %s (trigger %s, %zu events)\n", flight_path.c_str(),
                 doc.value().find("trigger")->str().c_str(),
                 doc.value().find("events")->size());
+  }
+  if (!calibration_path.empty()) {
+    Result<obs::Json> doc = read_json(calibration_path);
+    if (!doc.ok()) return fail(calibration_path, doc.status());
+    const Status status = obs::validate_calibration(doc.value());
+    if (!status.ok()) return fail(calibration_path, status);
+    const obs::Json* residuals = doc.value().find("residuals");
+    std::printf("ok: %s (%lld samples, rel error %.4g -> %.4g)\n",
+                calibration_path.c_str(),
+                static_cast<long long>(doc.value().find("samples")->number()),
+                residuals->find("stock_mean_rel_error")->number(),
+                residuals->find("calibrated_mean_rel_error")->number());
   }
   return 0;
 }

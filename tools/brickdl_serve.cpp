@@ -56,6 +56,10 @@
 //                       records into DIR
 //     --json F          (overload mode) write machine-readable capacity +
 //                       per-class latency stats (brickdl-serve-bench-v1)
+//     --plan-cache DIR  warm-start batch-plan engines from DIR (persistent
+//                       plan cache; cold runs populate it)
+//     --calibration F   load brickdl-calibration-v1 constants and plan with
+//                       the calibrated cost model
 //
 // The exit status is nonzero if any request fails (replay mode: fails or is
 // shed), so the tool doubles as a smoke check for the serving path.
@@ -72,6 +76,7 @@
 #include <vector>
 
 #include "models/models.hpp"
+#include "obs/calibrate.hpp"
 #include "obs/events.hpp"
 #include "obs/exporter.hpp"
 #include "obs/flight.hpp"
@@ -125,6 +130,7 @@ int usage() {
                "  [--seed N] [--fast] [--trace[=serve_trace.json]]\n"
                "  [--events[=serve_events.json]] [--metrics-out FILE]\n"
                "  [--prom FILE] [--flight-dir DIR] [--json FILE]\n"
+               "  [--plan-cache DIR] [--calibration FILE]\n"
                "trace file: `<offset_us> <rows> [<seed>]` per line, "
                "# comments\n");
   return 2;
@@ -584,6 +590,36 @@ int main(int argc, char** argv) {
       opts.flight_dir = next();
     } else if (arg == "--json") {
       opts.json_path = next();
+    } else if (arg == "--plan-cache") {
+      opts.serve.engine.plan_cache_dir = next();
+    } else if (arg == "--calibration") {
+      const std::string path = next();
+      std::ifstream in(path);
+      std::ostringstream text;
+      text << in.rdbuf();
+      if (!in) {
+        std::fprintf(stderr, "cannot read calibration file '%s'\n",
+                     path.c_str());
+        return 1;
+      }
+      Status st;
+      Result<obs::Json> doc = obs::Json::parse(text.str());
+      if (!doc.ok()) {
+        st = doc.status();
+      } else {
+        Result<obs::CalibratedConstants> cal =
+            obs::calibration_from_json(doc.value());
+        if (cal.ok()) {
+          opts.serve.engine.partition.calibration = cal.value();
+        } else {
+          st = cal.status();
+        }
+      }
+      if (!st.ok()) {
+        std::fprintf(stderr, "invalid calibration '%s': %s\n", path.c_str(),
+                     st.to_string().c_str());
+        return 1;
+      }
     } else if (!arg.empty() && arg[0] != '-' && opts.trace_file.empty()) {
       opts.trace_file = arg;
     } else {

@@ -27,10 +27,22 @@ host-independent ratios are compared (per-class p99 normalized by the run's
 own measured service time, and SLO attainment), and the serve gate is
 **advisory**: verdicts are printed but never affect the exit status.
 
+``--calibration`` additionally (or standalone) reads a
+``brickdl-calibration-v1`` document — written by ``brickdl_cli
+--calibrate-out`` — and reports the cost model's mean relative prediction
+error at the stock constants vs the fitted ones (the ``residuals`` block the
+fit certifies itself with). Like the serve gate this is **advisory**: the
+fit's take-best selection already guarantees calibrated ≤ stock on its own
+corpus, so a regression here means the artifact pipeline is broken, which
+the schema validation (``brickdl_report_check --calibration``) hard-fails
+elsewhere; this comparison just surfaces how much headroom calibration is
+buying on the CI model.
+
 Usage:
   tools/ci_bench_check.py --bench build/bench/mb_kernels
   tools/ci_bench_check.py --current run.json [--baseline BENCH_kernels.json]
   tools/ci_bench_check.py --serve-current stats.json [--serve-baseline BENCH_serve.json]
+  tools/ci_bench_check.py --calibration cal.json
 """
 
 import argparse
@@ -129,6 +141,38 @@ def check_serve(baseline_path, current_path, tolerance):
               f"{tolerance:.0%} of baseline")
 
 
+def check_calibration(path):
+    """Advisory calibrated-vs-stock prediction-error comparison.
+
+    Reads the residuals a ``brickdl-calibration-v1`` fit certifies itself
+    with. Prints the improvement; never affects the exit status.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "brickdl-calibration-v1":
+        raise ValueError(f"{path}: expected schema brickdl-calibration-v1, "
+                         f"got {doc.get('schema')!r}")
+    residuals = doc.get("residuals", {})
+    stock = float(residuals["stock_mean_rel_error"])
+    calibrated = float(residuals["calibrated_mean_rel_error"])
+    samples = int(doc.get("samples", 0))
+    print(f"\ncalibration gate (advisory, {path}, {samples} sample(s)):")
+    print(f"  mean relative prediction error: stock {stock:.4f} -> "
+          f"calibrated {calibrated:.4f}")
+    if calibrated <= stock:
+        if stock > 0.0:
+            print(f"  ok: calibration cuts prediction error by "
+                  f"{(1.0 - calibrated / stock):.0%}")
+        else:
+            print("  ok: stock model already exact on this corpus")
+    else:
+        # The fit's take-best selection makes this unreachable from a healthy
+        # pipeline; reaching it means the artifact was produced by something
+        # else (or hand-edited), so flag loudly but stay advisory.
+        print("  ADVISORY regression: calibrated residual exceeds stock — "
+              "not failing the build")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", help="mb_kernels binary to run (--quick mode)")
@@ -154,16 +198,26 @@ def main():
         default=os.path.join(os.path.dirname(__file__), "..", "BENCH_serve.json"),
         help="committed serve baseline JSON (default: repo BENCH_serve.json)",
     )
+    parser.add_argument(
+        "--calibration",
+        help="brickdl-calibration-v1 JSON from brickdl_cli --calibrate-out "
+             "(advisory calibrated-vs-stock residual report; may be the only "
+             "input)",
+    )
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
     if args.bench and args.current:
         parser.error("at most one of --bench / --current is allowed")
-    if not (args.bench or args.current or args.serve_current):
-        parser.error("one of --bench / --current / --serve-current is required")
+    if not (args.bench or args.current or args.serve_current
+            or args.calibration):
+        parser.error("one of --bench / --current / --serve-current / "
+                     "--calibration is required")
 
     if args.serve_current:
         check_serve(args.serve_baseline, args.serve_current, args.tolerance)
+    if args.calibration:
+        check_calibration(args.calibration)
     if not (args.bench or args.current):
         return 0
 

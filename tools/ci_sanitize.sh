@@ -9,14 +9,17 @@
 #                         serving suite (submitter threads racing the batch
 #                         scheduler), the pipelining suite (chained tag
 #                         tables shared by real worker threads, the serving
-#                         runner-pool/scheduler handoff), and the
+#                         runner-pool/scheduler handoff), the
 #                         greedy-partitioner property suite (shared metrics
-#                         registry traffic).
+#                         registry traffic), and the plan-cache suite
+#                         (concurrent warm-start readers racing a writer
+#                         through the atomic tmp+rename publish).
 #   2. ASan + UBSan:      the differential fuzz suite (random graphs through
 #                         every executor variant, paper and greedy
 #                         partitioners) plus the resilience, observability,
-#                         serving, and partition suites (includes the
-#                         malformed-parse corpus and JSON parse-back).
+#                         serving, partition, and plan-cache suites (includes
+#                         the malformed-parse corpus, JSON parse-back, and
+#                         the poisoned-cache-entry rejection paths).
 #   3. Release (-O3 -DNDEBUG): the differential + perf (fast-path vs generic
 #                         kernel, plus the fig07 paper-vs-greedy partition
 #                         A/B gate) + obs (unit suite plus the CLI and
@@ -42,32 +45,37 @@ STAGES=${STAGES:-"tsan asan release"}
 run_stage() { [[ " $STAGES " == *" $1 "* ]]; }
 
 if run_stage tsan; then
-  echo "== [tsan] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs / serve / pipeline / partition =="
+  echo "== [tsan] ThreadSanitizer: memoized / wavefront / thread-pool / resilience / obs / serve / pipeline / partition / plan-cache =="
   cmake -B "$SRC_DIR/build-tsan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=thread
   cmake --build "$SRC_DIR/build-tsan" -j "$JOBS" \
         --target brickdl_tests --target brickdl_resilience_tests \
         --target brickdl_obs_tests --target brickdl_serve_tests \
-        --target brickdl_pipeline_tests --target brickdl_partition_tests
+        --target brickdl_pipeline_tests --target brickdl_partition_tests \
+        --target brickdl_plan_cache_tests
   ctest --test-dir "$SRC_DIR/build-tsan" --output-on-failure --timeout 600 \
-        -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs|Serve|Pipeline|GreedyPartitioner'
+        -R 'MemoizedExecutor|Wavefront|ThreadPool|Resilience|Obs|Serve|Pipeline|GreedyPartitioner|PlanCache'
 fi
 
 if run_stage asan; then
-  echo "== [asan] ASan+UBSan: differential fuzz + resilience + obs + serve + pipeline + partition suites =="
+  echo "== [asan] ASan+UBSan: differential fuzz + resilience + obs + serve + pipeline + partition + plan-cache suites =="
   cmake -B "$SRC_DIR/build-asan" -S "$SRC_DIR" -DBRICKDL_SANITIZE=address,undefined
   cmake --build "$SRC_DIR/build-asan" -j "$JOBS" \
         --target brickdl_differential_tests --target brickdl_resilience_tests \
         --target brickdl_obs_tests --target brickdl_serve_tests \
         --target brickdl_pipeline_tests --target brickdl_partition_tests \
+        --target brickdl_plan_cache_tests \
         --target mb_kernels --target fig07_partition_ab \
         --target brickdl_serve --target brickdl_report_check
-  # obs_smoke (the CLI end-to-end run) is excluded: it needs the CLI binaries
-  # and is far too slow under ASan; the unit suite covers the same code paths.
-  # perf = the fast-path-vs-generic kernel sweeps + mb_kernels smoke: cheap,
-  # and exactly where an interior-loop indexing bug would surface. partition
-  # adds the greedy property sweep and the fig07 partition A/B gate.
+  # obs_smoke and plan_cache_smoke (the CLI end-to-end runs) are excluded:
+  # they need the CLI binaries and are far too slow under ASan; the unit
+  # suites cover the same code paths. perf = the fast-path-vs-generic kernel
+  # sweeps + mb_kernels smoke: cheap, and exactly where an interior-loop
+  # indexing bug would surface. partition adds the greedy property sweep and
+  # the fig07 partition A/B gate; plan_cache adds the cold/warm parity and
+  # cache-poisoning suite.
   ctest --test-dir "$SRC_DIR/build-asan" --output-on-failure --timeout 600 \
-        -L 'differential|resilience|obs|perf|serve|pipeline|partition' -E obs_smoke
+        -L 'differential|resilience|obs|perf|serve|pipeline|partition|plan_cache' \
+        -E 'obs_smoke|plan_cache_smoke'
 fi
 
 if run_stage release; then
@@ -82,9 +90,10 @@ if run_stage release; then
         --target brickdl_report_check
   # perf includes serve_overload_smoke: the open-loop overload run (bounded
   # queue, shed taxonomy, drain) at the optimization level serving ships at.
-  # obs adds the unit suite plus obs_smoke and serve_telemetry_smoke — the
-  # end-to-end artifact checks (trace flow links, Prometheus/JSONL export,
-  # event log, flight records) run at Release speed, where they are cheap.
+  # obs adds the unit suite plus obs_smoke, serve_telemetry_smoke, and
+  # plan_cache_smoke — the end-to-end artifact checks (trace flow links,
+  # Prometheus/JSONL export, event log, flight records, plan-cache cold/warm
+  # parity + calibration fit) run at Release speed, where they are cheap.
   ctest --test-dir "$SRC_DIR/build-release" --output-on-failure --timeout 600 \
         -L 'differential|perf|obs'
 fi
